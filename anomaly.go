@@ -1,0 +1,36 @@
+package discoverxfd
+
+import (
+	"discoverxfd/internal/anomaly"
+)
+
+// Update-anomaly detection (see internal/anomaly): locate where a
+// document violates constraints it is supposed to satisfy, and name
+// the disagreeing copies.
+type (
+	// Violation pairs a broken constraint with its conflicts.
+	Violation = anomaly.Violation
+	// Conflict is one group of tuples agreeing on an FD's LHS but
+	// disagreeing on the RHS.
+	Conflict = anomaly.Conflict
+	// Occurrence is one RHS occurrence inside a conflict, naming the
+	// pivot node and rendering its value.
+	Occurrence = anomaly.Occurrence
+)
+
+// DetectAnomalies checks the constraints (typically the FDs and Keys
+// discovered on a trusted earlier version of the document) against
+// the hierarchy and reports each violation with the exact
+// disagreeing nodes — the signature of an update that changed one
+// copy of a redundantly stored value and missed its duplicates.
+func DetectAnomalies(h *Hierarchy, constraints []Constraint) ([]Violation, error) {
+	return anomaly.Detect(h, constraints)
+}
+
+// AdviseUpdate lists, for an intended update of fd's RHS under the
+// pivot node with the given pre-order key, the companion nodes whose
+// copies must change in the same transaction for the FD to keep
+// holding.
+func AdviseUpdate(h *Hierarchy, fd FD, pivotKey int) ([]Occurrence, error) {
+	return anomaly.Advise(h, fd, pivotKey)
+}

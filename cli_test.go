@@ -1,0 +1,182 @@
+package discoverxfd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one of the repo's commands into a shared temp dir
+// (cleaned up by TestMain) and returns the binary path.
+var (
+	builtCmds = map[string]string{}
+	cliBinDir string
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if cliBinDir != "" {
+		os.RemoveAll(cliBinDir)
+	}
+	os.Exit(code)
+}
+
+func buildCmd(t *testing.T, name string) string {
+	t.Helper()
+	if p, ok := builtCmds[name]; ok {
+		return p
+	}
+	if cliBinDir == "" {
+		dir, err := os.MkdirTemp("", "discoverxfd-cli")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cliBinDir = dir
+	}
+	bin := filepath.Join(cliBinDir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	builtCmds[name] = bin
+	return bin
+}
+
+func run(t *testing.T, bin string, stdin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if exitErr, ok := err.(*exec.ExitError); ok {
+		code = exitErr.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %s: %v\n%s", bin, err, out)
+	}
+	return string(out), code
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	gen := buildCmd(t, "xfdgen")
+	disc := buildCmd(t, "discoverxfd")
+	check := buildCmd(t, "xfdcheck")
+
+	// Generate a warehouse document.
+	xml, code := run(t, gen, "", "-dataset", "warehouse")
+	if code != 0 || !strings.Contains(xml, "<warehouse>") {
+		t.Fatalf("xfdgen failed (code %d):\n%.300s", code, xml)
+	}
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "wh.xml")
+	if err := os.WriteFile(docPath, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Discover on it.
+	report, code := run(t, disc, "", docPath)
+	if code != 0 {
+		t.Fatalf("discoverxfd failed (code %d):\n%s", code, report)
+	}
+	for _, want := range []string{
+		"Redundancy-indicating XML FDs",
+		"{./ISBN} -> ./title",
+		"XML Keys",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%.800s", want, report)
+		}
+	}
+
+	// JSON mode emits valid-looking JSON.
+	jsonOut, code := run(t, disc, "", "-json", docPath)
+	if code != 0 || !strings.HasPrefix(strings.TrimSpace(jsonOut), "{") {
+		t.Fatalf("discoverxfd -json failed (code %d):\n%.300s", code, jsonOut)
+	}
+
+	// Schema printing round-trips through -schema.
+	schemaOut, code := run(t, disc, "", "-printschema", docPath)
+	if code != 0 || !strings.Contains(schemaOut, "book: SetOf Rcd") {
+		t.Fatalf("-printschema failed (code %d):\n%s", code, schemaOut)
+	}
+	schemaPath := filepath.Join(dir, "wh.schema")
+	if err := os.WriteFile(schemaPath, []byte(schemaOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report2, code := run(t, disc, "", "-schema", schemaPath, docPath)
+	if code != 0 || !strings.Contains(report2, "{./ISBN} -> ./title") {
+		t.Fatalf("-schema run failed (code %d):\n%.500s", code, report2)
+	}
+
+	// xfdcheck passes on holding constraints, fails on a violated one.
+	rulesPath := filepath.Join(dir, "rules.txt")
+	holding := "{./ISBN} -> ./title w.r.t. C(/warehouse/state/store/book)\n"
+	if err := os.WriteFile(rulesPath, []byte(holding), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, check, "", "-constraints", rulesPath, docPath)
+	if code != 0 {
+		t.Fatalf("xfdcheck should pass (code %d):\n%s", code, out)
+	}
+	violated := holding + "{./ISBN} -> ./price w.r.t. C(/warehouse/state/store/book)\n"
+	if err := os.WriteFile(rulesPath, []byte(violated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = run(t, check, "", "-constraints", rulesPath, docPath)
+	if code != 1 || !strings.Contains(out, "VIOLATED") {
+		t.Fatalf("xfdcheck should fail with code 1 (got %d):\n%s", code, out)
+	}
+	// A generous g3 budget tolerates the violation.
+	out, code = run(t, check, "", "-constraints", rulesPath, "-approx", "0.9", docPath)
+	if code != 0 || !strings.Contains(out, "NEAR") {
+		t.Fatalf("xfdcheck -approx should tolerate (got %d):\n%s", code, out)
+	}
+	// The streamed CLI path produces the same FD lines.
+	disc2, _ := run(t, disc, "", "-stream", "-schema", schemaPath, docPath)
+	if !strings.Contains(disc2, "{./ISBN} -> ./title") {
+		t.Fatalf("streamed CLI output missing FD:\n%.500s", disc2)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	disc := buildCmd(t, "discoverxfd")
+	// Missing file.
+	out, code := run(t, disc, "", "/nonexistent.xml")
+	if code == 0 {
+		t.Fatalf("missing file should fail:\n%s", out)
+	}
+	// No args prints usage and exits 2.
+	out, code = run(t, disc, "")
+	if code != 2 || !strings.Contains(out, "usage:") {
+		t.Fatalf("no-arg run: code %d\n%s", code, out)
+	}
+}
+
+func TestCLIBenchQuickSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bench := buildCmd(t, "xfdbench")
+	out, code := run(t, bench, "", "-quick", "e1")
+	if code != 0 || !strings.Contains(out, "== E1") {
+		t.Fatalf("xfdbench -quick e1 failed (code %d):\n%.400s", code, out)
+	}
+	out, code = run(t, bench, "", "-list")
+	if code != 0 || !strings.Contains(out, "e9") {
+		t.Fatalf("xfdbench -list failed (code %d):\n%s", code, out)
+	}
+	out, code = run(t, bench, "", "nope")
+	if code != 2 {
+		t.Fatalf("unknown experiment should exit 2 (got %d):\n%s", code, out)
+	}
+}

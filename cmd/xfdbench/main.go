@@ -1,0 +1,52 @@
+// Command xfdbench runs the experiment harness reconstructing the
+// paper's evaluation (see DESIGN.md and EXPERIMENTS.md). With no
+// arguments it runs every experiment; otherwise it runs the named
+// ones (e1..e7).
+//
+// Usage:
+//
+//	xfdbench [-quick] [e1 e2 ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"discoverxfd/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run scaled-down configurations (CI speed)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xfdbench [-quick] [-list] [e1 e2 ...]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the DiscoverXFD experiment suite (default: all).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []bench.Experiment
+	if flag.NArg() == 0 {
+		todo = bench.All()
+	} else {
+		for _, id := range flag.Args() {
+			e := bench.ByID(id)
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "xfdbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, *e)
+		}
+	}
+	for _, e := range todo {
+		e.Run(*quick).Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,117 @@
+// Command xfdcheck verifies a list of XML FD / Key constraints
+// against an XML document — constraint regression testing: pin the
+// dependencies your data must satisfy and fail the build when an
+// update breaks one.
+//
+// Usage:
+//
+//	xfdcheck -constraints rules.txt data.xml
+//
+// The constraints file holds one constraint per line in the paper's
+// notation ('#' comments allowed):
+//
+//	{./ISBN} -> ./title w.r.t. C(/warehouse/state/store/book)
+//	{../contact/name, ./ISBN} -> ./price w.r.t. C(/warehouse/state/store/book)
+//	{./contact} KEY of C(/warehouse/state/store)
+//
+// Exit status is 0 when every constraint holds, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"discoverxfd"
+)
+
+func main() {
+	rulesPath := flag.String("constraints", "", "constraints file (required)")
+	schemaPath := flag.String("schema", "", "schema file in nested-relational notation (default: infer)")
+	quiet := flag.Bool("quiet", false, "print only violated constraints")
+	approx := flag.Float64("approx", 0, "tolerate FD violations up to this g3 error fraction (e.g. 0.01)")
+	stream := flag.Bool("stream", false, "stream the document instead of materializing it (requires -schema)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xfdcheck -constraints rules.txt [flags] data.xml\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 || *rulesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rulesText, err := os.ReadFile(*rulesPath)
+	if err != nil {
+		fatal(err)
+	}
+	cs, err := discoverxfd.ParseConstraints(string(rulesText))
+	if err != nil {
+		fatal(err)
+	}
+	var s *discoverxfd.Schema
+	if *schemaPath != "" {
+		text, err := os.ReadFile(*schemaPath)
+		if err != nil {
+			fatal(err)
+		}
+		s, err = discoverxfd.ParseSchema(string(text))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var h *discoverxfd.Hierarchy
+	if *stream {
+		if s == nil {
+			fatal(fmt.Errorf("-stream requires -schema"))
+		}
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		h, err = discoverxfd.BuildHierarchyStream(f, s, nil)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		doc, err := discoverxfd.LoadDocumentFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		h, err = discoverxfd.BuildHierarchy(doc, s, nil)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	results, err := discoverxfd.CheckConstraints(h, cs)
+	if err != nil {
+		fatal(err)
+	}
+	violated := 0
+	for _, r := range results {
+		tolerated := !r.Holds && !r.Constraint.IsKey && *approx > 0 && r.G3Error <= *approx
+		if !r.Holds && !tolerated {
+			violated++
+		}
+		if tolerated {
+			fmt.Printf("%-8s %s (g3=%.4f within budget)\n", "NEAR", r.Constraint, r.G3Error)
+			continue
+		}
+		if !*quiet || !r.Holds {
+			fmt.Println(r)
+		}
+	}
+	if violated > 0 {
+		fmt.Fprintf(os.Stderr, "xfdcheck: %d of %d constraint(s) violated\n", violated, len(results))
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("all %d constraint(s) hold\n", len(results))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "xfdcheck: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,250 @@
+// Package discoverxfd is a library for discovering XML functional
+// dependencies (XML FDs), XML keys, and the data redundancies they
+// indicate, directly from XML data. It implements the DiscoverXFD
+// system of Yu & Jagadish, "Efficient Discovery of XML Data
+// Redundancies", VLDB 2006.
+//
+// # Quickstart
+//
+//	doc, err := discoverxfd.LoadDocumentFile("warehouse.xml")
+//	if err != nil { ... }
+//	res, err := discoverxfd.Discover(doc, nil, nil) // schema inferred
+//	if err != nil { ... }
+//	for _, r := range res.Redundancies {
+//		fmt.Println(r)
+//	}
+//
+// Discovered constraints are reported in the paper's notation: an FD
+// such as
+//
+//	{../contact/name, ./ISBN} -> ./price w.r.t. C(/warehouse/state/store/book)
+//
+// reads "for any two books (generalized tree tuples of the class
+// pivoted at /warehouse/state/store/book), if they agree on their
+// store's name and on their ISBN, they agree on their price". Paths
+// are relative to the pivot; a path naming a set element (such as
+// ./author) compares the whole unordered collection, which is the
+// paper's generalization beyond earlier XML FD notions.
+//
+// The underlying machinery — schema model, data trees, hierarchical
+// representation, partitions, the lattice algorithms — lives in the
+// internal packages; this package re-exports the types a client
+// needs.
+package discoverxfd
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"discoverxfd/internal/core"
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/relation"
+	"discoverxfd/internal/schema"
+)
+
+// Re-exported model types.
+type (
+	// Document is a parsed XML document in the paper's data-tree
+	// model (Definition 2).
+	Document = datatree.Tree
+	// Node is one data node of a Document.
+	Node = datatree.Node
+	// Schema is the nested-relational schema model (Definition 1).
+	Schema = schema.Schema
+	// Path is an absolute element path such as
+	// /warehouse/state/store.
+	Path = schema.Path
+	// RelPath is a pivot-relative path such as ./ISBN or
+	// ../contact/name.
+	RelPath = schema.RelPath
+	// FD is a discovered XML functional dependency (Definition 7).
+	FD = core.FD
+	// Key is a discovered XML key (Definition 8).
+	Key = core.Key
+	// Redundancy is a satisfied interesting FD whose LHS is not a
+	// key, with witness counts (Definition 11).
+	Redundancy = core.Redundancy
+	// Result is the output of Discover.
+	Result = core.Result
+	// Stats carries discovery instrumentation.
+	Stats = core.Stats
+	// Evaluation is the outcome of checking one FD directly against
+	// the data (Evaluate).
+	Evaluation = core.Evaluation
+	// Hierarchy is the hierarchical representation of a document (one
+	// relation per essential tuple class).
+	Hierarchy = relation.Hierarchy
+)
+
+// Options configures Discover.
+type Options struct {
+	// MaxLHS bounds the number of attributes drawn from one hierarchy
+	// level into an FD's LHS; 0 means unbounded.
+	MaxLHS int
+	// IntraOnly restricts discovery to intra-relation FDs (no
+	// partition targets), i.e. DiscoverFD per relation.
+	IntraOnly bool
+	// NoSetElements omits set pseudo-attributes, restricting the FD
+	// language to the earlier tuple-based notion (no FDs over set
+	// elements such as ./author).
+	NoSetElements bool
+	// OrderedSets compares set elements as ordered lists instead of
+	// unordered collections (the Section 4.5 ablation). Off by
+	// default, matching the paper's design choice.
+	OrderedSets bool
+	// KeepConstantFDs reports FDs with an empty LHS (document-wide
+	// constant elements); usually noise, off by default.
+	KeepConstantFDs bool
+	// ApproxError, when positive, additionally reports approximate
+	// intra-relation FDs: constraints that hold after removing at
+	// most this fraction of a class's tuples (TANE's g3 measure).
+	// Useful on dirty data, where a near-constraint still marks a
+	// redundancy worth refining. Results land in Result.ApproxFDs.
+	ApproxError float64
+	// Parallel discovers independent relation subtrees concurrently;
+	// results are identical to the serial run.
+	Parallel bool
+}
+
+func (o *Options) coreOptions() core.Options {
+	if o == nil {
+		o = &Options{}
+	}
+	return core.Options{
+		MaxLHS:           o.MaxLHS,
+		NoInterRelation:  o.IntraOnly,
+		PropagatePartial: true,
+		KeepConstantFDs:  o.KeepConstantFDs,
+		ApproxError:      o.ApproxError,
+		Parallel:         o.Parallel,
+	}
+}
+
+func (o *Options) relationOptions() relation.Options {
+	if o == nil {
+		o = &Options{}
+	}
+	return relation.Options{
+		OrderedSets:     o.OrderedSets,
+		DisableSetAttrs: o.NoSetElements,
+	}
+}
+
+// LoadDocument parses an XML document from r.
+func LoadDocument(r io.Reader) (*Document, error) {
+	return datatree.ParseXML(r)
+}
+
+// LoadDocumentFile parses an XML document from a file.
+func LoadDocumentFile(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	doc, err := datatree.ParseXML(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// ParseDocument parses an XML document from a string.
+func ParseDocument(s string) (*Document, error) {
+	return datatree.ParseXMLString(s)
+}
+
+// ParseSchema reads a schema in the nested-relational text notation
+// (see internal/schema.Parse for the grammar):
+//
+//	warehouse: Rcd
+//	  state: SetOf Rcd
+//	    name: str
+//	    ...
+func ParseSchema(text string) (*Schema, error) {
+	return schema.Parse(text)
+}
+
+// InferSchema derives a schema from a document: elements repeated
+// under one parent become set elements, leaf types are the most
+// specific of int/float/str their values admit.
+func InferSchema(doc *Document) (*Schema, error) {
+	return datatree.InferSchema(doc)
+}
+
+// Conform checks that a document conforms to a schema and returns the
+// first violation, or nil.
+func Conform(doc *Document, s *Schema) error {
+	return datatree.Conform(doc, s)
+}
+
+// BuildHierarchy constructs the hierarchical representation of the
+// document (one relation per essential tuple class). Most callers
+// can use Discover directly; the hierarchy is exposed for Evaluate
+// and for inspecting tuple classes.
+func BuildHierarchy(doc *Document, s *Schema, opts *Options) (*Hierarchy, error) {
+	if s == nil {
+		inferred, err := datatree.InferSchema(doc)
+		if err != nil {
+			return nil, err
+		}
+		s = inferred
+	} else if err := datatree.Conform(doc, s); err != nil {
+		return nil, err
+	}
+	return relation.Build(doc, s, opts.relationOptions())
+}
+
+// BuildHierarchyStream constructs the hierarchical representation
+// directly from an XML stream without materializing the document:
+// memory stays proportional to the representation plus the largest
+// single root-child subtree. The schema is required (inference needs
+// the whole document). Streamed hierarchies drop node-level detail,
+// so discovery and Evaluate work identically but ApplyRefinement and
+// DetectAnomalies need the in-memory BuildHierarchy.
+func BuildHierarchyStream(r io.Reader, s *Schema, opts *Options) (*Hierarchy, error) {
+	if s == nil {
+		return nil, fmt.Errorf("discoverxfd: streaming requires an explicit schema")
+	}
+	return relation.BuildStream(r, s, opts.relationOptions())
+}
+
+// DiscoverStream runs DiscoverXFD over an XML stream (see
+// BuildHierarchyStream).
+func DiscoverStream(r io.Reader, s *Schema, opts *Options) (*Result, error) {
+	h, err := BuildHierarchyStream(r, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	return DiscoverHierarchy(h, opts)
+}
+
+// Discover runs DiscoverXFD on the document: it finds all minimal
+// interesting XML FDs and Keys and derives the redundancies the FDs
+// indicate. If s is nil the schema is inferred from the data; opts
+// may be nil for defaults.
+func Discover(doc *Document, s *Schema, opts *Options) (*Result, error) {
+	h, err := BuildHierarchy(doc, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	return DiscoverHierarchy(h, opts)
+}
+
+// DiscoverHierarchy runs DiscoverXFD on a prebuilt hierarchy.
+func DiscoverHierarchy(h *Hierarchy, opts *Options) (*Result, error) {
+	co := opts.coreOptions()
+	if co.NoInterRelation {
+		return core.DiscoverIntra(h, co)
+	}
+	return core.Discover(h, co)
+}
+
+// Evaluate checks a single XML FD ⟨class, lhs, rhs⟩ directly against
+// a hierarchy, independent of discovery: whether it holds (strong
+// satisfaction), whether its LHS is a key, and how many redundant
+// values it witnesses.
+func Evaluate(h *Hierarchy, class Path, lhs []RelPath, rhs RelPath) (Evaluation, error) {
+	return core.Evaluate(h, class, lhs, rhs)
+}

@@ -1,0 +1,49 @@
+package discoverxfd_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example main end to end and checks a
+// signature line of its output, keeping the documentation runnable.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"quickstart", []string{"inferred schema:", "Redundancy-indicating XML FDs"}},
+		{"warehouse", []string{
+			"Constraint 1 (same ISBN => same title)                  discovered",
+			"Constraint 2 (same store name + ISBN => same price)     discovered",
+			"Constraint 3 (same ISBN => same author SET)             discovered",
+			"Constraint 4 (same author set + title => same ISBN)     discovered",
+		}},
+		{"dblp", []string{"entry keys are unique", "duplicate cluster"}},
+		{"auction", []string{"inter-relation FDs at scale x2", "itemref"}},
+		{"refine", []string{"suggested refinements", "applied:", "refined document:"}},
+		{"anomaly", []string{"pinning them as invariants", "also requires updating", "invariant(s) are violated", "conflicting copies"}},
+		{"streaming", []string{"identical results", "streamed"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+c.dir)
+			cmd.Dir = "."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("example %s output missing %q:\n%.1200s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module discoverxfd
+
+go 1.22

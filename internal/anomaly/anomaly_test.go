@@ -1,0 +1,157 @@
+package anomaly
+
+import (
+	"strings"
+	"testing"
+
+	"discoverxfd/internal/core"
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/relation"
+	"discoverxfd/internal/schema"
+)
+
+// cleanXML satisfies {./sku} -> ./name; dirtyXML is the same document
+// after a careless update of ONE copy of the Pen name.
+const cleanXML = `
+<shop>
+  <item><sku>1</sku><name>Pen</name></item>
+  <item><sku>1</sku><name>Pen</name></item>
+  <item><sku>2</sku><name>Pad</name></item>
+</shop>`
+
+const dirtyXML = `
+<shop>
+  <item><sku>1</sku><name>Gel Pen</name></item>
+  <item><sku>1</sku><name>Pen</name></item>
+  <item><sku>2</sku><name>Pad</name></item>
+</shop>`
+
+func build(t *testing.T, xml string) *relation.Hierarchy {
+	t.Helper()
+	tree, err := datatree.ParseXMLString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := datatree.InferSchema(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := relation.Build(tree, s, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func constraints(t *testing.T, lines string) []core.Constraint {
+	t.Helper()
+	cs, err := core.ParseConstraints(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func TestDetectCleanDocument(t *testing.T) {
+	h := build(t, cleanXML)
+	vs, err := Detect(h, constraints(t, `{./sku} -> ./name w.r.t. C(/shop/item)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("clean document reported violations: %v", vs)
+	}
+}
+
+func TestDetectUpdateAnomaly(t *testing.T) {
+	h := build(t, dirtyXML)
+	vs, err := Detect(h, constraints(t, `{./sku} -> ./name w.r.t. C(/shop/item)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || len(vs[0].Conflicts) != 1 {
+		t.Fatalf("expected exactly one violation with one conflict: %v", vs)
+	}
+	occ := vs[0].Conflicts[0].Occurrences
+	if len(occ) != 2 {
+		t.Fatalf("conflict should name both copies: %v", occ)
+	}
+	values := []string{occ[0].Value, occ[1].Value}
+	if !(contains(values, "Pen") && contains(values, "Gel Pen")) {
+		t.Fatalf("conflicting values wrong: %v", values)
+	}
+	// The report names the pivot nodes.
+	s := vs[0].String()
+	if !strings.Contains(s, "Gel Pen") || !strings.Contains(s, "node ") {
+		t.Fatalf("report: %s", s)
+	}
+}
+
+func TestDetectKeyViolation(t *testing.T) {
+	h := build(t, cleanXML)
+	vs, err := Detect(h, constraints(t, `{./sku} KEY of C(/shop/item)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("duplicated sku must violate the key: %v", vs)
+	}
+	if got := len(vs[0].Conflicts[0].Occurrences); got != 2 {
+		t.Fatalf("key conflict should list both duplicates, got %d", got)
+	}
+}
+
+func TestAdviseCompanions(t *testing.T) {
+	h := build(t, cleanXML)
+	rel := h.ByPivot("/shop/item")
+	fd := core.FD{Class: "/shop/item", LHS: []schema.RelPath{"./sku"}, RHS: "./name"}
+	// Tuple 0 is the first sku-1 item; its companion is tuple 1.
+	occ, err := Advise(h, fd, rel.Keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(occ) != 1 || occ[0].PivotKey != rel.Keys[1] || occ[0].Value != "Pen" {
+		t.Fatalf("Advise: %v", occ)
+	}
+	// The sku-2 item has no companions.
+	occ, err = Advise(h, fd, rel.Keys[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(occ) != 0 {
+		t.Fatalf("unique sku should have no companions: %v", occ)
+	}
+	// Unknown pivot key errors.
+	if _, err := Advise(h, fd, 9999); err == nil {
+		t.Fatal("unknown pivot key should error")
+	}
+}
+
+func TestDetectSetRHSConflict(t *testing.T) {
+	// Author sets differ for one ISBN after a bad edit.
+	h := build(t, `
+<lib>
+  <b><isbn>1</isbn><a>X</a><a>Y</a></b>
+  <b><isbn>1</isbn><a>Y</a></b>
+</lib>`)
+	vs, err := Detect(h, constraints(t, `{./isbn} -> ./a w.r.t. C(/lib/b)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("set-RHS conflict not detected: %v", vs)
+	}
+	occ := vs[0].Conflicts[0].Occurrences
+	if len(occ) != 2 || !(strings.Contains(occ[0].Value, "+") || strings.Contains(occ[1].Value, "+")) {
+		t.Fatalf("set values should render all members: %v", occ)
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

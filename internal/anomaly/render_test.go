@@ -1,0 +1,54 @@
+package anomaly
+
+import (
+	"strings"
+	"testing"
+
+	"discoverxfd/internal/datatree"
+)
+
+func TestRenderNode(t *testing.T) {
+	tr, err := datatree.ParseXMLString(`<c><name>B</name><address>S</address></c>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := renderNode(tr.Root)
+	if got != "{address=S, name=B}" {
+		t.Fatalf("complex rendering: %q", got)
+	}
+	leaf := tr.Root.Child("name")
+	if renderNode(leaf) != "B" {
+		t.Fatalf("leaf rendering: %q", renderNode(leaf))
+	}
+	empty := &datatree.Node{Label: "e"}
+	if renderNode(empty) != "(empty)" {
+		t.Fatalf("empty rendering: %q", renderNode(empty))
+	}
+}
+
+func TestOccurrenceComplexAndMissing(t *testing.T) {
+	h := build(t, `
+<shop>
+  <item><sku>1</sku><name>Pen</name><meta><w>5</w></meta></item>
+  <item><sku>2</sku></item>
+</shop>`)
+	// Complex RHS renders the subtree; missing renders "(missing)".
+	o := occurrence(h, "/shop/item", "./meta", 0)
+	if !strings.Contains(o.Value, "w=5") {
+		t.Fatalf("complex occurrence: %q", o.Value)
+	}
+	o = occurrence(h, "/shop/item", "./meta", 1)
+	if o.Value != "(missing)" {
+		t.Fatalf("missing occurrence: %q", o.Value)
+	}
+	o = occurrence(h, "/shop/item", "./meta/w", 1)
+	if o.Value != "(missing)" {
+		t.Fatalf("missing nested occurrence: %q", o.Value)
+	}
+}
+
+func TestMinOf(t *testing.T) {
+	if minOf([]int{5, 2, 9}) != 2 || minOf([]int{7}) != 7 {
+		t.Fatal("minOf wrong")
+	}
+}

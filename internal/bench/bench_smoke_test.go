@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAllExperimentsQuick runs every registered experiment in quick
+// mode and sanity-checks the output shape.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Run(true)
+			if tbl.ID == "" || tbl.Title == "" {
+				t.Fatalf("experiment %s produced an unlabeled table", e.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("experiment %s produced no rows", e.ID)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("experiment %s: row width %d != %d columns", e.ID, len(row), len(tbl.Columns))
+				}
+			}
+			out := tbl.String()
+			if !strings.Contains(out, tbl.Columns[0]) {
+				t.Fatalf("experiment %s: printed table missing header", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("e3") == nil || ByID("E3") == nil {
+		t.Fatal("ByID should find e3 case-insensitively")
+	}
+	if ByID("nope") != nil {
+		t.Fatal("ByID should return nil for unknown ids")
+	}
+}
+
+func TestTablePrinter(t *testing.T) {
+	tbl := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Columns: []string{"a", "wide-column"},
+		Rows:    [][]string{{"1", "x"}, {"a-very-long-cell", "y"}},
+		Notes:   []string{"a note"},
+	}
+	out := tbl.String()
+	for _, want := range []string{"== T: demo ==", "wide-column", "a-very-long-cell", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printer missing %q:\n%s", want, out)
+		}
+	}
+	// Header and separator align with the widest cell.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 || len(lines[1]) != len(lines[2]) {
+		t.Fatalf("separator misaligned:\n%s", out)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		1500 * time.Millisecond: "1.50s",
+		2500 * time.Microsecond: "2.50ms",
+		900 * time.Microsecond:  "900µs",
+	}
+	for d, want := range cases {
+		if got := fmtDur(d); got != want {
+			t.Errorf("fmtDur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"discoverxfd/internal/partition"
+)
+
+// Approximate XML FDs (extension; TANE's g3 measure lifted to tuple
+// classes). An FD holds approximately with error e when removing an
+// e-fraction of the class's tuples makes it hold exactly. Casually
+// designed data — the paper's motivating scenario — is frequently
+// dirty, and a constraint violated by a handful of typos still
+// indicates redundancy worth refining; Options.ApproxError turns on
+// their discovery alongside the exact ones.
+//
+// Approximate discovery is intra-relation: partition targets carry
+// hard inequalities, which have no natural weighted analogue, so
+// approximate inter-relation FDs are out of scope (as they are in
+// TANE itself, which is single-relation).
+
+// g3Error computes the minimum number of tuples that must be removed
+// from the relation so that LHS → rhs holds exactly: for each Π_LHS
+// group, all but the largest Π_{LHS∪rhs} subgroup must go.
+// allIDs are the group ids of Π_{LHS∪rhs}; stripped singletons are
+// their own subgroups of size one.
+func g3Error(plhs *partition.Partition, allIDs []int32) int {
+	removals := 0
+	counts := make(map[int32]int)
+	for _, g := range plhs.Groups {
+		for k := range counts {
+			delete(counts, k)
+		}
+		max := 1 // a stripped singleton subgroup always exists as a floor
+		for _, t := range g {
+			id := allIDs[t]
+			if id < 0 {
+				continue // its own subgroup of size one
+			}
+			counts[id]++
+			if counts[id] > max {
+				max = counts[id]
+			}
+		}
+		removals += len(g) - max
+	}
+	return removals
+}
+
+// discoverApprox scans the failed edges of a finished lattice run and
+// collects the approximate FDs within the error budget. It reuses the
+// cached partitions; edges pruned by rule 1 against *exact* FDs are
+// implied approximately as well (weakening the LHS can only lower the
+// error), so the traversal's candidate structure carries over.
+func (lr *latticeRun) discoverApprox(maxErr float64) []FD {
+	if maxErr <= 0 {
+		return nil
+	}
+	n := lr.rel.NRows()
+	if n < 2 {
+		return nil
+	}
+	budget := int(maxErr * float64(n))
+	if budget < 1 {
+		return nil
+	}
+	exact := make(map[edge]bool, len(lr.fds))
+	for _, e := range lr.fds {
+		exact[e] = true
+	}
+	var out []FD
+	seen := make(map[edge]bool)
+	for a := range lr.parts {
+		if a == 0 {
+			continue
+		}
+		pa := lr.parts[a]
+		for _, i := range a.Attrs() {
+			al := a.Without(i)
+			pal, ok := lr.parts[al]
+			if !ok {
+				continue
+			}
+			e := edge{lhs: al, rhs: i}
+			if exact[e] || seen[e] {
+				continue
+			}
+			seen[e] = true
+			if pal.Error() == pa.Error() {
+				continue // exact (found via another traversal path)
+			}
+			removals := g3Error(pal, lr.groupIDs(a))
+			if removals <= budget {
+				fd := intraFD(lr.rel, e)
+				fd.Approximate = true
+				fd.Error = float64(removals) / float64(n)
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

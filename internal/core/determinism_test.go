@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"discoverxfd/internal/relation"
+	"discoverxfd/internal/xmlgen"
+)
+
+// TestDiscoveryDeterministic runs discovery repeatedly (serial and
+// parallel) and requires byte-identical rendered output: map
+// iteration order inside the engine must never leak into results.
+func TestDiscoveryDeterministic(t *testing.T) {
+	ds := xmlgen.PSD(xmlgen.DefaultPSD())
+	h, err := relation.Build(ds.Tree, ds.Schema, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first string
+	for i := 0; i < 4; i++ {
+		opts := Options{PropagatePartial: true, ApproxError: 0.05, Parallel: i%2 == 1}
+		res, err := Discover(h, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := render(res)
+		if i == 0 {
+			first = out
+			continue
+		}
+		if out != first {
+			t.Fatalf("run %d (parallel=%v) differs:\n--- first ---\n%s\n--- now ---\n%s",
+				i, opts.Parallel, first, out)
+		}
+	}
+}
+
+// TestRebuildDeterministic checks that rebuilding the hierarchy from
+// the same document yields the same discovery output (encoder interning
+// order must not leak).
+func TestRebuildDeterministic(t *testing.T) {
+	ds := xmlgen.Warehouse(xmlgen.DefaultWarehouse())
+	var first string
+	for i := 0; i < 3; i++ {
+		h, err := relation.Build(ds.Tree, ds.Schema, relation.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Discover(h, Options{PropagatePartial: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := render(res)
+		if i == 0 {
+			first = out
+		} else if out != first {
+			t.Fatalf("rebuild %d differs", i)
+		}
+	}
+}

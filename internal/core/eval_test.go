@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/relation"
+	"discoverxfd/internal/schema"
+)
+
+func evalHierarchy(t *testing.T, xml, schemaText string) *relation.Hierarchy {
+	t.Helper()
+	tree, err := datatree.ParseXMLString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.MustParse(schemaText)
+	h, err := relation.Build(tree, s, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+const evalSchema = `
+w: Rcd
+  g: SetOf Rcd
+    gx: str
+    c: SetOf Rcd
+      a: str
+      b: str
+`
+
+func TestEvaluateErrors(t *testing.T) {
+	h := evalHierarchy(t, `<w><g><gx>1</gx><c><a>x</a><b>y</b></c></g></w>`, evalSchema)
+	cases := []struct {
+		class   schema.Path
+		lhs     []schema.RelPath
+		rhs     schema.RelPath
+		wantSub string
+	}{
+		{"/w/nope", []schema.RelPath{"./a"}, "./b", "no tuple class"},
+		{"/w/g/c", []schema.RelPath{"./missing"}, "./b", "not an attribute"},
+		{"/w/g/c", []schema.RelPath{"../../../x"}, "./b", "above the root"},
+		{"/w/g/c", []schema.RelPath{"./a"}, "../gx", "must stay within"},
+	}
+	for _, c := range cases {
+		_, err := Evaluate(h, c.class, c.lhs, c.rhs)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Evaluate(%v -> %v): err %v, want substring %q", c.lhs, c.rhs, err, c.wantSub)
+		}
+	}
+}
+
+func TestEvaluateVacuousNullLHS(t *testing.T) {
+	// The gx of the second group is missing, so its c tuples are
+	// vacuous for any LHS containing ../gx: the FD holds even though
+	// their b values differ for equal a.
+	h := evalHierarchy(t, `
+<w>
+  <g><gx>1</gx>
+     <c><a>x</a><b>p</b></c></g>
+  <g>
+     <c><a>x</a><b>q</b></c>
+     <c><a>x</a><b>r</b></c></g>
+</w>`, evalSchema)
+	ev, err := Evaluate(h, "/w/g/c", []schema.RelPath{"../gx", "./a"}, "./b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Holds {
+		t.Fatalf("pairs with a missing LHS value are vacuous (Definition 7); got %+v", ev)
+	}
+	// Without ../gx in the LHS, the two disagreeing tuples collide.
+	ev, err = Evaluate(h, "/w/g/c", []schema.RelPath{"./a"}, "./b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Holds {
+		t.Fatal("{./a} -> ./b must be violated")
+	}
+}
+
+func TestEvaluateNullRHSViolates(t *testing.T) {
+	// Two tuples agree on a, one has no b: strong satisfaction
+	// requires a non-null RHS, so the FD is violated.
+	h := evalHierarchy(t, `
+<w><g><gx>1</gx>
+  <c><a>x</a><b>p</b></c>
+  <c><a>x</a></c>
+</g></w>`, evalSchema)
+	ev, err := Evaluate(h, "/w/g/c", []schema.RelPath{"./a"}, "./b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Holds {
+		t.Fatal("missing RHS in an agreeing pair must violate the FD")
+	}
+	if ev.Error <= 0 {
+		t.Fatalf("g3 must be positive: %+v", ev)
+	}
+}
+
+func TestEvaluateSelfValuePath(t *testing.T) {
+	// For a simple set element, "." addresses the member's own value.
+	h2 := evalHierarchy(t, `
+<w><g>
+  <m>u</m><m>u</m><m>v</m>
+</g></w>`, `
+w: Rcd
+  g: SetOf Rcd
+    m: SetOf str
+`)
+	// {.} -> . is trivial and rejected at the FD level, but "." works
+	// as an attribute: two m members with equal values witness that
+	// "." is not a key.
+	ev, err := Evaluate(h2, "/w/g/m", []schema.RelPath{"."}, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.LHSIsKey {
+		t.Fatal("duplicated member values: '.' must not be a key of C_m")
+	}
+}

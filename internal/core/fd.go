@@ -1,0 +1,278 @@
+// Package core implements the paper's primary contribution: the
+// DiscoverFD and DiscoverXFD algorithms (Yu & Jagadish, VLDB 2006,
+// Section 4) for discovering interesting XML functional dependencies,
+// XML keys, and the data redundancies they indicate (Definitions
+// 7–11) over the hierarchical representation of an XML document.
+//
+// DiscoverFD (Figure 8) is a partition-based, level-wise traversal of
+// the attribute-set lattice of a single relation, in the style of
+// TANE, with the paper's three pruning rules. DiscoverXFD (Figures 9
+// and 10) runs DiscoverFD bottom-up over the relation tree and
+// carries candidate partial FDs/Keys upward as *partition targets* —
+// sets of tuple-pair inequalities that ancestor attribute sets must
+// satisfy for an inter-relation FD (or Key) to hold.
+//
+// Two transcription glitches in the supplied paper text are corrected
+// here (see DESIGN.md): Figure 9 lines 21–24 swap the Key/FD branches
+// (an invalid KeyTarget can only ever yield an FD), and Figure 10's
+// creatept is implemented as the per-group refinement it describes,
+// with inequalities deduplicated on parent-tuple pairs.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"time"
+
+	"discoverxfd/internal/schema"
+)
+
+// AttrSet is a set of attribute indices of one relation, represented
+// as a bitset. Relations are limited to 64 attributes; Discover
+// reports an error beyond that.
+type AttrSet uint64
+
+// Has reports whether attribute i is in the set.
+func (s AttrSet) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// Add returns the set with attribute i added.
+func (s AttrSet) Add(i int) AttrSet { return s | 1<<uint(i) }
+
+// Without returns the set with attribute i removed.
+func (s AttrSet) Without(i int) AttrSet { return s &^ (1 << uint(i)) }
+
+// Contains reports whether t ⊆ s.
+func (s AttrSet) Contains(t AttrSet) bool { return s&t == t }
+
+// Size returns the number of attributes in the set.
+func (s AttrSet) Size() int { return bits.OnesCount64(uint64(s)) }
+
+// MaxBit returns the largest attribute index in the set, or -1 for
+// the empty set.
+func (s AttrSet) MaxBit() int {
+	if s == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(uint64(s))
+}
+
+// Attrs returns the attribute indices in ascending order.
+func (s AttrSet) Attrs() []int {
+	out := make([]int, 0, s.Size())
+	for s != 0 {
+		i := bits.TrailingZeros64(uint64(s))
+		out = append(out, i)
+		s &^= 1 << uint(i)
+	}
+	return out
+}
+
+// FD is a discovered XML functional dependency
+// {P_l1,…,P_ln} → P_r w.r.t. C_p (Definition 7), with all paths
+// expressed relative to the pivot path of the tuple class.
+type FD struct {
+	// Class is the pivot path of the tuple class C_p.
+	Class schema.Path
+	// LHS holds the left-hand-side paths, sorted lexicographically.
+	LHS []schema.RelPath
+	// RHS is the right-hand-side path; always a descendant (or the
+	// self value) of the pivot, per the interestingness conditions of
+	// Definition 10.
+	RHS schema.RelPath
+	// Inter reports whether the FD is inter-relation (some LHS path
+	// reaches outside the pivot's subtree).
+	Inter bool
+	// Approximate marks FDs found by the approximate (g3) extension;
+	// Error is then the fraction of the class's tuples that must be
+	// removed for the FD to hold exactly (0 for exact FDs).
+	Approximate bool
+	Error       float64
+}
+
+// String renders the FD in the paper's notation, e.g.
+// "{../contact/name, ./ISBN} -> ./price w.r.t. C(/warehouse/state/store/book)".
+// Approximate FDs carry their g3 error, e.g. "… [approx, g3=0.02]".
+func (f FD) String() string {
+	if f.Approximate {
+		return fmt.Sprintf("{%s} -> %s w.r.t. C(%s) [approx, g3=%.3f]", joinRels(f.LHS), f.RHS, f.Class, f.Error)
+	}
+	return fmt.Sprintf("{%s} -> %s w.r.t. C(%s)", joinRels(f.LHS), f.RHS, f.Class)
+}
+
+// Key is a discovered XML key ⟨C_p, LHS⟩ (Definition 8): the LHS
+// paths uniquely identify each generalized tree tuple of the class.
+type Key struct {
+	Class schema.Path
+	LHS   []schema.RelPath
+	Inter bool
+}
+
+// String renders the key, e.g. "{./ISBN, ../contact/name} KEY of C(/…/book)".
+func (k Key) String() string {
+	return fmt.Sprintf("{%s} KEY of C(%s)", joinRels(k.LHS), k.Class)
+}
+
+// Redundancy pairs a satisfied interesting FD whose LHS is not a key
+// with the amount of redundantly stored data it witnesses
+// (Definition 11).
+type Redundancy struct {
+	FD FD
+	// RedundantValues counts, over all LHS-equal tuple groups, the
+	// occurrences of the RHS value beyond the first — i.e. how many
+	// RHS subtrees could be removed without information loss.
+	RedundantValues int
+	// Groups counts the LHS-equal groups with two or more tuples.
+	Groups int
+}
+
+func (r Redundancy) String() string {
+	return fmt.Sprintf("%s  [%d redundant value(s) in %d group(s)]", r.FD, r.RedundantValues, r.Groups)
+}
+
+// Stats aggregates instrumentation over a discovery run; the
+// experiment harness (E5, E6) reports these.
+type Stats struct {
+	// Relations is the number of essential relations processed.
+	Relations int
+	// Tuples is the total tuple count over essential relations.
+	Tuples int
+	// NodesVisited counts attribute-set lattice nodes processed.
+	NodesVisited int
+	// PartitionsComputed counts partition products performed.
+	PartitionsComputed int
+	// TargetsCreated counts partition targets created from failed
+	// intra-relation edges (Figure 10 creatept).
+	TargetsCreated int
+	// TargetsPropagated counts targets carried up a level (pure
+	// conversions plus partial-satisfaction propagations).
+	TargetsPropagated int
+	// TargetsDropped counts targets discarded because an inequality
+	// collapsed (NULL results) or a cap overflowed.
+	TargetsDropped int
+	// TargetChecks counts (attribute set, target) satisfaction tests.
+	TargetChecks int
+	// IntraTime is time spent in lattice traversal and partition
+	// arithmetic; InterTime is time spent creating, converting and
+	// checking partition targets.
+	IntraTime, InterTime time.Duration
+}
+
+// Result is the output of a discovery run.
+type Result struct {
+	// FDs are the minimal satisfied interesting XML FDs whose LHS is
+	// not a key of the class.
+	FDs []FD
+	// Keys are the minimal XML keys per tuple class.
+	Keys []Key
+	// Redundancies pairs each FD with its witness counts; by
+	// Definition 11 every entry of FDs indicates a redundancy, so
+	// len(Redundancies) == len(FDs).
+	Redundancies []Redundancy
+	// ApproxFDs lists the approximate FDs within Options.ApproxError,
+	// minimal and not implied by an exact FD. Empty unless the
+	// approximate extension was enabled.
+	ApproxFDs []FD
+	// Stats carries run instrumentation.
+	Stats Stats
+}
+
+// Options configures discovery.
+type Options struct {
+	// MaxLHS bounds the number of attributes drawn from any single
+	// relation level into one LHS (lattice depth). 0 means unbounded.
+	MaxLHS int
+	// NoInterRelation disables partition targets entirely; only
+	// intra-relation FDs and Keys are found (DiscoverFD per relation).
+	NoInterRelation bool
+	// PropagatePartial enables Figure 9 lines 26–29: targets not
+	// fully satisfied at a level may absorb a level-local attribute
+	// set and continue upward, enabling LHSs spanning three or more
+	// hierarchy levels. On by default in Discover.
+	PropagatePartial bool
+	// MaxPartialAttrs bounds the attribute-set size absorbed by a
+	// partial propagation (≥1; 0 means 2, the default).
+	MaxPartialAttrs int
+	// MaxTargetPairs caps the number of inequalities in one target;
+	// a target whose pair-count bound exceeds the cap is dropped
+	// (counted in Stats.TargetsDropped). 0 means 1<<16.
+	MaxTargetPairs int
+	// MaxTargetsPerRelation caps the targets a relation may emit
+	// upward. 0 means 1<<16.
+	MaxTargetsPerRelation int
+	// DisableKeyPruning disables pruning rule 3 (supersets of keys),
+	// for ablation E6.
+	DisableKeyPruning bool
+	// DisableFDPruning disables pruning rules 1–2 (candidateLHS),
+	// for ablation E6. All edges are then tested.
+	DisableFDPruning bool
+	// KeepConstantFDs reports FDs with empty LHS (constant columns)
+	// instead of suppressing them. They are legitimate
+	// redundancy-indicating FDs but usually noise; off by default.
+	KeepConstantFDs bool
+	// ApproxError, when positive, additionally reports intra-relation
+	// FDs that hold after removing at most this fraction of a class's
+	// tuples (TANE's g3 measure; extension). Approximate candidates
+	// are drawn from the edges the exact traversal visited.
+	ApproxError float64
+	// Parallel runs independent relation subtrees concurrently (a
+	// relation's lattice still runs after all of its children, which
+	// its partition targets depend on). Results are identical to the
+	// serial run; Stats times become summed per-relation times.
+	Parallel bool
+}
+
+func (o Options) maxPartialAttrs() int {
+	if o.MaxPartialAttrs <= 0 {
+		return 2
+	}
+	return o.MaxPartialAttrs
+}
+
+func (o Options) maxTargetPairs() int {
+	if o.MaxTargetPairs <= 0 {
+		return 1 << 16
+	}
+	return o.MaxTargetPairs
+}
+
+func (o Options) maxTargets() int {
+	if o.MaxTargetsPerRelation <= 0 {
+		return 1 << 16
+	}
+	return o.MaxTargetsPerRelation
+}
+
+func joinRels(rs []schema.RelPath) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = string(r)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func sortRels(rs []schema.RelPath) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+}
+
+// relsSubset reports whether a ⊆ b as path sets (both sorted or not).
+func relsSubset(a, b []schema.RelPath) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	set := make(map[schema.RelPath]bool, len(b))
+	for _, r := range b {
+		set[r] = true
+	}
+	for _, r := range a {
+		if !set[r] {
+			return false
+		}
+	}
+	return true
+}
+
+func relsEqual(a, b []schema.RelPath) bool {
+	return len(a) == len(b) && relsSubset(a, b)
+}

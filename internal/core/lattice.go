@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"discoverxfd/internal/partition"
+	"discoverxfd/internal/relation"
+)
+
+// edge is a satisfied intra-relation FD LHS → rhs used for pruning.
+type edge struct {
+	lhs AttrSet
+	rhs int
+}
+
+// relOutput collects what one relation's lattice traversal produced.
+type relOutput struct {
+	intraFDs  []edge    // satisfied minimal intra-relation FDs
+	intraKeys []AttrSet // minimal intra-relation keys
+	interFDs  []FD      // inter-relation FDs satisfied at this level
+	interKeys []Key
+	outgoing  []*target // targets for the parent relation
+}
+
+// latticeRun performs the level-wise attribute-set traversal of one
+// relation (Figure 8 / Figure 9), optionally checking and generating
+// partition targets.
+type latticeRun struct {
+	rel      *relation.Relation
+	opts     *Options
+	stats    *Stats
+	depths   map[*relation.Relation]int
+	incoming []*target
+
+	// ni governs whether degenerate (same-ancestor) target pairs can
+	// still be satisfied vacuously by a missing value at or above the
+	// parent relation.
+	ni nullInfo
+
+	parts   map[AttrSet]*partition.Partition
+	gids    map[AttrSet][]int32
+	nullMap map[AttrSet][]bool
+	sc      *partition.Scratch
+
+	fds  []edge
+	keys []AttrSet
+	out  relOutput
+}
+
+// run executes the traversal. xfd selects DiscoverXFD behaviour
+// (candidateLHS2, target handling); with xfd false it is exactly
+// DiscoverFD of Figure 8.
+func (lr *latticeRun) run(xfd bool) {
+	rel := lr.rel
+	n := rel.NRows()
+	m := rel.NAttrs()
+	lr.parts = make(map[AttrSet]*partition.Partition, 4*m)
+	lr.gids = make(map[AttrSet][]int32)
+	lr.nullMap = make(map[AttrSet][]bool)
+	lr.sc = partition.NewScratch(n)
+	lr.parts[0] = partition.Single(n)
+
+	intraStart := time.Now()
+	interBefore := lr.stats.InterTime
+	for i := 0; i < m; i++ {
+		lr.parts[AttrSet(0).Add(i)] = rel.ColumnPartition(i)
+	}
+
+	// Pure conversions of incoming targets (Figure 9 lines 8–10):
+	// every target is offered to the parent unchanged, so ancestors
+	// alone may complete it.
+	if xfd && rel.Parent != nil {
+		ts := time.Now()
+		for _, pt := range lr.incoming {
+			if len(lr.out.outgoing) >= lr.opts.maxTargets() {
+				lr.stats.TargetsDropped++
+				continue
+			}
+			if up := pt.convert(rel, nil, nil, 0, lr.ni, lr.opts, lr.stats); up != nil {
+				lr.out.outgoing = append(lr.out.outgoing, up)
+			}
+		}
+		lr.stats.InterTime += time.Since(ts)
+	}
+
+	if n < 2 || m == 0 {
+		// Nothing can be violated or witnessed with fewer than two
+		// tuples; incoming targets were still offered upward above.
+		lr.stats.IntraTime += time.Since(intraStart) - (lr.stats.InterTime - interBefore)
+		return
+	}
+
+	// The empty attribute set can itself be a candidate partial Key:
+	// if every parent has at most one tuple here, ancestor attributes
+	// alone may identify the tuples of this class.
+	if xfd && rel.Parent != nil && !lr.opts.NoInterRelation {
+		ts := time.Now()
+		if pt := createKeyTarget(rel, 0, lr.parts[0], lr.ni, lr.opts, lr.stats); pt != nil {
+			lr.out.outgoing = append(lr.out.outgoing, pt)
+		}
+		lr.stats.InterTime += time.Since(ts)
+	}
+
+	maxSize := m
+	if lr.opts.MaxLHS > 0 && lr.opts.MaxLHS+1 < maxSize {
+		maxSize = lr.opts.MaxLHS + 1
+	}
+
+	queue := make([]AttrSet, 0, m)
+	for i := 0; i < m; i++ {
+		queue = append(queue, AttrSet(0).Add(i))
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		a := queue[qi]
+		lr.stats.NodesVisited++
+
+		ls := lr.candidateLHS(a, xfd)
+		if len(ls) == 0 && a.Size() > 1 {
+			continue
+		}
+		pa := lr.getPartition(a)
+
+		if pa.IsKey() && !lr.opts.DisableKeyPruning {
+			lr.keys = append(lr.keys, a)
+			lr.out.intraKeys = append(lr.out.intraKeys, a)
+			if xfd {
+				// Figure 9 lines 18–25: a key separates every
+				// distinct pair, so every target is satisfied at this
+				// node (degenerate pairs still need a null).
+				lr.checkTargets(a, nil, lr.nullsFor(a))
+				// Failed edges into a key node can still seed minimal
+				// inter-relation FDs (the FD {x} -> r where {x, r} is
+				// a key fails globally but may hold under each
+				// parent), so targets are created before the node's
+				// expansion is pruned.
+				lr.seedTargets(a, pa, ls)
+			}
+			continue
+		}
+
+		for _, al := range ls {
+			r := (a &^ al).MaxBit()
+			pal := lr.getPartition(al)
+			if pal.Error() == pa.Error() {
+				lr.fds = append(lr.fds, edge{lhs: al, rhs: r})
+				lr.out.intraFDs = append(lr.out.intraFDs, edge{lhs: al, rhs: r})
+			}
+		}
+		if xfd {
+			// Failed edges seed candidate partial FDs; a itself seeds
+			// a candidate partial Key (it is not a key here, but
+			// ancestor attributes could complete it).
+			lr.seedTargets(a, pa, ls)
+			if rel.Parent != nil && !lr.opts.NoInterRelation {
+				ts := time.Now()
+				if len(lr.out.outgoing) < lr.opts.maxTargets() {
+					if pt := createKeyTarget(rel, a, pa, lr.ni, lr.opts, lr.stats); pt != nil {
+						lr.out.outgoing = append(lr.out.outgoing, pt)
+					}
+				} else {
+					lr.stats.TargetsDropped++
+				}
+				lr.stats.InterTime += time.Since(ts)
+			}
+		}
+
+		if xfd && len(lr.incoming) > 0 {
+			lr.checkTargets(a, lr.groupIDs(a), lr.nullsFor(a))
+		}
+
+		if a.Size() >= maxSize {
+			continue
+		}
+		for i := a.MaxBit() + 1; i < m; i++ {
+			next := a.Add(i)
+			if lr.supersetOfKey(next) {
+				continue
+			}
+			queue = append(queue, next)
+		}
+	}
+	lr.stats.IntraTime += time.Since(intraStart) - (lr.stats.InterTime - interBefore)
+}
+
+// seedTargets creates candidate-partial-FD targets from the failed
+// edges into node a (Figure 9 lines 34–37).
+func (lr *latticeRun) seedTargets(a AttrSet, pa *partition.Partition, ls []AttrSet) {
+	if lr.rel.Parent == nil || lr.opts.NoInterRelation {
+		return
+	}
+	ts := time.Now()
+	defer func() { lr.stats.InterTime += time.Since(ts) }()
+	for _, al := range ls {
+		r := (a &^ al).MaxBit()
+		pal := lr.getPartition(al)
+		if pal.Error() == pa.Error() {
+			continue // satisfied edge, not a partial FD
+		}
+		if len(lr.out.outgoing) >= lr.opts.maxTargets() {
+			lr.stats.TargetsDropped++
+			continue
+		}
+		pt := createTarget(lr.rel, al, r, pal, len(pa.Groups), lr.groupIDs(a), lr.ni, lr.opts, lr.stats)
+		if pt != nil {
+			lr.out.outgoing = append(lr.out.outgoing, pt)
+		}
+	}
+}
+
+// checkTargets tests every incoming target against the attribute set
+// a (Figure 9 lines 18–33). gids == nil means a is a key of the
+// relation. Satisfied targets yield inter-relation FDs or Keys;
+// partially satisfied ones may propagate upward with a absorbed into
+// their LHS.
+func (lr *latticeRun) checkTargets(a AttrSet, gids []int32, nulls []bool) {
+	ts := time.Now()
+	defer func() { lr.stats.InterTime += time.Since(ts) }()
+	for _, pt := range lr.incoming {
+		// Superset suppression: a satisfying subset makes any
+		// superset-based result non-minimal.
+		skip := false
+		for _, s := range pt.satisfied {
+			if a.Contains(s) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		lr.stats.TargetChecks++
+		if pt.satisfiedBy(gids, nulls) {
+			pt.satisfied = append(pt.satisfied, a)
+			if pt.keyOnly {
+				lr.out.interKeys = append(lr.out.interKeys, pt.keyAt(lr.rel, a, lr.depths))
+			} else {
+				lr.out.interFDs = append(lr.out.interFDs, pt.fdAt(lr.rel, a, lr.depths))
+			}
+			continue
+		}
+		if lr.opts.PropagatePartial && lr.rel.Parent != nil &&
+			a.Size() <= lr.opts.maxPartialAttrs() &&
+			len(lr.out.outgoing) < lr.opts.maxTargets() &&
+			pt.remaining(gids, nulls) < len(pt.pairs) {
+			// Progress was made: carry the rest upward with a in the
+			// LHS (Figure 9 lines 26–29).
+			if up := pt.convert(lr.rel, gids, nulls, a, lr.ni, lr.opts, lr.stats); up != nil {
+				lr.out.outgoing = append(lr.out.outgoing, up)
+			}
+		}
+	}
+}
+
+// candidateLHS implements Figure 8's candidateLHS (pruning rules 1
+// and 2) and, for xfd mode, candidateLHS2 (rule 1 only — rule 2 must
+// not suppress edges whose failures seed partition targets).
+func (lr *latticeRun) candidateLHS(a AttrSet, xfd bool) []AttrSet {
+	out := make([]AttrSet, 0, a.Size())
+	for _, i := range a.Attrs() {
+		al := a.Without(i)
+		if lr.opts.DisableFDPruning {
+			out = append(out, al)
+			continue
+		}
+		skip := false
+		for _, fd := range lr.fds {
+			// Rule 1: X → A satisfied removes edge (XY, XYA).
+			if fd.rhs == i && al.Contains(fd.lhs) {
+				skip = true
+				break
+			}
+			// Rule 2 (intra-only): X → A satisfied removes edge
+			// (XYA, XYAB): an LHS containing both X and A is
+			// non-minimal.
+			if !xfd && al.Has(fd.rhs) && al.Without(fd.rhs).Contains(fd.lhs) {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			out = append(out, al)
+		}
+	}
+	return out
+}
+
+// getPartition returns Π_A, computing it by stripped products of
+// cached sub-partitions on demand.
+func (lr *latticeRun) getPartition(a AttrSet) *partition.Partition {
+	if p, ok := lr.parts[a]; ok {
+		return p
+	}
+	b := a.MaxBit()
+	rest := a.Without(b)
+	p := lr.getPartition(rest).Product(lr.parts[AttrSet(0).Add(b)], lr.sc)
+	lr.parts[a] = p
+	lr.stats.PartitionsComputed++
+	return p
+}
+
+// groupIDs returns (and caches) the row→group lookup for Π_A.
+func (lr *latticeRun) groupIDs(a AttrSet) []int32 {
+	if g, ok := lr.gids[a]; ok {
+		return g
+	}
+	g := lr.getPartition(a).GroupIDs()
+	lr.gids[a] = g
+	return g
+}
+
+// nullsFor returns (and caches) the per-row missing-value lookup for
+// attribute set a: true where any attribute of a is null. Used for
+// the vacuous satisfaction of degenerate target pairs.
+func (lr *latticeRun) nullsFor(a AttrSet) []bool {
+	if nl, ok := lr.nullMap[a]; ok {
+		return nl
+	}
+	nl := make([]bool, lr.rel.NRows())
+	for _, i := range a.Attrs() {
+		col := lr.rel.Cols[i]
+		for row, code := range col {
+			if relation.IsNull(code) {
+				nl[row] = true
+			}
+		}
+	}
+	lr.nullMap[a] = nl
+	return nl
+}
+
+// supersetOfKey reports whether a contains a discovered key (pruning
+// rule 3, Figure 8 line 18).
+func (lr *latticeRun) supersetOfKey(a AttrSet) bool {
+	if lr.opts.DisableKeyPruning {
+		return false
+	}
+	for _, k := range lr.keys {
+		if a.Contains(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkWidth verifies the 64-attribute bitset limit.
+func checkWidth(rel *relation.Relation) error {
+	if rel.NAttrs() > 64 {
+		return fmt.Errorf("core: relation %s has %d attributes; at most 64 are supported", rel.Pivot, rel.NAttrs())
+	}
+	return nil
+}

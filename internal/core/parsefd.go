@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"discoverxfd/internal/schema"
+)
+
+// ParseFD parses an XML FD or Key written in the paper's notation, as
+// printed by FD.String and Key.String:
+//
+//	{./ISBN, ../contact/name} -> ./price w.r.t. C(/warehouse/state/store/book)
+//	{./ISBN} KEY of C(/warehouse/state/store/book)
+//
+// It returns the parsed constraint as an FD; for a Key the RHS is
+// empty and IsKey is true in the companion ParseConstraint. Paths are
+// validated syntactically (shape only; resolution against a concrete
+// hierarchy happens in Evaluate).
+func ParseFD(s string) (FD, error) {
+	fd, isKey, err := parseConstraint(s)
+	if err != nil {
+		return FD{}, err
+	}
+	if isKey {
+		return FD{}, fmt.Errorf("core: %q is a Key, not an FD (use ParseConstraint)", s)
+	}
+	return fd, nil
+}
+
+// Constraint is a parsed FD or Key specification.
+type Constraint struct {
+	FD    FD
+	IsKey bool
+}
+
+// String renders the constraint back in its input notation.
+func (c Constraint) String() string {
+	if c.IsKey {
+		return Key{Class: c.FD.Class, LHS: c.FD.LHS}.String()
+	}
+	return c.FD.String()
+}
+
+// ParseConstraint parses either an FD or a Key specification.
+func ParseConstraint(s string) (Constraint, error) {
+	fd, isKey, err := parseConstraint(s)
+	if err != nil {
+		return Constraint{}, err
+	}
+	return Constraint{FD: fd, IsKey: isKey}, nil
+}
+
+// ParseConstraints parses a multi-line specification: one constraint
+// per line, blank lines and '#' comments ignored.
+func ParseConstraints(text string) ([]Constraint, error) {
+	var out []Constraint
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		c, err := ParseConstraint(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func parseConstraint(s string) (FD, bool, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") {
+		return FD{}, false, fmt.Errorf("core: constraint must start with '{': %q", orig)
+	}
+	close := strings.Index(s, "}")
+	if close < 0 {
+		return FD{}, false, fmt.Errorf("core: unterminated LHS in %q", orig)
+	}
+	lhsText := s[1:close]
+	rest := strings.TrimSpace(s[close+1:])
+
+	var lhs []schema.RelPath
+	if strings.TrimSpace(lhsText) != "" {
+		for _, p := range strings.Split(lhsText, ",") {
+			rp := schema.RelPath(strings.TrimSpace(p))
+			if err := checkRelPath(rp); err != nil {
+				return FD{}, false, fmt.Errorf("core: %v in %q", err, orig)
+			}
+			lhs = append(lhs, rp)
+		}
+	}
+	sortRels(lhs)
+
+	// Key form: "KEY of C(<path>)".
+	if strings.HasPrefix(rest, "KEY") {
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, "KEY"))
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, "of"))
+		class, err := parseClass(rest, orig)
+		if err != nil {
+			return FD{}, false, err
+		}
+		if len(lhs) == 0 {
+			return FD{}, false, fmt.Errorf("core: a Key needs a non-empty LHS: %q", orig)
+		}
+		return FD{Class: class, LHS: lhs}, true, nil
+	}
+
+	// FD form: "-> <path> w.r.t. C(<path>)".
+	if !strings.HasPrefix(rest, "->") {
+		return FD{}, false, fmt.Errorf("core: expected '->' or 'KEY' after LHS in %q", orig)
+	}
+	rest = strings.TrimSpace(rest[2:])
+	fields := strings.Fields(rest)
+	if len(fields) < 3 || fields[1] != "w.r.t." {
+		return FD{}, false, fmt.Errorf("core: expected '<rhs> w.r.t. C(<path>)' in %q", orig)
+	}
+	rhs := schema.RelPath(fields[0])
+	if err := checkRelPath(rhs); err != nil {
+		return FD{}, false, fmt.Errorf("core: %v in %q", err, orig)
+	}
+	class, err := parseClass(strings.Join(fields[2:], " "), orig)
+	if err != nil {
+		return FD{}, false, err
+	}
+	inter := false
+	for _, p := range lhs {
+		if strings.HasPrefix(string(p), "..") {
+			inter = true
+		}
+	}
+	return FD{Class: class, LHS: lhs, RHS: rhs, Inter: inter}, false, nil
+}
+
+func parseClass(s, orig string) (schema.Path, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "C(") || !strings.HasSuffix(s, ")") {
+		return "", fmt.Errorf("core: expected 'C(<path>)', got %q in %q", s, orig)
+	}
+	p := schema.Path(s[2 : len(s)-1])
+	if !p.IsValid() {
+		return "", fmt.Errorf("core: invalid class path %q in %q", p, orig)
+	}
+	return p, nil
+}
+
+// checkRelPath validates the syntactic shape of a pivot-relative
+// path: ".", "./a/b", or one or more leading ".." steps followed by
+// labels.
+func checkRelPath(r schema.RelPath) error {
+	s := string(r)
+	if s == "" {
+		return fmt.Errorf("empty path")
+	}
+	if s == "." {
+		return nil
+	}
+	steps := strings.Split(s, "/")
+	if steps[0] != "." && steps[0] != ".." {
+		return fmt.Errorf("relative path %q must start with '.' or '..'", r)
+	}
+	seenLabel := false
+	for i, st := range steps {
+		switch st {
+		case "":
+			return fmt.Errorf("empty step in %q", r)
+		case ".":
+			if i != 0 {
+				return fmt.Errorf("'.' only valid as the first step in %q", r)
+			}
+		case "..":
+			if seenLabel {
+				return fmt.Errorf("'..' after a label in %q", r)
+			}
+			if i != 0 && steps[i-1] == "." {
+				return fmt.Errorf("'..' cannot follow '.' in %q", r)
+			}
+		default:
+			seenLabel = true
+		}
+	}
+	if steps[0] == "." && !seenLabel {
+		return fmt.Errorf("path %q names no element", r)
+	}
+	return nil
+}

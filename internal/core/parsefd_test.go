@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"discoverxfd/internal/relation"
+)
+
+func TestParseFDRoundTrip(t *testing.T) {
+	inputs := []string{
+		"{./ISBN} -> ./title w.r.t. C(/warehouse/state/store/book)",
+		"{../contact/name, ./ISBN} -> ./price w.r.t. C(/warehouse/state/store/book)",
+		"{./author, ./title} -> ./ISBN w.r.t. C(/warehouse/state/store/book)",
+		"{../../rname, ../sname, ./kind} -> ./rack w.r.t. C(/org/region/site/machine)",
+		"{.} -> ./x w.r.t. C(/a/b)",
+		"{..} -> ./x w.r.t. C(/a/b)",
+	}
+	for _, in := range inputs {
+		fd, err := ParseFD(in)
+		if err != nil {
+			t.Fatalf("ParseFD(%q): %v", in, err)
+		}
+		if fd.String() != in {
+			t.Errorf("round trip: %q -> %q", in, fd.String())
+		}
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	in := "{./ISBN, ./title} KEY of C(/w/s/b)"
+	c, err := ParseConstraint(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsKey || c.String() != in {
+		t.Fatalf("key round trip: %q -> %q (isKey=%v)", in, c.String(), c.IsKey)
+	}
+	if _, err := ParseFD(in); err == nil {
+		t.Fatal("ParseFD must reject a Key spec")
+	}
+}
+
+func TestParseConstraintErrors(t *testing.T) {
+	bad := []struct{ in, sub string }{
+		{"", "must start with '{'"},
+		{"{./a -> ./b w.r.t. C(/x)", "unterminated"},
+		{"{./a} => ./b w.r.t. C(/x)", "expected '->'"},
+		{"{./a} -> ./b wrt C(/x)", "w.r.t."},
+		{"{./a} -> ./b w.r.t. /x", "C(<path>)"},
+		{"{./a} -> ./b w.r.t. C(x)", "invalid class path"},
+		{"{a/b} -> ./b w.r.t. C(/x)", "must start with"},
+		{"{./a/../b} -> ./c w.r.t. C(/x)", "after a label"},
+		{"{.//a} -> ./b w.r.t. C(/x)", "empty step"},
+		{"{} KEY of C(/x)", "non-empty LHS"},
+		{"{./a} -> . w.r.t. C(/x)", ""}, // "." RHS is legal
+	}
+	for _, c := range bad {
+		_, err := ParseConstraint(c.in)
+		if c.sub == "" {
+			if err != nil {
+				t.Errorf("ParseConstraint(%q) unexpected error: %v", c.in, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("ParseConstraint(%q) error %v, want substring %q", c.in, err, c.sub)
+		}
+	}
+}
+
+func TestParseConstraintsFile(t *testing.T) {
+	text := `
+# warehouse constraints
+{./ISBN} -> ./title w.r.t. C(/warehouse/state/store/book)
+
+{./contact} KEY of C(/warehouse/state/store)
+`
+	cs, err := ParseConstraints(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 || cs[0].IsKey || !cs[1].IsKey {
+		t.Fatalf("parsed: %v", cs)
+	}
+	if _, err := ParseConstraints("{bad"); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("line numbers missing from error: %v", err)
+	}
+}
+
+// TestParsedConstraintsEvaluate ensures parsed constraints plug
+// straight into the evaluator.
+func TestParsedConstraintsEvaluate(t *testing.T) {
+	h := buildWarehouse(t, relation.Options{})
+	cs, err := ParseConstraints(`
+{./ISBN} -> ./title w.r.t. C(/warehouse/state/store/book)
+{../contact/name, ./ISBN} -> ./price w.r.t. C(/warehouse/state/store/book)
+{./contact} KEY of C(/warehouse/state/store)
+{./ISBN} -> ./price w.r.t. C(/warehouse/state/store/book)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHolds := []bool{true, true, true, false}
+	for i, c := range cs {
+		rhs := c.FD.RHS
+		if c.IsKey {
+			rel := h.ByPivot(c.FD.Class)
+			rhs = rel.Attrs[0].Rel
+		}
+		ev, err := Evaluate(h, c.FD.Class, c.FD.LHS, rhs)
+		if err != nil {
+			t.Fatalf("evaluate %s: %v", c, err)
+		}
+		holds := ev.Holds
+		if c.IsKey {
+			holds = ev.LHSIsKey
+		}
+		if holds != wantHolds[i] {
+			t.Errorf("%s: holds=%v, want %v", c, holds, wantHolds[i])
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/relation"
+	"discoverxfd/internal/schema"
+	"discoverxfd/internal/xmlgen"
+)
+
+func datatreeParse(xml string) (*datatree.Tree, error) { return datatree.ParseXMLString(xml) }
+
+func schemaParse(text string) *schema.Schema { return schema.MustParse(text) }
+
+// TestStatsConsistency sanity-checks the instrumentation: counters
+// non-negative and internally consistent, times non-negative, tuple
+// counts matching the hierarchy.
+func TestStatsConsistency(t *testing.T) {
+	ds := xmlgen.PSD(xmlgen.DefaultPSD())
+	h, err := relation.Build(ds.Tree, ds.Schema, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discover(h, Options{PropagatePartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Relations != len(h.EssentialRelations()) {
+		t.Errorf("Relations = %d, want %d", st.Relations, len(h.EssentialRelations()))
+	}
+	if st.Tuples != h.TotalTuples() {
+		t.Errorf("Tuples = %d, want %d", st.Tuples, h.TotalTuples())
+	}
+	if st.NodesVisited <= 0 || st.PartitionsComputed < 0 {
+		t.Errorf("lattice counters wrong: %+v", st)
+	}
+	if st.IntraTime < 0 || st.InterTime < 0 {
+		t.Errorf("negative times: intra=%v inter=%v", st.IntraTime, st.InterTime)
+	}
+	if st.TargetsCreated < 0 || st.TargetsPropagated < 0 || st.TargetsDropped < 0 || st.TargetChecks < 0 {
+		t.Errorf("negative target counters: %+v", st)
+	}
+	// Every reported inter FD requires at least one target check.
+	inter := 0
+	for _, fd := range res.FDs {
+		if fd.Inter {
+			inter++
+		}
+	}
+	if inter > 0 && st.TargetChecks == 0 {
+		t.Errorf("inter FDs without target checks: %+v", st)
+	}
+}
+
+// TestMergeStats checks the parallel-merge accumulator.
+func TestMergeStats(t *testing.T) {
+	a := Stats{Relations: 1, Tuples: 10, NodesVisited: 5, IntraTime: 100, InterTime: 7}
+	b := Stats{Relations: 2, Tuples: 20, NodesVisited: 7, TargetsCreated: 3, IntraTime: 50}
+	mergeStats(&a, &b)
+	if a.Relations != 3 || a.Tuples != 30 || a.NodesVisited != 12 ||
+		a.TargetsCreated != 3 || a.IntraTime != 150 || a.InterTime != 7 {
+		t.Fatalf("mergeStats wrong: %+v", a)
+	}
+}
+
+// TestLargeScaleSmoke runs full discovery on substantially larger
+// documents than the benchmarks use, as an overflow/robustness check
+// (skipped in -short).
+func TestLargeScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	au := xmlgen.DefaultAuction()
+	au.Factor = 32
+	ds := xmlgen.Auction(au)
+	h, err := relation.Build(ds.Tree, ds.Schema, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discover(h, Options{PropagatePartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Tuples != h.TotalTuples() || len(res.FDs) == 0 {
+		t.Fatalf("large run inconsistent: %+v, %d FDs", res.Stats, len(res.FDs))
+	}
+	for _, c := range ds.GroundTruth {
+		if c.Key {
+			continue
+		}
+		if !impliedFD(res, c.Class, c.LHS, c.RHS) {
+			t.Errorf("ground truth lost at scale: %s", c)
+		}
+	}
+}
+
+// TestKeepConstantFDs checks the constant-column policy: an FD with
+// an empty LHS is suppressed by default and reported with the flag.
+func TestKeepConstantFDs(t *testing.T) {
+	tree, err := datatreeParse(`
+<db>
+  <row><a>same</a><b>1</b></row>
+  <row><a>same</a><b>2</b></row>
+  <row><a>same</a><b>3</b></row>
+</db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schemaParse("db: Rcd\n  row: SetOf Rcd\n    a: str\n    b: str")
+	h, err := relation.Build(tree, s, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discover(h, Options{PropagatePartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fd := range res.FDs {
+		if len(fd.LHS) == 0 {
+			t.Fatalf("constant FD reported without the flag: %s", fd)
+		}
+	}
+	res, err = Discover(h, Options{PropagatePartial: true, KeepConstantFDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, fd := range res.FDs {
+		if len(fd.LHS) == 0 && fd.RHS == "./a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("constant column not reported with KeepConstantFDs: %v", res.FDs)
+	}
+}
+
+// TestRedundancyParallelism pins the invariant the JSON writer relies
+// on: Result.Redundancies[i].FD == Result.FDs[i].
+func TestRedundancyParallelism(t *testing.T) {
+	for _, ds := range []xmlgen.Dataset{
+		xmlgen.Warehouse(xmlgen.DefaultWarehouse()),
+		xmlgen.Mondial(xmlgen.DefaultMondial()),
+	} {
+		h, err := relation.Build(ds.Tree, ds.Schema, relation.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Discover(h, Options{PropagatePartial: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.FDs) != len(res.Redundancies) {
+			t.Fatalf("%s: %d FDs vs %d redundancies", ds.Name, len(res.FDs), len(res.Redundancies))
+		}
+		for i := range res.FDs {
+			if res.FDs[i].String() != res.Redundancies[i].FD.String() {
+				t.Fatalf("%s: index %d mismatch: %s vs %s", ds.Name, i, res.FDs[i], res.Redundancies[i].FD)
+			}
+		}
+	}
+}

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"discoverxfd/internal/relation"
+	"discoverxfd/internal/schema"
+)
+
+// mergeStats accumulates per-subtree instrumentation.
+func mergeStats(dst, src *Stats) {
+	dst.Relations += src.Relations
+	dst.Tuples += src.Tuples
+	dst.NodesVisited += src.NodesVisited
+	dst.PartitionsComputed += src.PartitionsComputed
+	dst.TargetsCreated += src.TargetsCreated
+	dst.TargetsPropagated += src.TargetsPropagated
+	dst.TargetsDropped += src.TargetsDropped
+	dst.TargetChecks += src.TargetChecks
+	dst.IntraTime += src.IntraTime
+	dst.InterTime += src.InterTime
+}
+
+// Discover runs the DiscoverXFD algorithm (Figure 9) over the
+// hierarchical representation of a document: a bottom-up traversal of
+// the relation tree that discovers all minimal interesting
+// intra-relation and inter-relation XML FDs and Keys, and derives the
+// data redundancies they indicate (Definition 11).
+func Discover(h *relation.Hierarchy, opts Options) (*Result, error) {
+	return discover(h, opts, true)
+}
+
+// DiscoverIntra runs DiscoverFD (Figure 8) independently on each
+// essential relation: only intra-relation FDs and Keys are found.
+// This is the restriction the paper uses to contrast against full
+// DiscoverXFD (experiment E5).
+func DiscoverIntra(h *relation.Hierarchy, opts Options) (*Result, error) {
+	opts.NoInterRelation = true
+	return discover(h, opts, false)
+}
+
+func discover(h *relation.Hierarchy, opts Options, xfd bool) (*Result, error) {
+	for _, r := range h.Relations {
+		if err := checkWidth(r); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{}
+	depths := relationDepths(h)
+	anyNull := computeAnyNullRows(h)
+	nullsAtOrAbove := make(map[*relation.Relation]bool, len(h.Relations))
+	for _, r := range h.Relations {
+		up := r.Parent != nil && nullsAtOrAbove[r.Parent]
+		here := false
+		for _, b := range anyNull[r] {
+			if b {
+				here = true
+				break
+			}
+		}
+		nullsAtOrAbove[r] = up || here
+	}
+
+	// Post-order traversal: children before parents, so targets flow
+	// upward (Figure 9 lines 5–6). Each call gathers its subtree's
+	// results locally, which makes the parallel mode a pure fan-out:
+	// sibling subtrees share nothing until their parent merges them,
+	// in child order, so output is independent of scheduling.
+	type gathered struct {
+		fds    []FD
+		keys   []Key
+		approx []FD
+		stats  Stats
+		out    []*target
+	}
+	merge := func(g *gathered, o *gathered) {
+		g.fds = append(g.fds, o.fds...)
+		g.keys = append(g.keys, o.keys...)
+		g.approx = append(g.approx, o.approx...)
+		g.out = append(g.out, o.out...)
+		mergeStats(&g.stats, &o.stats)
+	}
+	var visit func(r *relation.Relation) gathered
+	visit = func(r *relation.Relation) gathered {
+		var g gathered
+		if opts.Parallel && len(r.Children) > 1 {
+			results := make([]gathered, len(r.Children))
+			var wg sync.WaitGroup
+			for i, c := range r.Children {
+				wg.Add(1)
+				go func(i int, c *relation.Relation) {
+					defer wg.Done()
+					results[i] = visit(c)
+				}(i, c)
+			}
+			wg.Wait()
+			for i := range results {
+				merge(&g, &results[i])
+			}
+		} else {
+			for _, c := range r.Children {
+				cg := visit(c)
+				merge(&g, &cg)
+			}
+		}
+		incoming := g.out
+		g.out = nil
+		if !r.Essential {
+			// The synthetic root relation has a single tuple; no FD
+			// over it is meaningful and no target can reach it.
+			return g
+		}
+		g.stats.Relations++
+		g.stats.Tuples += r.NRows()
+		lr := &latticeRun{rel: r, opts: &opts, stats: &g.stats, depths: depths, incoming: incoming}
+		if p := r.Parent; p != nil {
+			lr.ni = nullInfo{parentAnyNull: anyNull[p], aboveParent: p.Parent != nil && nullsAtOrAbove[p.Parent]}
+		}
+		lr.run(xfd)
+
+		for _, e := range lr.out.intraFDs {
+			if e.lhs == 0 && !opts.KeepConstantFDs {
+				continue
+			}
+			g.fds = append(g.fds, intraFD(r, e))
+		}
+		for _, k := range lr.out.intraKeys {
+			g.keys = append(g.keys, intraKey(r, k))
+		}
+		g.fds = append(g.fds, lr.out.interFDs...)
+		g.keys = append(g.keys, lr.out.interKeys...)
+		if opts.ApproxError > 0 {
+			g.approx = append(g.approx, lr.discoverApprox(opts.ApproxError)...)
+		}
+		g.out = lr.out.outgoing
+		return g
+	}
+	top := visit(h.Root)
+	res.Stats = top.stats
+	rawFDs := top.fds
+	rawKeys := top.keys
+	rawApprox := top.approx
+
+	fds := minimizeFDs(rawFDs)
+	res.Keys = minimizeKeys(rawKeys)
+	fds = dropSuperkeyLHS(fds, res.Keys)
+	sortKeys(res.Keys)
+
+	// Definition 11: an FD indicates a redundancy iff its LHS is not
+	// a key of the class. Lattice key pruning and the superkey filter
+	// above remove almost all such FDs; a final check against the
+	// independent evaluator (which also provides the witness counts)
+	// guarantees the invariant exactly.
+	res.FDs = res.FDs[:0]
+	res.Redundancies = res.Redundancies[:0]
+	for _, fd := range fds {
+		ev, err := Evaluate(h, fd.Class, fd.LHS, fd.RHS)
+		if err != nil {
+			return nil, err
+		}
+		if ev.LHSIsKey {
+			continue
+		}
+		res.FDs = append(res.FDs, fd)
+		res.Redundancies = append(res.Redundancies, Redundancy{
+			FD:              fd,
+			RedundantValues: ev.Witnesses,
+			Groups:          ev.WitnessGroups,
+		})
+	}
+	sortFDs(res.FDs)
+	sortRedundancies(res.Redundancies)
+
+	if len(rawApprox) > 0 {
+		res.ApproxFDs = minimizeApprox(rawApprox, res.FDs)
+		sortFDs(res.ApproxFDs)
+	}
+	return res, nil
+}
+
+// minimizeApprox removes approximate FDs implied by an exact FD or by
+// another approximate FD with a subset LHS for the same class and
+// RHS, and deduplicates.
+func minimizeApprox(approx, exact []FD) []FD {
+	out := approx[:0]
+	for i, a := range approx {
+		implied := false
+		for _, e := range exact {
+			if e.Class == a.Class && e.RHS == a.RHS && relsSubset(e.LHS, a.LHS) {
+				implied = true
+				break
+			}
+		}
+		if !implied {
+			for j, b := range approx {
+				if i == j || b.Class != a.Class || b.RHS != a.RHS {
+					continue
+				}
+				if relsEqual(a.LHS, b.LHS) {
+					if j < i {
+						implied = true
+						break
+					}
+					continue
+				}
+				if relsSubset(b.LHS, a.LHS) {
+					implied = true
+					break
+				}
+			}
+		}
+		if !implied {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// dropSuperkeyLHS removes FDs whose LHS contains a discovered key of
+// the same class: a superkey LHS satisfies any FD trivially and
+// indicates no redundancy (Definition 11).
+func dropSuperkeyLHS(fds []FD, keys []Key) []FD {
+	out := fds[:0]
+	for _, fd := range fds {
+		super := false
+		for _, k := range keys {
+			if k.Class == fd.Class && relsSubset(k.LHS, fd.LHS) {
+				super = true
+				break
+			}
+		}
+		if !super {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+func sortRedundancies(rs []Redundancy) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i].FD, rs[j].FD
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.RHS != b.RHS {
+			return a.RHS < b.RHS
+		}
+		return joinRels(a.LHS) < joinRels(b.LHS)
+	})
+}
+
+func intraFD(r *relation.Relation, e edge) FD {
+	lhs := make([]schema.RelPath, 0, e.lhs.Size())
+	for _, i := range e.lhs.Attrs() {
+		lhs = append(lhs, r.Attrs[i].Rel)
+	}
+	sortRels(lhs)
+	return FD{Class: r.Pivot, LHS: lhs, RHS: r.Attrs[e.rhs].Rel}
+}
+
+func intraKey(r *relation.Relation, k AttrSet) Key {
+	lhs := make([]schema.RelPath, 0, k.Size())
+	for _, i := range k.Attrs() {
+		lhs = append(lhs, r.Attrs[i].Rel)
+	}
+	sortRels(lhs)
+	return Key{Class: r.Pivot, LHS: lhs}
+}
+
+// computeAnyNullRows reports, per relation and row, whether any
+// column is missing there. Degenerate (same-ancestor) target pairs
+// can only be satisfied vacuously by such a missing value, so rows
+// without any let the algorithm use the paper's fast
+// collapse-to-NULL path.
+func computeAnyNullRows(h *relation.Hierarchy) map[*relation.Relation][]bool {
+	out := make(map[*relation.Relation][]bool, len(h.Relations))
+	for _, r := range h.Relations {
+		rows := make([]bool, r.NRows())
+		for _, col := range r.Cols {
+			for row, code := range col {
+				if relation.IsNull(code) {
+					rows[row] = true
+				}
+			}
+		}
+		out[r] = rows
+	}
+	return out
+}
+
+func relationDepths(h *relation.Hierarchy) map[*relation.Relation]int {
+	d := make(map[*relation.Relation]int, len(h.Relations))
+	var rec func(r *relation.Relation, depth int)
+	rec = func(r *relation.Relation, depth int) {
+		d[r] = depth
+		for _, c := range r.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(h.Root, 0)
+	return d
+}
+
+// minimizeFDs removes duplicates and FDs whose LHS strictly contains
+// another FD's LHS for the same class and RHS. Partial-propagation
+// targets can produce such non-minimal variants when several
+// absorption orders reach the same conclusion.
+func minimizeFDs(fds []FD) []FD {
+	byGoal := make(map[string][]int)
+	keyOf := func(f FD) string { return string(f.Class) + "\x00" + string(f.RHS) }
+	for i, f := range fds {
+		byGoal[keyOf(f)] = append(byGoal[keyOf(f)], i)
+	}
+	keep := make([]bool, len(fds))
+	for _, idxs := range byGoal {
+		for _, i := range idxs {
+			keep[i] = true
+			for _, j := range idxs {
+				if i == j || !keep[i] {
+					continue
+				}
+				if relsEqual(fds[j].LHS, fds[i].LHS) {
+					// Duplicate: keep the first occurrence only.
+					if j < i {
+						keep[i] = false
+					}
+					continue
+				}
+				if relsSubset(fds[j].LHS, fds[i].LHS) {
+					keep[i] = false
+				}
+			}
+		}
+	}
+	var out []FD
+	for i, f := range fds {
+		if keep[i] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// minimizeKeys removes duplicates and keys whose LHS strictly
+// contains another key's LHS for the same class.
+func minimizeKeys(keys []Key) []Key {
+	byClass := make(map[schema.Path][]int)
+	for i, k := range keys {
+		byClass[k.Class] = append(byClass[k.Class], i)
+	}
+	keep := make([]bool, len(keys))
+	for _, idxs := range byClass {
+		for _, i := range idxs {
+			keep[i] = true
+			for _, j := range idxs {
+				if i == j || !keep[i] {
+					continue
+				}
+				if relsEqual(keys[j].LHS, keys[i].LHS) {
+					if j < i {
+						keep[i] = false
+					}
+					continue
+				}
+				if relsSubset(keys[j].LHS, keys[i].LHS) {
+					keep[i] = false
+				}
+			}
+		}
+	}
+	var out []Key
+	for i, k := range keys {
+		if keep[i] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func sortFDs(fds []FD) {
+	sort.Slice(fds, func(i, j int) bool {
+		if fds[i].Class != fds[j].Class {
+			return fds[i].Class < fds[j].Class
+		}
+		if fds[i].RHS != fds[j].RHS {
+			return fds[i].RHS < fds[j].RHS
+		}
+		return joinRels(fds[i].LHS) < joinRels(fds[j].LHS)
+	})
+}
+
+func sortKeys(keys []Key) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Class != keys[j].Class {
+			return keys[i].Class < keys[j].Class
+		}
+		return joinRels(keys[i].LHS) < joinRels(keys[j].LHS)
+	})
+}

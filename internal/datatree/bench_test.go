@@ -1,0 +1,69 @@
+package datatree
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func benchDoc(books int) string {
+	var b strings.Builder
+	b.WriteString("<store>")
+	for i := 0; i < books; i++ {
+		fmt.Fprintf(&b, "<book><isbn>%d</isbn><author>A%d</author><author>B%d</author><title>T%d</title></book>",
+			i, i%20, i%17, i%50)
+	}
+	b.WriteString("</store>")
+	return b.String()
+}
+
+func BenchmarkParseXML(b *testing.B) {
+	doc := benchDoc(1000)
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseXMLString(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeTree(b *testing.B) {
+	tr, err := ParseXMLString(benchDoc(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var e Encoder
+		e.Encode(tr.Root)
+	}
+}
+
+func BenchmarkInferSchema(b *testing.B) {
+	tr, err := ParseXMLString(benchDoc(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := InferSchema(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteXML(b *testing.B) {
+	tr, err := ParseXMLString(benchDoc(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.XMLString()
+	}
+}

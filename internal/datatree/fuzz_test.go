@@ -1,0 +1,60 @@
+package datatree
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseXML asserts that arbitrary input never panics the parser,
+// and that anything it accepts survives a serialize→parse round trip
+// under node-value equality.
+func FuzzParseXML(f *testing.F) {
+	seeds := []string{
+		"<a/>",
+		"<a><b>1</b><b>2</b></a>",
+		`<a x="1">t<b/>u</a>`,
+		"<a><b></a>",
+		"<?xml version=\"1.0\"?><r><x>&amp;</x></r>",
+		"<a>" + strings.Repeat("<b>v</b>", 50) + "</a>",
+		"not xml",
+		"<a>\x00</a>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseXMLString(input)
+		if err != nil {
+			return
+		}
+		out := tr.XMLString()
+		tr2, err := ParseXMLString(out)
+		if err != nil {
+			t.Fatalf("accepted input failed to round trip: %v\ninput: %q\nout: %q", err, input, out)
+		}
+		if !NodeValueEqual(tr.Root, tr2.Root) {
+			t.Fatalf("round trip changed the tree\ninput: %q\nfirst:\n%s\nsecond:\n%s", input, tr, tr2)
+		}
+	})
+}
+
+// FuzzInferConform asserts that a schema inferred from any parseable
+// document accepts that document.
+func FuzzInferConform(f *testing.F) {
+	f.Add("<a><b>1</b><b>x</b><c><d/></c></a>")
+	f.Add("<r><x>1.5</x><x>2</x></r>")
+	f.Add("<p>text <b>bold</b></p>")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseXMLString(input)
+		if err != nil {
+			return
+		}
+		s, err := InferSchema(tr)
+		if err != nil {
+			t.Fatalf("inference failed on parseable document: %v\n%q", err, input)
+		}
+		if err := Conform(tr, s); err != nil {
+			t.Fatalf("document rejected by its inferred schema: %v\n%q", err, input)
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package datatree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"discoverxfd/internal/schema"
+)
+
+// InferSchema derives a schema (Definition 1) from a data tree. The
+// inference follows the conventions of the paper's data model:
+//
+//   - an element is a set element (SetOf) if any parent node in the
+//     data has two or more children with its label;
+//   - an element that ever has element children is a record (Choice
+//     types are not inferable from a single document and are inferred
+//     as Rcd — a Choice instance conforms to the corresponding Rcd
+//     with missing elements);
+//   - a leaf element's simple type is the most specific of int, float,
+//     str that all its observed values parse as; elements observed
+//     only without values default to str.
+//
+// The resulting schema is guaranteed to accept the tree it was
+// inferred from (see Conform).
+func InferSchema(t *Tree) (*schema.Schema, error) {
+	if t == nil || t.Root == nil {
+		return nil, fmt.Errorf("datatree: cannot infer schema from empty tree")
+	}
+	type info struct {
+		set      bool
+		complex_ bool
+		sawInt   bool
+		sawFloat bool
+		sawStr   bool
+		sawAny   bool
+		children map[string]bool
+		order    []string
+	}
+	infos := make(map[schema.Path]*info)
+	get := func(p schema.Path) *info {
+		in := infos[p]
+		if in == nil {
+			in = &info{children: make(map[string]bool)}
+			infos[p] = in
+		}
+		return in
+	}
+
+	var rec func(n *Node, p schema.Path)
+	rec = func(n *Node, p schema.Path) {
+		in := get(p)
+		counts := make(map[string]int)
+		for _, c := range n.Children {
+			counts[c.Label]++
+			if !in.children[c.Label] {
+				in.children[c.Label] = true
+				in.order = append(in.order, c.Label)
+			}
+		}
+		if len(n.Children) > 0 {
+			in.complex_ = true
+		}
+		for label, cnt := range counts {
+			if cnt > 1 {
+				get(p.Child(label)).set = true
+			}
+		}
+		if n.HasValue {
+			in.sawAny = true
+			v := strings.TrimSpace(n.Value)
+			if _, err := strconv.ParseInt(v, 10, 64); err == nil {
+				in.sawInt = true
+			} else if _, err := strconv.ParseFloat(v, 64); err == nil {
+				in.sawFloat = true
+			} else {
+				in.sawStr = true
+			}
+		}
+		for _, c := range n.Children {
+			rec(c, p.Child(c.Label))
+		}
+	}
+	rootPath := schema.PathOf(t.Root.Label)
+	rec(t.Root, rootPath)
+
+	var build func(p schema.Path) *schema.Type
+	build = func(p schema.Path) *schema.Type {
+		in := infos[p]
+		var t *schema.Type
+		if in.complex_ {
+			fields := make([]schema.Field, 0, len(in.order))
+			for _, label := range in.order {
+				fields = append(fields, schema.F(label, build(p.Child(label))))
+			}
+			t = schema.Rcd(fields...)
+		} else {
+			switch {
+			case in.sawStr || !in.sawAny:
+				t = schema.Simple(schema.String)
+			case in.sawFloat:
+				t = schema.Simple(schema.Float)
+			case in.sawInt:
+				t = schema.Simple(schema.Int)
+			default:
+				t = schema.Simple(schema.String)
+			}
+		}
+		if in.set {
+			t = schema.SetOf(t)
+		}
+		return t
+	}
+	return schema.New(t.Root.Label, build(rootPath))
+}
+
+// Conform checks that the tree conforms to the schema: every node's
+// label is declared at its path, non-set elements occur at most once
+// per parent, Choice elements have at most one alternative present,
+// leaf values parse as their declared simple type, and complex nodes
+// do not carry direct values. It returns the first violation found,
+// or nil.
+func Conform(t *Tree, s *schema.Schema) error {
+	if t == nil || t.Root == nil {
+		return fmt.Errorf("datatree: empty tree")
+	}
+	if t.Root.Label != s.Root {
+		return fmt.Errorf("datatree: root label %q does not match schema root %q", t.Root.Label, s.Root)
+	}
+	var rec func(n *Node, el schema.Element) error
+	rec = func(n *Node, el schema.Element) error {
+		switch el.Payload.Kind {
+		case schema.String, schema.Int, schema.Float:
+			if len(n.Children) > 0 {
+				return fmt.Errorf("datatree: node %s[%d] declared %s but has children",
+					n.Path(), n.Key, el.Payload.Kind)
+			}
+			if !n.HasValue {
+				// An empty element of simple type is a missing value;
+				// tolerated (strong-satisfaction null).
+				return nil
+			}
+			v := strings.TrimSpace(n.Value)
+			switch el.Payload.Kind {
+			case schema.Int:
+				if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+					return fmt.Errorf("datatree: node %s[%d]: value %q is not an int", n.Path(), n.Key, n.Value)
+				}
+			case schema.Float:
+				if _, err := strconv.ParseFloat(v, 64); err != nil {
+					return fmt.Errorf("datatree: node %s[%d]: value %q is not a float", n.Path(), n.Key, n.Value)
+				}
+			}
+			return nil
+		case schema.Record, schema.Choice:
+			if n.HasValue {
+				return fmt.Errorf("datatree: complex node %s[%d] carries a direct value %q (mixed content must use %s)",
+					n.Path(), n.Key, n.Value, TextLabel)
+			}
+			declared := make(map[string]schema.Field, len(el.Payload.Fields))
+			for _, f := range el.Payload.Fields {
+				declared[f.Label] = f
+			}
+			counts := make(map[string]int)
+			present := 0
+			for _, c := range n.Children {
+				f, ok := declared[c.Label]
+				if !ok {
+					return fmt.Errorf("datatree: node %s[%d]: undeclared child %q", n.Path(), n.Key, c.Label)
+				}
+				counts[c.Label]++
+				if counts[c.Label] == 1 {
+					present++
+				}
+				if counts[c.Label] > 1 && f.Type.Kind != schema.Set {
+					return fmt.Errorf("datatree: node %s[%d]: non-set child %q occurs %d times",
+						n.Path(), n.Key, c.Label, counts[c.Label])
+				}
+				childEl := schema.Element{
+					Path: el.Path.Child(c.Label), Label: c.Label, Type: f.Type,
+				}
+				childEl.Payload = f.Type
+				if f.Type.Kind == schema.Set {
+					childEl.Repeatable = true
+					childEl.Payload = f.Type.Elem
+				}
+				if err := rec(c, childEl); err != nil {
+					return err
+				}
+			}
+			if el.Payload.Kind == schema.Choice && present > 1 {
+				return fmt.Errorf("datatree: node %s[%d]: Choice element has %d alternatives present",
+					n.Path(), n.Key, present)
+			}
+			return nil
+		default:
+			return fmt.Errorf("datatree: unknown schema kind at %s", el.Path)
+		}
+	}
+	rootEl, err := s.Resolve(schema.PathOf(s.Root))
+	if err != nil {
+		return err
+	}
+	return rec(t.Root, rootEl)
+}
+
+func pathOf(p string) schema.Path { return schema.Path(p) }

@@ -1,0 +1,128 @@
+package datatree
+
+import (
+	"strings"
+	"testing"
+
+	"discoverxfd/internal/schema"
+)
+
+func TestInferSchemaSetness(t *testing.T) {
+	tr := parse(t, `
+<w>
+  <s><b>1</b></s>
+  <s><b>2</b><b>3</b></s>
+  <only>x</only>
+</w>`)
+	s, err := InferSchema(tr)
+	if err != nil {
+		t.Fatalf("infer: %v", err)
+	}
+	if !s.MustResolve("/w/s").Repeatable {
+		t.Error("s repeats under w and must be inferred as a set element")
+	}
+	if !s.MustResolve("/w/s/b").Repeatable {
+		t.Error("b repeats under one s and must be a set element (global per path)")
+	}
+	if s.MustResolve("/w/only").Repeatable {
+		t.Error("only never repeats and must not be a set element")
+	}
+}
+
+func TestInferSchemaLeafTypes(t *testing.T) {
+	tr := parse(t, `
+<r>
+  <row><i>42</i><f>3.5</f><mix>10</mix><s>hello</s></row>
+  <row><i>-7</i><f>2</f><mix>1.5</mix><s>12x</s></row>
+</r>`)
+	s, err := InferSchema(tr)
+	if err != nil {
+		t.Fatalf("infer: %v", err)
+	}
+	want := map[schema.Path]schema.Kind{
+		"/r/row/i":   schema.Int,
+		"/r/row/f":   schema.Float,
+		"/r/row/mix": schema.Float, // int and float values widen to float
+		"/r/row/s":   schema.String,
+	}
+	for p, k := range want {
+		if got := s.MustResolve(p).Payload.Kind; got != k {
+			t.Errorf("%s inferred as %v, want %v", p, got, k)
+		}
+	}
+}
+
+func TestInferredSchemaAcceptsItsDocument(t *testing.T) {
+	docs := []string{
+		bookXML,
+		`<a><b x="1">t</b><b x="2"><c>u</c><c>v</c></b></a>`,
+		`<p>hello <b>world</b></p>`,
+	}
+	for _, d := range docs {
+		tr := parse(t, d)
+		s, err := InferSchema(tr)
+		if err != nil {
+			t.Fatalf("infer(%q): %v", d, err)
+		}
+		if err := Conform(tr, s); err != nil {
+			t.Errorf("document does not conform to its inferred schema: %v\ndoc: %s", err, d)
+		}
+	}
+}
+
+func TestConformViolations(t *testing.T) {
+	s := schema.MustParse(`
+store: Rcd
+  book: SetOf Rcd
+    isbn: int
+    title: str
+`)
+	cases := []struct {
+		name, xml, wantSub string
+	}{
+		{"wrong root", `<shop/>`, "root label"},
+		{"undeclared child", `<store><book><isbn>1</isbn><extra>x</extra></book></store>`, "undeclared child"},
+		{"non-set repeated", `<store><book><isbn>1</isbn><isbn>2</isbn></book></store>`, "occurs 2 times"},
+		{"bad int", `<store><book><isbn>abc</isbn></book></store>`, "not an int"},
+		{"leaf with children", `<store><book><title><x>1</x></title></book></store>`, "has children"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr := parse(t, c.xml)
+			err := Conform(tr, s)
+			if err == nil {
+				t.Fatalf("expected violation containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+	// Valid instances, including missing optional leaves and empty sets.
+	good := []string{
+		`<store><book><isbn>1</isbn><title>T</title></book></store>`,
+		`<store><book><isbn>1</isbn></book><book><title>U</title></book></store>`,
+		`<store/>`,
+	}
+	for _, x := range good {
+		tr := parse(t, x)
+		if err := Conform(tr, s); err != nil {
+			t.Errorf("valid document rejected: %v\n%s", err, x)
+		}
+	}
+}
+
+func TestConformChoice(t *testing.T) {
+	s := schema.MustParse(`
+r: Rcd
+  c: Choice
+    a: str
+    b: str
+`)
+	if err := Conform(parse(t, `<r><c><a>1</a></c></r>`), s); err != nil {
+		t.Errorf("one alternative should conform: %v", err)
+	}
+	if err := Conform(parse(t, `<r><c><a>1</a><b>2</b></c></r>`), s); err == nil {
+		t.Error("two alternatives of a Choice must be rejected")
+	}
+}

@@ -1,0 +1,111 @@
+package datatree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// StreamRootChildren parses an XML document and delivers each direct
+// child of the root element — including the root's attributes, which
+// the data model represents as "@name" leaf children — as a completed
+// subtree to fn, in document order, without retaining the whole tree.
+// Each delivered node has correct Parent/Children links within its
+// subtree but no pre-order key (the caller assigns identities).
+// Memory stays proportional to the largest single child subtree.
+//
+// It returns the root element's label. A non-nil error from fn aborts
+// the parse and is returned verbatim.
+func StreamRootChildren(r io.Reader, fn func(child *Node) error) (string, error) {
+	dec := xml.NewDecoder(r)
+	rootLabel := ""
+	sawRoot := false
+	var stack []*Node // depth-1 subtree under construction (stack[0] is the child)
+	var texts []*strings.Builder
+	depth := 0 // 0 = before/after root, 1 = inside root
+
+	emit := func(n *Node) error { return fn(n) }
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return rootLabel, fmt.Errorf("datatree: XML parse error: %w", err)
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			if !sawRoot {
+				sawRoot = true
+				rootLabel = tk.Name.Local
+				depth = 1
+				for _, a := range tk.Attr {
+					if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+						continue
+					}
+					leaf := &Node{Label: "@" + a.Name.Local, Value: a.Value, HasValue: true}
+					if err := emit(leaf); err != nil {
+						return rootLabel, err
+					}
+				}
+				continue
+			}
+			if depth == 0 {
+				return rootLabel, fmt.Errorf("datatree: multiple root elements (%q and %q)", rootLabel, tk.Name.Local)
+			}
+			n := &Node{Label: tk.Name.Local}
+			for _, a := range tk.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				n.AddLeaf("@"+a.Name.Local, a.Value)
+			}
+			if len(stack) > 0 {
+				p := stack[len(stack)-1]
+				n.Parent = p
+				p.Children = append(p.Children, n)
+			}
+			stack = append(stack, n)
+			texts = append(texts, &strings.Builder{})
+		case xml.EndElement:
+			if len(stack) == 0 {
+				// Closing the root element.
+				depth = 0
+				continue
+			}
+			n := stack[len(stack)-1]
+			text := strings.TrimSpace(texts[len(texts)-1].String())
+			stack = stack[:len(stack)-1]
+			texts = texts[:len(texts)-1]
+			if text != "" {
+				if len(n.Children) == 0 {
+					n.Value = text
+					n.HasValue = true
+				} else {
+					n.AddLeaf(TextLabel, text)
+				}
+			}
+			if len(stack) == 0 {
+				if err := emit(n); err != nil {
+					return rootLabel, err
+				}
+			}
+		case xml.CharData:
+			if len(texts) > 0 {
+				texts[len(texts)-1].Write(tk)
+			}
+			// Root-level character data is ignored, matching ParseXML's
+			// treatment of mixed content at the root for documents whose
+			// root has element children.
+		}
+	}
+	if !sawRoot {
+		return rootLabel, fmt.Errorf("datatree: document has no root element")
+	}
+	if len(stack) != 0 {
+		return rootLabel, fmt.Errorf("datatree: unexpected EOF inside element %q", stack[len(stack)-1].Label)
+	}
+	return rootLabel, nil
+}

@@ -1,0 +1,132 @@
+package datatree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStreamRootChildren(t *testing.T) {
+	xml := `<root version="2"><a>1</a><b><c>x</c><c>y</c></b><a>2</a></root>`
+	var got []string
+	label, err := StreamRootChildren(strings.NewReader(xml), func(child *Node) error {
+		switch {
+		case child.HasValue:
+			got = append(got, child.Label+"="+child.Value)
+		default:
+			got = append(got, child.Label+"/"+child.Children[0].Label)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "root" {
+		t.Fatalf("root label %q", label)
+	}
+	want := []string{"@version=2", "a=1", "b/c", "a=2"}
+	if len(got) != len(want) {
+		t.Fatalf("children: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("children: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStreamRootChildrenSubtreesComplete(t *testing.T) {
+	xml := `<r><g><x a="1">v</x><y>w<z>deep</z></y></g></r>`
+	var g *Node
+	if _, err := StreamRootChildren(strings.NewReader(xml), func(c *Node) error {
+		g = c
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if g == nil || g.Label != "g" || len(g.Children) != 2 {
+		t.Fatalf("subtree wrong: %+v", g)
+	}
+	x := g.Child("x")
+	if x.Child("@a") == nil || x.Child(TextLabel) == nil {
+		t.Fatalf("attribute/mixed handling wrong: %+v", x)
+	}
+	y := g.Child("y")
+	if y.Child("z") == nil || y.Child("z").Value != "deep" || y.Child(TextLabel).Value != "w" {
+		t.Fatalf("nested content wrong: %+v", y)
+	}
+	if y.Parent != g || y.Child("z").Parent != y {
+		t.Fatal("parent links broken")
+	}
+}
+
+func TestStreamRootChildrenErrors(t *testing.T) {
+	for _, bad := range []string{"", "<a><b></a>", "<a></a><b/>", "junk"} {
+		if _, err := StreamRootChildren(strings.NewReader(bad), func(*Node) error { return nil }); err == nil {
+			t.Errorf("StreamRootChildren(%q) should fail", bad)
+		}
+	}
+	// Callback errors abort and propagate.
+	_, err := StreamRootChildren(strings.NewReader("<r><a/><b/></r>"), func(c *Node) error {
+		if c.Label == "b" {
+			return strings.NewReader("").UnreadByte() // any error will do
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("callback error must propagate")
+	}
+}
+
+// TestStreamMatchesParse checks that streaming delivers exactly the
+// children the full parser would produce, per node-value equality.
+func TestStreamMatchesParse(t *testing.T) {
+	xml := `<store id="s"><book><isbn>1</isbn><author>B</author><author>A</author></book><note>n</note></store>`
+	full, err := ParseXMLString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []*Node
+	if _, err := StreamRootChildren(strings.NewReader(xml), func(c *Node) error {
+		streamed = append(streamed, c)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(full.Root.Children) {
+		t.Fatalf("child counts: %d vs %d", len(streamed), len(full.Root.Children))
+	}
+	var e Encoder
+	for i := range streamed {
+		if e.Encode(streamed[i]) != e.Encode(full.Root.Children[i]) {
+			t.Fatalf("child %d differs:\n%v\nvs\n%v", i, streamed[i], full.Root.Children[i])
+		}
+	}
+}
+
+func TestEncoderForget(t *testing.T) {
+	var e Encoder
+	tr := parse(t, `<a><b>1</b></a>`)
+	before := e.Encode(tr.Root)
+	e.Forget(tr.Root)
+	// Codes stay stable after forgetting (interning persists).
+	if e.Encode(tr.Root) != before {
+		t.Fatal("Forget must not change canonical codes")
+	}
+}
+
+func TestMultisetOfCodes(t *testing.T) {
+	var e Encoder
+	a := e.MultisetOfCodes([]int{3, 1, 2})
+	b := e.MultisetOfCodes([]int{2, 3, 1})
+	c := e.MultisetOfCodes([]int{1, 2})
+	if a != b || a == c {
+		t.Fatalf("MultisetOfCodes: %d %d %d", a, b, c)
+	}
+}
+
+func TestIsLeaf(t *testing.T) {
+	tr := parse(t, `<a><b>1</b></a>`)
+	if tr.Root.IsLeaf() || !tr.Root.Child("b").IsLeaf() {
+		t.Fatal("IsLeaf wrong")
+	}
+}

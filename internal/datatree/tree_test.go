@@ -1,0 +1,186 @@
+package datatree
+
+import (
+	"strings"
+	"testing"
+)
+
+const bookXML = `
+<store id="s1">
+  <book><isbn>1</isbn><author>A</author><author>B</author></book>
+  <book><isbn>2</isbn><author>B</author><author>A</author></book>
+</store>`
+
+func parse(t *testing.T, xml string) *Tree {
+	t.Helper()
+	tr, err := ParseXMLString(xml)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return tr
+}
+
+func TestParseXMLStructure(t *testing.T) {
+	tr := parse(t, bookXML)
+	if tr.Root.Label != "store" {
+		t.Fatalf("root label %q", tr.Root.Label)
+	}
+	// Attribute becomes a child node labeled "@id".
+	id := tr.Root.Child("@id")
+	if id == nil || id.Value != "s1" || !id.HasValue {
+		t.Fatalf("@id child missing or wrong: %+v", id)
+	}
+	books := tr.Root.ChildrenLabeled("book")
+	if len(books) != 2 {
+		t.Fatalf("want 2 books, got %d", len(books))
+	}
+	if got := len(books[0].ChildrenLabeled("author")); got != 2 {
+		t.Fatalf("want 2 authors, got %d", got)
+	}
+	if isbn := books[0].Child("isbn"); isbn == nil || isbn.Value != "1" {
+		t.Fatalf("isbn wrong: %+v", isbn)
+	}
+}
+
+func TestPreOrderKeys(t *testing.T) {
+	tr := parse(t, bookXML)
+	var keys []int
+	tr.Root.Walk(func(n *Node) bool {
+		keys = append(keys, n.Key)
+		return true
+	})
+	for i, k := range keys {
+		if k != i+1 {
+			t.Fatalf("pre-order keys not sequential: %v", keys)
+		}
+	}
+	if tr.Size() != len(keys) {
+		t.Fatalf("Size()=%d, nodes=%d", tr.Size(), len(keys))
+	}
+}
+
+func TestNodePath(t *testing.T) {
+	tr := parse(t, bookXML)
+	book := tr.Root.ChildrenLabeled("book")[1]
+	if book.Path() != "/store/book" {
+		t.Fatalf("Path = %s", book.Path())
+	}
+	author := book.ChildrenLabeled("author")[0]
+	if author.Path() != "/store/book/author" {
+		t.Fatalf("Path = %s", author.Path())
+	}
+}
+
+func TestNodesAt(t *testing.T) {
+	tr := parse(t, bookXML)
+	if got := len(tr.NodesAt("/store/book/author")); got != 4 {
+		t.Fatalf("NodesAt authors = %d, want 4", got)
+	}
+	if got := len(tr.NodesAt("/store/nothing")); got != 0 {
+		t.Fatalf("NodesAt missing = %d, want 0", got)
+	}
+	if got := len(tr.NodesAt("/wrongroot")); got != 0 {
+		t.Fatalf("NodesAt wrong root = %d, want 0", got)
+	}
+}
+
+func TestNodeByKey(t *testing.T) {
+	tr := parse(t, bookXML)
+	for _, want := range []int{1, 3, 5, tr.Size()} {
+		n := tr.NodeByKey(want)
+		if n == nil || n.Key != want {
+			t.Fatalf("NodeByKey(%d) = %+v", want, n)
+		}
+	}
+	if tr.NodeByKey(999) != nil {
+		t.Fatal("NodeByKey(999) should be nil")
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	tr := parse(t, bookXML)
+	out := tr.XMLString()
+	tr2, err := ParseXMLString(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if !NodeValueEqual(tr.Root, tr2.Root) {
+		t.Fatalf("round trip changed the tree:\n%s\nvs\n%s", tr, tr2)
+	}
+}
+
+func TestXMLEscaping(t *testing.T) {
+	tr := NewTree(&Node{Label: "r"})
+	tr.Root.AddLeaf("v", `<&>"quoted"`)
+	tr.Root.AddLeaf("@a", `x<&>"y"`)
+	tr.Renumber()
+	out := tr.XMLString()
+	tr2, err := ParseXMLString(out)
+	if err != nil {
+		t.Fatalf("re-parse escaped: %v\n%s", err, out)
+	}
+	if tr2.Root.Child("v").Value != `<&>"quoted"` {
+		t.Fatalf("value escaping lost: %q", tr2.Root.Child("v").Value)
+	}
+	if tr2.Root.Child("@a").Value != `x<&>"y"` {
+		t.Fatalf("attr escaping lost: %q", tr2.Root.Child("@a").Value)
+	}
+}
+
+func TestMixedContent(t *testing.T) {
+	tr := parse(t, `<p>hello <b>world</b></p>`)
+	if txt := tr.Root.Child(TextLabel); txt == nil || txt.Value != "hello" {
+		t.Fatalf("@text child missing: %v", tr)
+	}
+	// An element with only text becomes a leaf with a value.
+	if b := tr.Root.Child("b"); b == nil || !b.HasValue || b.Value != "world" {
+		t.Fatalf("text-only element should be a leaf: %+v", tr.Root.Child("b"))
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<a><b></a>",
+		"<a></a><b></b>",
+		"not xml at all",
+	}
+	for _, x := range bad {
+		if _, err := ParseXMLString(x); err == nil {
+			t.Errorf("ParseXMLString(%q) should fail", x)
+		}
+	}
+}
+
+func TestSortChildrenDeterministic(t *testing.T) {
+	tr := parse(t, `<r><b>2</b><a>1</a><b>3</b></r>`)
+	tr.SortChildren()
+	labels := make([]string, 0, 3)
+	for _, c := range tr.Root.Children {
+		labels = append(labels, c.Label)
+	}
+	if strings.Join(labels, "") != "abb" {
+		t.Fatalf("SortChildren order: %v", labels)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tr := parse(t, `<r><x>1</x></r>`)
+	s := tr.String()
+	if !strings.Contains(s, "r[1]") || !strings.Contains(s, `x[2]="1"`) {
+		t.Fatalf("debug rendering unexpected:\n%s", s)
+	}
+}
+
+func TestRenumberAfterEdit(t *testing.T) {
+	tr := parse(t, `<r><x>1</x></r>`)
+	tr.Root.AddLeaf("y", "2")
+	tr.Renumber()
+	if tr.Size() != 3 {
+		t.Fatalf("Size after edit = %d", tr.Size())
+	}
+	y := tr.Root.Child("y")
+	if y.Key != 3 || y.Parent != tr.Root {
+		t.Fatalf("Renumber did not fix key/parent: %+v", y)
+	}
+}

@@ -1,0 +1,171 @@
+package datatree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TextLabel is the label under which a single text chunk of a
+// mixed-content element is stored, per the paper's Section 2.1
+// convention ("we store it under a distinct new @text").
+const TextLabel = "@text"
+
+// ParseXML reads an XML document from r and builds the corresponding
+// data tree. XML attributes become leaf children labeled "@name".
+// For an element containing both child elements and character data,
+// the concatenated text (whitespace-trimmed) is stored as a leaf
+// child labeled @text if non-empty; an element with character data
+// only becomes a leaf node carrying that value. Element order is
+// preserved in the tree but carries no semantics in the data model.
+func ParseXML(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	var texts []*strings.Builder
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("datatree: XML parse error: %w", err)
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Label: tk.Name.Local}
+			for _, a := range tk.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				n.AddLeaf("@"+a.Name.Local, a.Value)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("datatree: multiple root elements (%q and %q)", root.Label, n.Label)
+				}
+				root = n
+			} else {
+				p := stack[len(stack)-1]
+				n.Parent = p
+				p.Children = append(p.Children, n)
+			}
+			stack = append(stack, n)
+			texts = append(texts, &strings.Builder{})
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("datatree: unbalanced end element %q", tk.Name.Local)
+			}
+			n := stack[len(stack)-1]
+			text := strings.TrimSpace(texts[len(texts)-1].String())
+			stack = stack[:len(stack)-1]
+			texts = texts[:len(texts)-1]
+			if text != "" {
+				if len(n.Children) == 0 {
+					n.Value = text
+					n.HasValue = true
+				} else {
+					n.AddLeaf(TextLabel, text)
+				}
+			}
+		case xml.CharData:
+			if len(texts) > 0 {
+				texts[len(texts)-1].Write(tk)
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("datatree: document has no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("datatree: unexpected EOF inside element %q", stack[len(stack)-1].Label)
+	}
+	return NewTree(root), nil
+}
+
+// ParseXMLString is ParseXML over a string.
+func ParseXMLString(s string) (*Tree, error) {
+	return ParseXML(strings.NewReader(s))
+}
+
+// WriteXML serializes the tree as an XML document. Children labeled
+// "@name" are emitted as attributes of their parent; "@text" children
+// are emitted as character data. Output is indented for readability.
+func (t *Tree) WriteXML(w io.Writer) error {
+	if t.Root == nil {
+		return fmt.Errorf("datatree: empty tree")
+	}
+	bw := &errWriter{w: w}
+	io.WriteString(bw, xml.Header)
+	writeNode(bw, t.Root, 0)
+	return bw.err
+}
+
+// XMLString returns the XML serialization of the tree.
+func (t *Tree) XMLString() string {
+	var b strings.Builder
+	t.WriteXML(&b)
+	return b.String()
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+func writeNode(w io.Writer, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(w, "%s<%s", indent, n.Label)
+	var elems []*Node
+	var text *Node
+	for _, c := range n.Children {
+		switch {
+		case c.Label == TextLabel:
+			text = c
+		case strings.HasPrefix(c.Label, "@"):
+			fmt.Fprintf(w, " %s=\"%s\"", c.Label[1:], escapeAttr(c.Value))
+		default:
+			elems = append(elems, c)
+		}
+	}
+	switch {
+	case n.HasValue:
+		fmt.Fprintf(w, ">%s</%s>\n", escapeText(n.Value), n.Label)
+	case len(elems) == 0 && text == nil:
+		fmt.Fprintf(w, "/>\n")
+	default:
+		fmt.Fprintf(w, ">")
+		if text != nil {
+			fmt.Fprintf(w, "%s", escapeText(text.Value))
+		}
+		fmt.Fprintf(w, "\n")
+		for _, c := range elems {
+			writeNode(w, c, depth+1)
+		}
+		fmt.Fprintf(w, "%s</%s>\n", indent, n.Label)
+	}
+}
+
+func escapeText(s string) string {
+	var b strings.Builder
+	xml.EscapeText(&b, []byte(s))
+	return b.String()
+}
+
+func escapeAttr(s string) string {
+	// xml.EscapeText also escapes quotes, which is sufficient for
+	// attribute values emitted with %q above; strip the quoting done
+	// by EscapeText of newlines etc. is not needed — just reuse it.
+	return escapeText(s)
+}

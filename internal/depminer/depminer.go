@@ -1,0 +1,230 @@
+// Package depminer implements a Dep-Miner-style relational FD
+// discoverer (Lopes, Petit & Lakhal), the second of the three
+// partition/agree-set systems the paper cites alongside TANE and FUN.
+// Where TANE walks the attribute-set lattice top-down with
+// partitions, Dep-Miner works from *agree sets*: for every tuple
+// pair, the set of attributes on which the pair agrees; a minimal FD
+// X → A is exactly a minimal transversal of the complements of the
+// maximal agree sets that exclude A.
+//
+// The package exists as an independent oracle: two structurally
+// different algorithms must produce identical minimal covers on any
+// relation (see TestDepMinerMatchesLattice), which guards the lattice
+// implementation far better than example-based tests. Pair
+// enumeration is the straightforward O(n²) variant — adequate for an
+// oracle; the production path remains the lattice.
+package depminer
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"discoverxfd/internal/core"
+	"discoverxfd/internal/relation"
+)
+
+// attrSet mirrors core.AttrSet locally (≤64 attributes).
+type attrSet uint64
+
+func (s attrSet) has(i int) bool          { return s&(1<<uint(i)) != 0 }
+func (s attrSet) contains(t attrSet) bool { return s&t == t }
+func (s attrSet) size() int               { return bits.OnesCount64(uint64(s)) }
+
+// Result is the minimal cover Dep-Miner computes for one relation.
+type Result struct {
+	// FDs are the minimal satisfied FDs, including constant columns
+	// (empty LHS) and FDs whose LHS is a key; callers filter by
+	// policy.
+	FDs []core.FD
+	// Keys are the minimal keys.
+	Keys []core.Key
+	// MaxAgreeSets counts the maximal agree sets (instrumentation).
+	MaxAgreeSets int
+}
+
+// Discover runs the agree-set algorithm on a single relation.
+// Relations wider than 64 attributes are rejected like the lattice.
+func Discover(rel *relation.Relation) (*Result, error) {
+	m := rel.NAttrs()
+	if m > 64 {
+		return nil, fmt.Errorf("depminer: relation %s has %d attributes; at most 64 are supported", rel.Pivot, m)
+	}
+	n := rel.NRows()
+	res := &Result{}
+
+	// 1. Agree sets over all tuple pairs. Nulls (negative codes)
+	// agree with nothing, matching strong satisfaction.
+	seen := make(map[attrSet]bool)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var ag attrSet
+			for a := 0; a < m; a++ {
+				ci, cj := rel.Cols[a][i], rel.Cols[a][j]
+				if ci >= 0 && ci == cj {
+					ag |= 1 << uint(a)
+				}
+			}
+			seen[ag] = true
+		}
+	}
+	if n < 2 {
+		// No pairs: every attribute set is vacuously a key and every
+		// FD holds; report the empty-LHS cover and single-attribute
+		// keys... by convention the lattice reports nothing here, so
+		// neither do we.
+		return res, nil
+	}
+
+	agree := make([]attrSet, 0, len(seen))
+	for s := range seen {
+		agree = append(agree, s)
+	}
+
+	// 2. Keys: minimal transversals of the complements of the
+	// globally maximal agree sets (a key must distinguish every pair;
+	// a dominated agree set imposes a weaker requirement, so global
+	// maximality is sound here).
+	globalMax := maximal(agree)
+	res.MaxAgreeSets = len(globalMax)
+
+	all := attrSet(0)
+	for a := 0; a < m; a++ {
+		all |= 1 << uint(a)
+	}
+	var keyEdges []attrSet
+	for _, s := range globalMax {
+		keyEdges = append(keyEdges, all&^s)
+	}
+	for _, k := range transversals(keyEdges, all) {
+		res.Keys = append(res.Keys, mkKey(rel, k))
+	}
+
+	// 3. FDs: per RHS attribute A, the violator sets are the agree
+	// sets that EXCLUDE A, and maximality must be taken among those —
+	// a set dominated by a superset that contains A still violates A
+	// (this per-RHS filtering is Dep-Miner's max(dep) step). The
+	// minimal LHSs are the minimal transversals of the violators'
+	// complements within attrs \ {A}.
+	for a := 0; a < m; a++ {
+		universe := all &^ (1 << uint(a))
+		var violators []attrSet
+		for _, s := range agree {
+			if !s.has(a) {
+				violators = append(violators, s)
+			}
+		}
+		violators = maximal(violators)
+		var edges []attrSet
+		impossible := false
+		for _, s := range violators {
+			e := universe &^ s
+			if e == 0 {
+				// A pair agrees on everything except A: nothing can
+				// determine A.
+				impossible = true
+				break
+			}
+			edges = append(edges, e)
+		}
+		if impossible {
+			continue
+		}
+		for _, lhs := range transversals(edges, universe) {
+			res.FDs = append(res.FDs, mkFD(rel, lhs, a))
+		}
+	}
+	return res, nil
+}
+
+// maximal keeps only the subset-maximal sets.
+func maximal(sets []attrSet) []attrSet {
+	sorted := make([]attrSet, len(sets))
+	copy(sorted, sets)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].size() > sorted[j].size() })
+	var out []attrSet
+	for _, s := range sorted {
+		dominated := false
+		for _, t := range out {
+			if t.contains(s) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// transversals computes the minimal hitting sets of the edges within
+// the universe, by incremental extension with minimality pruning. The
+// empty edge list yields the single empty transversal.
+func transversals(edges []attrSet, universe attrSet) []attrSet {
+	cur := []attrSet{0}
+	for _, e := range edges {
+		e &= universe
+		var next []attrSet
+		for _, t := range cur {
+			if t&e != 0 {
+				next = append(next, t)
+				continue
+			}
+			for a := 0; a < 64; a++ {
+				if !e.has(a) {
+					continue
+				}
+				next = append(next, t|1<<uint(a))
+			}
+		}
+		cur = minimalOnly(next)
+	}
+	return minimalOnly(cur)
+}
+
+// minimalOnly removes duplicates and supersets.
+func minimalOnly(sets []attrSet) []attrSet {
+	sort.Slice(sets, func(i, j int) bool {
+		if sets[i].size() != sets[j].size() {
+			return sets[i].size() < sets[j].size()
+		}
+		return sets[i] < sets[j]
+	})
+	var out []attrSet
+	for _, s := range sets {
+		keep := true
+		for _, t := range out {
+			if s == t || s.contains(t) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func mkFD(rel *relation.Relation, lhs attrSet, rhs int) core.FD {
+	fd := core.FD{Class: rel.Pivot, RHS: rel.Attrs[rhs].Rel}
+	for a := 0; a < rel.NAttrs(); a++ {
+		if lhs.has(a) {
+			fd.LHS = append(fd.LHS, rel.Attrs[a].Rel)
+		}
+	}
+	sort.Slice(fd.LHS, func(i, j int) bool { return fd.LHS[i] < fd.LHS[j] })
+	return fd
+}
+
+func mkKey(rel *relation.Relation, lhs attrSet) core.Key {
+	k := core.Key{Class: rel.Pivot}
+	for a := 0; a < rel.NAttrs(); a++ {
+		if lhs.has(a) {
+			k.LHS = append(k.LHS, rel.Attrs[a].Rel)
+		}
+	}
+	sort.Slice(k.LHS, func(i, j int) bool { return k.LHS[i] < k.LHS[j] })
+	return k
+}

@@ -1,0 +1,261 @@
+// Package flat implements the flat representation of an XML document
+// (the paper's Section 4.1, Figure 5): the single relation of fully
+// unnested tree tuples in the sense of Arenas & Libkin, with one
+// column per schema element. Leaf columns hold dictionary-encoded
+// values; complex columns hold the node key of the chosen node,
+// exactly as Figure 5 shows; missing elements get unique null codes
+// (strong satisfaction).
+//
+// The flat representation is the substrate for the baseline the paper
+// contrasts DiscoverXFD against: running a relational FD discovery
+// algorithm (TANE-style DiscoverFD) over the unnested relation. Its
+// two deficiencies motivate the paper's design — the tuple count
+// grows multiplicatively with unrelated set elements, and FDs over
+// set elements are not expressible — and the experiment harness (E3)
+// measures both.
+package flat
+
+import (
+	"fmt"
+
+	"discoverxfd/internal/core"
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/relation"
+	"discoverxfd/internal/schema"
+)
+
+// Table is the flat relation.
+type Table struct {
+	// Columns lists the schema element paths, one per column, in
+	// schema walk order (the root element is column 0).
+	Columns []schema.Path
+	// Cols holds the code matrix, Cols[c][row]; codes < 0 are nulls.
+	Cols [][]int64
+	// NRows is the number of flat tuples.
+	NRows int
+	// Schema is the schema the table was built against.
+	Schema *schema.Schema
+}
+
+// nullSentinel marks a missing value during construction; a post-pass
+// rewrites each occurrence to a unique negative code.
+const nullSentinel = int64(-1)
+
+// CountRows computes the number of flat tuples of the document
+// without materializing them — the product, over every branching set
+// element, of its member counts. Used by experiment E3 to report the
+// multiplicative blow-up even at sizes that are impractical to build.
+func CountRows(t *datatree.Tree, s *schema.Schema) (int64, error) {
+	rootEl, err := s.Resolve(schema.PathOf(s.Root))
+	if err != nil {
+		return 0, err
+	}
+	var count func(n *datatree.Node, el schema.Element) int64
+	count = func(n *datatree.Node, el schema.Element) int64 {
+		if el.Payload.Kind.IsSimple() {
+			return 1
+		}
+		total := int64(1)
+		for _, f := range el.Payload.Fields {
+			childEl := fieldElement(el, f)
+			if f.Type.Kind == schema.Set {
+				var members []*datatree.Node
+				if n != nil {
+					members = n.ChildrenLabeled(f.Label)
+				}
+				if len(members) == 0 {
+					continue // one all-null fragment
+				}
+				sum := int64(0)
+				for _, m := range members {
+					sum += count(m, childEl)
+				}
+				total *= sum
+			} else {
+				var child *datatree.Node
+				if n != nil {
+					child = n.Child(f.Label)
+				}
+				total *= count(child, childEl)
+			}
+			if total < 0 {
+				return 1 << 62 // overflow guard
+			}
+		}
+		return total
+	}
+	return count(t.Root, rootEl), nil
+}
+
+// Build materializes the flat relation. maxRows guards against the
+// multiplicative blow-up: if the tuple count would exceed it, Build
+// fails (0 means 1<<20).
+func Build(t *datatree.Tree, s *schema.Schema, maxRows int64) (*Table, error) {
+	if maxRows <= 0 {
+		maxRows = 1 << 20
+	}
+	n, err := CountRows(t, s)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxRows {
+		return nil, fmt.Errorf("flat: document unnests to %d tuples, above the cap of %d", n, maxRows)
+	}
+
+	// Column layout: pre-order walk; each element owns a contiguous
+	// span [start(e), end(e)) of columns covering itself and its
+	// descendants.
+	var columns []schema.Path
+	start := make(map[schema.Path]int)
+	end := make(map[schema.Path]int)
+	var layout func(el schema.Element)
+	layout = func(el schema.Element) {
+		start[el.Path] = len(columns)
+		columns = append(columns, el.Path)
+		if el.Payload.Kind == schema.Record || el.Payload.Kind == schema.Choice {
+			for _, f := range el.Payload.Fields {
+				layout(fieldElement(el, f))
+			}
+		}
+		end[el.Path] = len(columns)
+	}
+	rootEl, err := s.Resolve(schema.PathOf(s.Root))
+	if err != nil {
+		return nil, err
+	}
+	layout(rootEl)
+
+	dicts := make([]map[string]int64, len(columns))
+	for i := range dicts {
+		dicts[i] = make(map[string]int64)
+	}
+
+	// expand returns the row fragments for the span of el, given the
+	// single chosen node for el (nil = missing).
+	var expand func(n *datatree.Node, el schema.Element) [][]int64
+	expand = func(n *datatree.Node, el schema.Element) [][]int64 {
+		width := end[el.Path] - start[el.Path]
+		if n == nil {
+			frag := make([]int64, width)
+			for i := range frag {
+				frag[i] = nullSentinel
+			}
+			return [][]int64{frag}
+		}
+		var self int64
+		if el.Payload.Kind.IsSimple() {
+			if n.HasValue {
+				d := dicts[start[el.Path]]
+				code, ok := d[n.Value]
+				if !ok {
+					code = int64(len(d) + 1)
+					d[n.Value] = code
+				}
+				self = code
+			} else {
+				self = nullSentinel
+			}
+			return [][]int64{{self}}
+		}
+		self = int64(n.Key) // complex columns hold node keys (Figure 5)
+		frags := [][]int64{{self}}
+		for _, f := range el.Payload.Fields {
+			childEl := fieldElement(el, f)
+			var alternatives [][]int64
+			if f.Type.Kind == schema.Set {
+				for _, m := range n.ChildrenLabeled(f.Label) {
+					alternatives = append(alternatives, expand(m, childEl)...)
+				}
+				if len(alternatives) == 0 {
+					alternatives = expand(nil, childEl)
+				}
+			} else {
+				alternatives = expand(n.Child(f.Label), childEl)
+			}
+			next := make([][]int64, 0, len(frags)*len(alternatives))
+			for _, base := range frags {
+				for _, alt := range alternatives {
+					row := make([]int64, 0, len(base)+len(alt))
+					row = append(row, base...)
+					row = append(row, alt...)
+					next = append(next, row)
+				}
+			}
+			frags = next
+		}
+		return frags
+	}
+
+	rows := expand(t.Root, rootEl)
+	tbl := &Table{Columns: columns, NRows: len(rows), Schema: s}
+	tbl.Cols = make([][]int64, len(columns))
+	for c := range columns {
+		col := make([]int64, len(rows))
+		for r, row := range rows {
+			v := row[c]
+			if v == nullSentinel {
+				// Unique null per cell: strong satisfaction.
+				v = -int64(r)*int64(len(columns)) - int64(c) - 1
+			}
+			col[r] = v
+		}
+		tbl.Cols[c] = col
+	}
+	return tbl, nil
+}
+
+func fieldElement(parent schema.Element, f schema.Field) schema.Element {
+	el := schema.Element{
+		Path:    parent.Path.Child(f.Label),
+		Label:   f.Label,
+		Type:    f.Type,
+		Payload: f.Type,
+	}
+	if f.Type.Kind == schema.Set {
+		el.Repeatable = true
+		el.Payload = f.Type.Elem
+	}
+	return el
+}
+
+// AsRelation wraps the table as a single relation so the DiscoverFD
+// lattice can run on it. Attribute relative paths are the absolute
+// element paths re-rooted at the document root.
+func (tb *Table) AsRelation() *relation.Relation {
+	rootPath := schema.PathOf(tb.Schema.Root)
+	attrs := make([]relation.Attr, 0, len(tb.Columns)-1)
+	cols := make([][]int64, 0, len(tb.Columns)-1)
+	for i, p := range tb.Columns {
+		if i == 0 {
+			continue // the root column is constant; it is the pivot
+		}
+		attrs = append(attrs, relation.Attr{
+			Rel:  schema.MustRelativize(rootPath, p),
+			Path: p,
+			Kind: relation.Leaf,
+		})
+		cols = append(cols, tb.Cols[i])
+	}
+	keys := make([]int, tb.NRows)
+	parents := make([]int32, tb.NRows)
+	for i := range keys {
+		keys[i] = i + 1
+		parents[i] = -1
+	}
+	return &relation.Relation{
+		Pivot:     rootPath,
+		Essential: true,
+		Attrs:     attrs,
+		Cols:      cols,
+		Keys:      keys,
+		ParentIdx: parents,
+	}
+}
+
+// Discover runs the TANE-style DiscoverFD baseline over the flat
+// relation. It fails when the schema has more than 64 element paths
+// (the lattice's bitset limit) — itself a symptom of the
+// schema-width problem the paper's Section 4.1 describes.
+func (tb *Table) Discover(opts core.Options) ([]core.FD, []core.Key, core.Stats, error) {
+	return core.DiscoverRelation(tb.AsRelation(), opts)
+}

@@ -1,0 +1,221 @@
+package flat
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"discoverxfd/internal/core"
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/schema"
+)
+
+var s = schema.MustParse(`
+store: Rcd
+  name: str
+  book: SetOf Rcd
+    isbn: str
+    author: SetOf str
+  review: SetOf str
+`)
+
+func parse(t *testing.T, xml string) *datatree.Tree {
+	t.Helper()
+	tr, err := datatree.ParseXMLString(xml)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return tr
+}
+
+const doc = `
+<store>
+  <name>S</name>
+  <book><isbn>1</isbn><author>A</author><author>B</author></book>
+  <book><isbn>2</isbn><author>C</author></book>
+  <review>good</review>
+  <review>bad</review>
+  <review>ugly</review>
+</store>`
+
+// TestCountRowsMultiplicative checks the Section 4.1 blow-up: tree
+// tuples multiply across unrelated set elements — (2+1) author
+// choices times 3 review choices.
+func TestCountRowsMultiplicative(t *testing.T) {
+	tr := parse(t, doc)
+	n, err := CountRows(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// books contribute (2 authors) + (1 author) = 3 book-tuples;
+	// reviews contribute 3; total 3 * 3 = 9.
+	if n != 9 {
+		t.Fatalf("CountRows = %d, want 9", n)
+	}
+}
+
+func TestBuildMatchesCount(t *testing.T) {
+	tr := parse(t, doc)
+	tbl, err := Build(tr, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := CountRows(tr, s)
+	if int64(tbl.NRows) != n {
+		t.Fatalf("Build rows %d != CountRows %d", tbl.NRows, n)
+	}
+	// Columns: store, name, book, isbn, author, review = 6.
+	if len(tbl.Columns) != 6 {
+		t.Fatalf("columns: %v", tbl.Columns)
+	}
+}
+
+func TestBuildRespectsCap(t *testing.T) {
+	tr := parse(t, doc)
+	if _, err := Build(tr, s, 5); err == nil || !strings.Contains(err.Error(), "above the cap") {
+		t.Fatalf("expected cap error, got %v", err)
+	}
+}
+
+// TestFlatTupleSemantics checks the Figure 5 structure: each flat
+// tuple picks one node per schema element; complex columns carry node
+// keys; missing picks are unique nulls.
+func TestFlatTupleSemantics(t *testing.T) {
+	tr := parse(t, `
+<store>
+  <name>S</name>
+  <book><isbn>1</isbn><author>A</author></book>
+  <book><isbn>2</isbn></book>
+</store>`)
+	tbl, err := Build(tr, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NRows != 2 {
+		t.Fatalf("rows = %d, want 2 (review missing contributes one null fragment)", tbl.NRows)
+	}
+	col := func(p schema.Path) []int64 {
+		for i, c := range tbl.Columns {
+			if c == p {
+				return tbl.Cols[i]
+			}
+		}
+		t.Fatalf("no column %s", p)
+		return nil
+	}
+	// name column is the same (shared) value in both tuples.
+	name := col("/store/name")
+	if name[0] != name[1] {
+		t.Fatalf("shared name must have equal codes: %v", name)
+	}
+	// The second book has no author: unique null.
+	author := col("/store/book/author")
+	if author[0] < 0 || author[1] >= 0 {
+		t.Fatalf("author column: %v", author)
+	}
+	// review is missing entirely: both tuples have (distinct) nulls.
+	review := col("/store/review")
+	if review[0] >= 0 || review[1] >= 0 || review[0] == review[1] {
+		t.Fatalf("missing reviews must be unique nulls: %v", review)
+	}
+	// book column carries node keys (positive, distinct).
+	book := col("/store/book")
+	if book[0] <= 0 || book[1] <= 0 || book[0] == book[1] {
+		t.Fatalf("book column must carry distinct node keys: %v", book)
+	}
+}
+
+// TestFlatDiscoverFindsIntraFDs runs the TANE baseline over a small
+// relation-like document and checks it finds the obvious FD while
+// being structurally unable to express set-element FDs.
+func TestFlatDiscoverFindsIntraFDs(t *testing.T) {
+	s2 := schema.MustParse(`
+db: Rcd
+  row: SetOf Rcd
+    a: str
+    b: str
+`)
+	tr := parse(t, `
+<db>
+  <row><a>1</a><b>x</b></row>
+  <row><a>1</a><b>x</b></row>
+  <row><a>2</a><b>y</b></row>
+</db>`)
+	tbl, err := Build(tr, s2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fds, keys, stats, err := tbl.Discover(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tuples != 3 {
+		t.Fatalf("tuples = %d", stats.Tuples)
+	}
+	found := false
+	for _, fd := range fds {
+		if string(fd.RHS) == "./row/b" && len(fd.LHS) == 1 && string(fd.LHS[0]) == "./row/a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("TANE baseline should find a -> b; got %v", fds)
+	}
+	// No discovered FD may mention a set *collection*: the flat
+	// representation has no such column.
+	for _, fd := range append([]core.FD(nil), fds...) {
+		for _, p := range append(fd.LHS, fd.RHS) {
+			if strings.HasSuffix(string(p), "/row") {
+				t.Fatalf("flat discovery produced a set-collection path: %v", fd)
+			}
+		}
+	}
+	_ = keys
+}
+
+// TestFlatCannotSeeSetFDs demonstrates the semantic gap of Section
+// 2.3: two books with equal author sets in different orders violate
+// flat-column agreement, so isbn -> author is NOT found flat, while
+// the set-aware hierarchical machinery finds it.
+func TestFlatCannotSeeSetFDs(t *testing.T) {
+	tr := parse(t, `
+<store>
+  <name>S</name>
+  <book><isbn>1</isbn><author>A</author><author>B</author></book>
+  <book><isbn>1</isbn><author>B</author><author>A</author></book>
+</store>`)
+	tbl, err := Build(tr, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fds, _, _, err := tbl.Discover(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fd := range fds {
+		if string(fd.RHS) == "./book/author" && len(fd.LHS) == 1 && string(fd.LHS[0]) == "./book/isbn" {
+			t.Fatalf("flat representation must not capture the set FD isbn -> author (it compares single author nodes)")
+		}
+	}
+}
+
+// TestFlatDiscoverWidthGuard checks the 64-attribute bitset limit is
+// enforced rather than silently wrapping.
+func TestFlatDiscoverWidthGuard(t *testing.T) {
+	text := "t: Rcd\n  r: SetOf Rcd\n"
+	xml := "<t><r>"
+	for i := 0; i < 70; i++ {
+		text += fmt.Sprintf("    a%d: str\n", i)
+		xml += fmt.Sprintf("<a%d>v</a%d>", i, i)
+	}
+	xml += "</r><r><a0>w</a0></r></t>"
+	s70 := schema.MustParse(text)
+	tr := parse(t, xml)
+	tbl, err := Build(tr, s70, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := tbl.Discover(core.Options{}); err == nil || !strings.Contains(err.Error(), "at most 64") {
+		t.Fatalf("expected width error, got %v", err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package fun implements a FUN-style relational FD discoverer
+// (Novelli & Cicchetti), the third of the three systems the paper
+// cites alongside TANE and Dep-Miner. Where TANE compares striped
+// partitions and Dep-Miner inverts agree sets, FUN works purely from
+// *cardinalities* — the number of distinct value combinations of an
+// attribute set — over the lattice of *free sets*:
+//
+//   - X → a holds  iff  card(X ∪ {a}) = card(X);
+//   - X is free    iff  card(X) > card(X \ {b}) for every b ∈ X
+//     (a non-free X has a bijective proper subset and can never be a
+//     minimal LHS);
+//   - X → a is minimal iff it holds, X is free, and it fails for
+//     every maximal proper subset of X (monotonicity covers the rest);
+//   - X is a key   iff  card(X) = number of tuples.
+//
+// Missing values carry unique negative codes, so they count as
+// pairwise-distinct combinations — the same strong-satisfaction
+// semantics the partition machinery uses. Like internal/depminer,
+// the package is an independent oracle: three structurally different
+// algorithms must produce the same minimal cover on any relation.
+package fun
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+
+	"discoverxfd/internal/core"
+	"discoverxfd/internal/relation"
+)
+
+type attrSet uint64
+
+func (s attrSet) has(i int) bool { return s&(1<<uint(i)) != 0 }
+func (s attrSet) size() int      { return bits.OnesCount64(uint64(s)) }
+
+// Result is the minimal cover FUN computes for one relation.
+type Result struct {
+	// FDs are the minimal satisfied FDs, including constants (empty
+	// LHS) and FDs with key LHSs; callers filter by policy.
+	FDs []core.FD
+	// Keys are the minimal keys.
+	Keys []core.Key
+	// FreeSets counts the free sets visited (instrumentation).
+	FreeSets int
+}
+
+// Discover runs the cardinality algorithm on a single relation.
+func Discover(rel *relation.Relation) (*Result, error) {
+	m := rel.NAttrs()
+	if m > 64 {
+		return nil, fmt.Errorf("fun: relation %s has %d attributes; at most 64 are supported", rel.Pivot, m)
+	}
+	n := rel.NRows()
+	res := &Result{}
+	if n < 2 {
+		return res, nil
+	}
+
+	cards := map[attrSet]int{0: min(n, 1)}
+	if n > 0 {
+		cards[0] = 1
+	}
+	card := func(x attrSet) int {
+		if c, ok := cards[x]; ok {
+			return c
+		}
+		seen := make(map[string]bool, n)
+		var sb strings.Builder
+		for t := 0; t < n; t++ {
+			sb.Reset()
+			for a := 0; a < m; a++ {
+				if x.has(a) {
+					sb.WriteString(strconv.FormatInt(rel.Cols[a][t], 10))
+					sb.WriteByte('|')
+				}
+			}
+			seen[sb.String()] = true
+		}
+		cards[x] = len(seen)
+		return len(seen)
+	}
+
+	isFree := func(x attrSet) bool {
+		cx := card(x)
+		for a := 0; a < m; a++ {
+			if x.has(a) && card(x&^(1<<uint(a))) == cx {
+				return false
+			}
+		}
+		return true
+	}
+	holds := func(x attrSet, a int) bool {
+		return card(x|1<<uint(a)) == card(x)
+	}
+
+	// Level-wise enumeration of free sets. Supersets of keys are also
+	// pruned: a key's supersets are never free (their cardinality
+	// cannot exceed n = card(key)).
+	level := []attrSet{0}
+	var keys []attrSet
+	seenSet := map[attrSet]bool{0: true}
+	for len(level) > 0 {
+		var next []attrSet
+		for _, x := range level {
+			res.FreeSets++
+			// Minimal FDs with LHS x.
+			for a := 0; a < m; a++ {
+				if x.has(a) || !holds(x, a) {
+					continue
+				}
+				minimal := true
+				for b := 0; b < m && minimal; b++ {
+					if x.has(b) && holds(x&^(1<<uint(b)), a) {
+						minimal = false
+					}
+				}
+				if minimal {
+					res.FDs = append(res.FDs, mkFD(rel, x, a))
+				}
+			}
+			if card(x) == n && x != 0 {
+				keys = append(keys, x)
+				continue // supersets of a key are not free
+			}
+			// Expand to free supersets.
+			for a := x.maxBit() + 1; a < m; a++ {
+				y := x | 1<<uint(a)
+				if seenSet[y] {
+					continue
+				}
+				seenSet[y] = true
+				if isFree(y) {
+					next = append(next, y)
+				}
+			}
+		}
+		level = next
+	}
+
+	// Minimal keys only (free-set pruning already avoids most
+	// supersets; chains through non-free paths can still slip in).
+	sort.Slice(keys, func(i, j int) bool { return keys[i].size() < keys[j].size() })
+	var minKeys []attrSet
+	for _, k := range keys {
+		dominated := false
+		for _, t := range minKeys {
+			if k&t == t {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			minKeys = append(minKeys, k)
+		}
+	}
+	for _, k := range minKeys {
+		res.Keys = append(res.Keys, mkKey(rel, k))
+	}
+	return res, nil
+}
+
+func (s attrSet) maxBit() int {
+	if s == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(uint64(s))
+}
+
+func mkFD(rel *relation.Relation, lhs attrSet, rhs int) core.FD {
+	fd := core.FD{Class: rel.Pivot, RHS: rel.Attrs[rhs].Rel}
+	for a := 0; a < rel.NAttrs(); a++ {
+		if lhs.has(a) {
+			fd.LHS = append(fd.LHS, rel.Attrs[a].Rel)
+		}
+	}
+	sort.Slice(fd.LHS, func(i, j int) bool { return fd.LHS[i] < fd.LHS[j] })
+	return fd
+}
+
+func mkKey(rel *relation.Relation, lhs attrSet) core.Key {
+	k := core.Key{Class: rel.Pivot}
+	for a := 0; a < rel.NAttrs(); a++ {
+		if lhs.has(a) {
+			k.LHS = append(k.LHS, rel.Attrs[a].Rel)
+		}
+	}
+	sort.Slice(k.LHS, func(i, j int) bool { return k.LHS[i] < k.LHS[j] })
+	return k
+}

@@ -1,0 +1,141 @@
+package fun
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"discoverxfd/internal/core"
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/depminer"
+	"discoverxfd/internal/relation"
+	"discoverxfd/internal/schema"
+)
+
+func buildRelation(t *testing.T, seed int64, rows, attrs, domain int) *relation.Relation {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	text := "db: Rcd\n  row: SetOf Rcd\n"
+	for a := 0; a < attrs; a++ {
+		text += fmt.Sprintf("    a%d: str\n", a)
+	}
+	s := schema.MustParse(text)
+	root := &datatree.Node{Label: "db"}
+	for i := 0; i < rows; i++ {
+		row := root.AddChild("row")
+		for a := 0; a < attrs; a++ {
+			if r.Intn(10) == 0 {
+				continue
+			}
+			row.AddLeaf(fmt.Sprintf("a%d", a), fmt.Sprintf("v%d", r.Intn(domain)))
+		}
+	}
+	tree := datatree.NewTree(root)
+	h, err := relation.Build(tree, s, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h.ByPivot("/db/row")
+}
+
+func render(fds []core.FD, keys []core.Key) []string {
+	var out []string
+	for _, f := range fds {
+		out = append(out, f.String())
+	}
+	for _, k := range keys {
+		out = append(out, k.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFUNMatchesDepMiner is the three-way oracle closure: FUN's
+// cardinality cover must equal Dep-Miner's agree-set cover on random
+// relations with nulls (Dep-Miner is itself checked against the TANE
+// lattice, so all three coincide).
+func TestFUNMatchesDepMiner(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rel := buildRelation(t, seed, 4+int(seed)%18, 3+int(seed)%3, 2+int(seed)%3)
+			fn, err := Discover(rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dm, err := depminer.Discover(rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := render(fn.FDs, fn.Keys)
+			want := render(dm.FDs, dm.Keys)
+			if !equal(got, want) {
+				t.Errorf("covers differ\nfun:      %v\ndepminer: %v", got, want)
+			}
+		})
+	}
+}
+
+func TestFUNSmallExample(t *testing.T) {
+	root := &datatree.Node{Label: "db"}
+	for _, vals := range [][3]string{{"1", "x", "p"}, {"1", "x", "q"}, {"2", "y", "p"}} {
+		row := root.AddChild("row")
+		row.AddLeaf("a0", vals[0])
+		row.AddLeaf("a1", vals[1])
+		row.AddLeaf("a2", vals[2])
+	}
+	tree := datatree.NewTree(root)
+	s := schema.MustParse("db: Rcd\n  row: SetOf Rcd\n    a0: str\n    a1: str\n    a2: str")
+	h, err := relation.Build(tree, s, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discover(h.ByPivot("/db/row"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := render(res.FDs, res.Keys)
+	found := 0
+	for _, want := range []string{
+		"{./a0} -> ./a1 w.r.t. C(/db/row)",
+		"{./a1} -> ./a0 w.r.t. C(/db/row)",
+		"{./a0, ./a2} KEY of C(/db/row)",
+		"{./a1, ./a2} KEY of C(/db/row)",
+	} {
+		for _, g := range out {
+			if g == want {
+				found++
+			}
+		}
+	}
+	if found != 4 {
+		t.Fatalf("expected cover missing entries: %v", out)
+	}
+	if res.FreeSets == 0 {
+		t.Fatal("free-set instrumentation missing")
+	}
+}
+
+func TestFUNWidthGuard(t *testing.T) {
+	rel := &relation.Relation{Pivot: "/x"}
+	for i := 0; i < 70; i++ {
+		rel.Attrs = append(rel.Attrs, relation.Attr{Rel: schema.RelPath(fmt.Sprintf("./a%d", i))})
+		rel.Cols = append(rel.Cols, nil)
+	}
+	if _, err := Discover(rel); err == nil {
+		t.Fatal("width guard missing")
+	}
+}

@@ -1,0 +1,108 @@
+package notions
+
+import (
+	"fmt"
+	"strings"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/flat"
+	"discoverxfd/internal/schema"
+)
+
+// MVD is a multivalued dependency X →→ Y over the flat (tree-tuple)
+// representation, with absolute schema paths. The paper's Section 3.1
+// remark 3 observes that FDs whose *set element* appears only on the
+// RHS can be mimicked by an MVD under the earlier tuple-based notion
+// — Constraint 3 becomes ISBN →→ author — while set elements on the
+// LHS (Constraint 4) cannot, because the member values must be
+// considered together. MVDHolds makes the first half of the remark
+// executable; the warehouse tests demonstrate both halves.
+type MVD struct {
+	LHS []schema.Path
+	RHS []schema.Path
+}
+
+func (m MVD) String() string {
+	j := func(ps []schema.Path) string {
+		out := make([]string, len(ps))
+		for i, p := range ps {
+			out[i] = string(p)
+		}
+		return strings.Join(out, ", ")
+	}
+	return fmt.Sprintf("{%s} ->> {%s}", j(m.LHS), j(m.RHS))
+}
+
+// MVDHolds evaluates X →→ Y on the flat representation of the tree:
+// for every X-group, the set of (Y, Z) combinations must equal the
+// cartesian product of the group's Y-combinations and Z-combinations
+// (Z = all remaining columns). Missing values carry unique codes and
+// therefore never match, the same strong semantics used elsewhere.
+// maxRows bounds the unnesting (0 = 1<<20).
+func MVDHolds(t *datatree.Tree, s *schema.Schema, m MVD, maxRows int64) (bool, error) {
+	tbl, err := flat.Build(t, s, maxRows)
+	if err != nil {
+		return false, err
+	}
+	colIdx := make(map[schema.Path]int, len(tbl.Columns))
+	for i, c := range tbl.Columns {
+		colIdx[c] = i
+	}
+	pick := func(ps []schema.Path) ([]int, error) {
+		out := make([]int, 0, len(ps))
+		for _, p := range ps {
+			i, ok := colIdx[p]
+			if !ok {
+				return nil, fmt.Errorf("notions: no column for path %s", p)
+			}
+			out = append(out, i)
+		}
+		return out, nil
+	}
+	x, err := pick(m.LHS)
+	if err != nil {
+		return false, err
+	}
+	y, err := pick(m.RHS)
+	if err != nil {
+		return false, err
+	}
+	inXY := make(map[int]bool)
+	for _, i := range append(append([]int{}, x...), y...) {
+		inXY[i] = true
+	}
+	var z []int
+	for i := 1; i < len(tbl.Columns); i++ { // column 0 is the root
+		if !inXY[i] {
+			z = append(z, i)
+		}
+	}
+
+	sig := func(cols []int, row int) string {
+		var b strings.Builder
+		for _, c := range cols {
+			fmt.Fprintf(&b, "%d|", tbl.Cols[c][row])
+		}
+		return b.String()
+	}
+
+	groups := make(map[string][]int, tbl.NRows)
+	for r := 0; r < tbl.NRows; r++ {
+		groups[sig(x, r)] = append(groups[sig(x, r)], r)
+	}
+	for _, g := range groups {
+		ys := make(map[string]bool)
+		zs := make(map[string]bool)
+		combos := make(map[string]bool)
+		for _, r := range g {
+			sy, sz := sig(y, r), sig(z, r)
+			ys[sy] = true
+			zs[sz] = true
+			combos[sy+"#"+sz] = true
+		}
+		if len(combos) != len(ys)*len(zs) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

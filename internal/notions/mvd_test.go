@@ -1,0 +1,146 @@
+package notions
+
+import (
+	"testing"
+
+	"discoverxfd/internal/core"
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/relation"
+	"discoverxfd/internal/schema"
+)
+
+// TestMVDCapturesSetRHS reproduces the first half of Section 3.1
+// remark 3: Constraint 3 (same ISBN => same author SET), which the
+// plain tree-tuple FD cannot express, *can* be mimicked by the MVD
+// ISBN ->> author over the flat representation — it holds exactly
+// because equal-ISBN books carry equal author sets.
+func TestMVDCapturesSetRHS(t *testing.T) {
+	tr := tree(t)
+	mvd := MVD{LHS: []schema.Path{book + "/ISBN"}, RHS: []schema.Path{book + "/author"}}
+	ok, err := MVDHolds(tr, warehouseSchema, mvd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("ISBN ->> author should hold when author sets agree per ISBN")
+	}
+	// Break the set equality: drop one author from the second copy.
+	bad, err := datatree.ParseXMLString(`
+<warehouse><state><name>WA</name><store>
+  <contact><name>B</name><address>S</address></contact>
+  <book><ISBN>2</ISBN><author>R</author><author>G</author><title>D</title><price>4</price></book>
+  <book><ISBN>2</ISBN><author>R</author><title>D</title><price>4</price></book>
+</store></state></warehouse>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = MVDHolds(bad, warehouseSchema, mvd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("ISBN ->> author must fail when author sets differ for one ISBN")
+	}
+}
+
+// TestMVDCannotCaptureSetLHS reproduces the second half of the
+// remark: Constraint 4 (same author SET + title => same ISBN) holds
+// under the GTT notion, but its closest MVD rendering over the flat
+// representation fails — individual author members associate across
+// different author sets.
+func TestMVDCannotCaptureSetLHS(t *testing.T) {
+	xml := `
+<warehouse><state><name>WA</name><store>
+  <contact><name>B</name><address>S</address></contact>
+  <book><ISBN>1</ISBN><author>A</author><author>B</author><title>T</title><price>5</price></book>
+  <book><ISBN>2</ISBN><author>A</author><title>T</title><price>6</price></book>
+</store></state></warehouse>`
+	tr, err := datatree.ParseXMLString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The set-level constraint holds: {A,B} != {A}, so the two books
+	// need not share an ISBN.
+	h, err := relation.Build(tr, warehouseSchema, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := core.Evaluate(h, book, []schema.RelPath{"./author", "./title"}, "./ISBN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Holds {
+		t.Fatal("the GTT form of Constraint 4 should hold")
+	}
+	// The member-wise MVD rendering fails: author A + title T
+	// associates with both ISBNs.
+	mvd := MVD{
+		LHS: []schema.Path{book + "/author", book + "/title"},
+		RHS: []schema.Path{book + "/ISBN"},
+	}
+	ok, err := MVDHolds(tr, warehouseSchema, mvd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("the member-wise MVD must fail to capture the set-LHS constraint")
+	}
+}
+
+// TestMVDStructural: within one book, author ->> (nothing else
+// varies) trivially; and an engineered product structure satisfies a
+// genuine MVD.
+func TestMVDStructuralProduct(t *testing.T) {
+	s := schema.MustParse(`
+db: Rcd
+  row: SetOf Rcd
+    class: str
+    student: SetOf str
+    text: SetOf str
+`)
+	// Per class, students × texts unnest to a full product: the
+	// classic MVD example (class ->> student | text).
+	tr, err := datatree.ParseXMLString(`
+<db>
+  <row><class>c1</class><student>s1</student><student>s2</student><text>t1</text><text>t2</text></row>
+  <row><class>c2</class><student>s3</student><text>t1</text></row>
+</db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := MVDHolds(tr, s, MVD{LHS: []schema.Path{"/db/row/class"}, RHS: []schema.Path{"/db/row/student"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("class ->> student should hold on the product structure")
+	}
+	// A cross-row violation: the same class listed twice with
+	// different student/text combinations that do not multiply out.
+	bad, err := datatree.ParseXMLString(`
+<db>
+  <row><class>c1</class><student>s1</student><text>t1</text></row>
+  <row><class>c1</class><student>s2</student><text>t2</text></row>
+</db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = MVDHolds(bad, s, MVD{LHS: []schema.Path{"/db/row/class"}, RHS: []schema.Path{"/db/row/student"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("non-product combinations must violate the MVD")
+	}
+}
+
+func TestMVDErrorsAndString(t *testing.T) {
+	tr := tree(t)
+	if _, err := MVDHolds(tr, warehouseSchema, MVD{LHS: []schema.Path{"/nope"}, RHS: []schema.Path{book + "/author"}}, 0); err == nil {
+		t.Fatal("unknown LHS column should error")
+	}
+	m := MVD{LHS: []schema.Path{"/a/x"}, RHS: []schema.Path{"/a/y", "/a/z"}}
+	if m.String() != "{/a/x} ->> {/a/y, /a/z}" {
+		t.Fatalf("String: %q", m.String())
+	}
+}

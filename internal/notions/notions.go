@@ -1,0 +1,202 @@
+// Package notions implements the two earlier XML FD notions the paper
+// compares against in Section 2.3, as independent evaluators:
+//
+//   - the path-based notion of Vincent et al. ("Px1,…,Pxn -> Py" with
+//     absolute paths, target elements implicit in Py, and association
+//     via the longest-common-prefix ancestor), and
+//   - the tree-tuple notion of Arenas & Libkin (FDs over the fully
+//     unnested flat relation of Figure 5).
+//
+// They make the paper's semantic argument executable: the running
+// example's Constraint 3 ("two books with the same ISBN have the same
+// set of authors") is satisfied under the generalized-tree-tuple
+// notion but violated under both earlier notions, because each
+// compares individual author nodes instead of the collection
+// (experiment E10 prints the full comparison table).
+package notions
+
+import (
+	"fmt"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/flat"
+	"discoverxfd/internal/schema"
+)
+
+// PathFD is an FD in the path-based notation: absolute LHS paths and
+// one absolute RHS path.
+type PathFD struct {
+	LHS []schema.Path
+	RHS schema.Path
+}
+
+func (f PathFD) String() string {
+	s := "{"
+	for i, p := range f.LHS {
+		if i > 0 {
+			s += ", "
+		}
+		s += string(p)
+	}
+	return s + "} -> " + string(f.RHS)
+}
+
+// PathBasedHolds evaluates a path-based FD on a tree, following the
+// paper's rendition of the semantics: for any two distinct nodes y1,
+// y2 matching the RHS path, if for every LHS path Pxi some xi node
+// associated with y1 and some associated with y2 are node-value
+// equal, then y1 and y2 are node-value equal. An xi node is
+// associated with a y node iff both descend from the same instance of
+// the longest common prefix of Pxi and the RHS path.
+func PathBasedHolds(t *datatree.Tree, fd PathFD) (bool, error) {
+	ys := t.NodesAt(fd.RHS)
+	var enc datatree.Encoder
+	// Precompute, per y node and per LHS path, the set of associated
+	// xi value codes.
+	assocs := make([]map[int]map[int]bool, len(fd.LHS)) // lhs -> ynode idx -> codes
+	for li, lp := range fd.LHS {
+		common, err := commonPrefix(lp, fd.RHS)
+		if err != nil {
+			return false, err
+		}
+		assocs[li] = make(map[int]map[int]bool, len(ys))
+		for yi, y := range ys {
+			anc, ok := ancestorAt(y, common.Depth())
+			if !ok {
+				return false, fmt.Errorf("notions: %s is not an ancestor depth of %s", common, fd.RHS)
+			}
+			codes := make(map[int]bool)
+			for _, x := range nodesUnder(anc, lp) {
+				codes[enc.Encode(x)] = true
+			}
+			assocs[li][yi] = codes
+		}
+	}
+	for i := 0; i < len(ys); i++ {
+		for j := i + 1; j < len(ys); j++ {
+			matched := true
+			for li := range fd.LHS {
+				if !intersects(assocs[li][i], assocs[li][j]) {
+					matched = false
+					break
+				}
+			}
+			if matched && enc.Encode(ys[i]) != enc.Encode(ys[j]) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func intersects(a, b map[int]bool) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for c := range a {
+		if b[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// commonPrefix returns the longest common step prefix of two paths.
+func commonPrefix(a, b schema.Path) (schema.Path, error) {
+	as, bs := a.Steps(), b.Steps()
+	if len(as) == 0 || len(bs) == 0 || as[0] != bs[0] {
+		return "", fmt.Errorf("notions: paths %s and %s share no root", a, b)
+	}
+	n := 0
+	for n < len(as) && n < len(bs) && as[n] == bs[n] {
+		n++
+	}
+	return schema.PathOf(as[:n]...), nil
+}
+
+// ancestorAt returns the ancestor of n at the given depth (the root
+// has depth 1).
+func ancestorAt(n *datatree.Node, depth int) (*datatree.Node, bool) {
+	var chain []*datatree.Node
+	for m := n; m != nil; m = m.Parent {
+		chain = append(chain, m)
+	}
+	// chain[len-1] is the root at depth 1.
+	idx := len(chain) - depth
+	if idx < 0 || idx >= len(chain) {
+		return nil, false
+	}
+	return chain[idx], true
+}
+
+// nodesUnder returns the nodes matching the absolute path p within
+// the subtree rooted at anc (whose own path must be a prefix of p).
+func nodesUnder(anc *datatree.Node, p schema.Path) []*datatree.Node {
+	steps := p.Steps()
+	depth := anc.Path().Depth()
+	cur := []*datatree.Node{anc}
+	for _, step := range steps[depth:] {
+		var next []*datatree.Node
+		for _, n := range cur {
+			next = append(next, n.ChildrenLabeled(step)...)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// TreeTupleHolds evaluates an FD under the Arenas & Libkin tree-tuple
+// notion: over the fully unnested flat relation, any two tree tuples
+// that agree, non-null, on every LHS column must agree, non-null, on
+// the RHS column (strong satisfaction, matching the rest of the
+// system). maxRows guards the multiplicative unnesting (0 = 1<<20).
+func TreeTupleHolds(t *datatree.Tree, s *schema.Schema, fd PathFD, maxRows int64) (bool, error) {
+	tbl, err := flat.Build(t, s, maxRows)
+	if err != nil {
+		return false, err
+	}
+	col := func(p schema.Path) ([]int64, error) {
+		for i, c := range tbl.Columns {
+			if c == p {
+				return tbl.Cols[i], nil
+			}
+		}
+		return nil, fmt.Errorf("notions: no column for path %s", p)
+	}
+	lhsCols := make([][]int64, len(fd.LHS))
+	for i, p := range fd.LHS {
+		c, err := col(p)
+		if err != nil {
+			return false, err
+		}
+		lhsCols[i] = c
+	}
+	rhsCol, err := col(fd.RHS)
+	if err != nil {
+		return false, err
+	}
+	groups := make(map[string]int64, tbl.NRows) // signature -> first rhs code
+	for r := 0; r < tbl.NRows; r++ {
+		sig := ""
+		null := false
+		for _, c := range lhsCols {
+			if c[r] < 0 {
+				null = true
+				break
+			}
+			sig += fmt.Sprintf("%d|", c[r])
+		}
+		if null {
+			continue
+		}
+		rv := rhsCol[r]
+		if prev, ok := groups[sig]; ok {
+			if rv < 0 || prev < 0 || rv != prev {
+				return false, nil
+			}
+			continue
+		}
+		groups[sig] = rv
+	}
+	return true, nil
+}

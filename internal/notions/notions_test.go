@@ -1,0 +1,184 @@
+package notions
+
+import (
+	"testing"
+
+	"discoverxfd/internal/core"
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/relation"
+	"discoverxfd/internal/schema"
+)
+
+// The paper's Figure 1 situation, reduced: two books share ISBN and
+// the same author SET in different orders, plus a single-author book.
+const warehouseXML = `
+<warehouse>
+  <state><name>WA</name>
+    <store>
+      <contact><name>Borders</name><address>Seattle</address></contact>
+      <book><ISBN>1</ISBN><author>Post</author><title>F</title><price>30</price></book>
+      <book><ISBN>2</ISBN><author>Rama</author><author>Gehrke</author><title>D</title><price>40</price></book>
+    </store>
+  </state>
+  <state><name>KY</name>
+    <store>
+      <contact><name>Borders</name><address>Lexington</address></contact>
+      <book><ISBN>2</ISBN><author>Gehrke</author><author>Rama</author><title>D</title><price>40</price></book>
+    </store>
+  </state>
+</warehouse>`
+
+var warehouseSchema = schema.MustParse(`
+warehouse: Rcd
+  state: SetOf Rcd
+    name: str
+    store: SetOf Rcd
+      contact: Rcd
+        name: str
+        address: str
+      book: SetOf Rcd
+        ISBN: str
+        author: SetOf str
+        title: str
+        price: str
+`)
+
+func tree(t *testing.T) *datatree.Tree {
+	t.Helper()
+	tr, err := datatree.ParseXMLString(warehouseXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+const book = "/warehouse/state/store/book"
+
+// TestConstraint1AllNotionsAgree: {ISBN} -> title is satisfied under
+// every notion (the paper's baseline example).
+func TestConstraint1AllNotionsAgree(t *testing.T) {
+	tr := tree(t)
+	fd := PathFD{LHS: []schema.Path{book + "/ISBN"}, RHS: book + "/title"}
+	pb, err := PathBasedHolds(tr, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := TreeTupleHolds(tr, warehouseSchema, fd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pb || !tt {
+		t.Fatalf("Constraint 1 should hold under all notions: path=%v tuple=%v", pb, tt)
+	}
+	h, err := relation.Build(tr, warehouseSchema, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := core.Evaluate(h, book, []schema.RelPath{"./ISBN"}, "./title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Holds {
+		t.Fatal("Constraint 1 should hold under the GTT notion")
+	}
+}
+
+// TestConstraint3OnlyGTTCapturesIt reproduces the paper's Section 2.3
+// discussion verbatim: {ISBN} -> author is violated under the
+// path-based notion (two authors of one book associate with the same
+// ISBN) and under the tree-tuple notion (author 32 and author 33 land
+// in different tree tuples with equal ISBN), yet the underlying
+// constraint — equal ISBN implies equal author SET — holds, and only
+// the generalized-tree-tuple notion captures it.
+func TestConstraint3OnlyGTTCapturesIt(t *testing.T) {
+	tr := tree(t)
+	fd := PathFD{LHS: []schema.Path{book + "/ISBN"}, RHS: book + "/author"}
+	pb, err := PathBasedHolds(tr, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb {
+		t.Fatal("path-based notion must reject ISBN -> author (compares individual author nodes)")
+	}
+	tt, err := TreeTupleHolds(tr, warehouseSchema, fd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt {
+		t.Fatal("tree-tuple notion must reject ISBN -> author (authors split across tuples)")
+	}
+	h, err := relation.Build(tr, warehouseSchema, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := core.Evaluate(h, book, []schema.RelPath{"./ISBN"}, "./author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Holds {
+		t.Fatal("the GTT notion must capture ISBN -> author-set")
+	}
+}
+
+// TestConstraint2MultiHierarchy: both earlier notions capture the
+// multi-hierarchy Constraint 2, as the paper concedes.
+func TestConstraint2MultiHierarchy(t *testing.T) {
+	tr := tree(t)
+	fd := PathFD{
+		LHS: []schema.Path{"/warehouse/state/store/contact/name", book + "/ISBN"},
+		RHS: book + "/price",
+	}
+	pb, err := PathBasedHolds(tr, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pb {
+		t.Fatal("path-based notion should capture Constraint 2")
+	}
+	tt, err := TreeTupleHolds(tr, warehouseSchema, fd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tt {
+		t.Fatal("tree-tuple notion should capture Constraint 2")
+	}
+}
+
+// TestPathBasedViolationDetected: a genuine title disagreement is
+// caught by the path-based evaluator too.
+func TestPathBasedViolationDetected(t *testing.T) {
+	tr, err := datatree.ParseXMLString(`
+<warehouse><state><name>WA</name><store>
+  <contact><name>B</name><address>S</address></contact>
+  <book><ISBN>1</ISBN><author>A</author><title>X</title><price>1</price></book>
+  <book><ISBN>1</ISBN><author>A</author><title>Y</title><price>1</price></book>
+</store></state></warehouse>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := PathFD{LHS: []schema.Path{book + "/ISBN"}, RHS: book + "/title"}
+	pb, err := PathBasedHolds(tr, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb {
+		t.Fatal("violated FD reported as satisfied")
+	}
+}
+
+func TestPathFDString(t *testing.T) {
+	fd := PathFD{LHS: []schema.Path{"/a/b", "/a/c"}, RHS: "/a/d"}
+	if fd.String() != "{/a/b, /a/c} -> /a/d" {
+		t.Fatalf("String: %q", fd.String())
+	}
+}
+
+func TestErrorsOnForeignPaths(t *testing.T) {
+	tr := tree(t)
+	if _, err := PathBasedHolds(tr, PathFD{LHS: []schema.Path{"/other/x"}, RHS: book + "/title"}); err == nil {
+		t.Fatal("foreign LHS root should error")
+	}
+	if _, err := TreeTupleHolds(tr, warehouseSchema, PathFD{LHS: []schema.Path{book + "/nope"}, RHS: book + "/title"}, 0); err == nil {
+		t.Fatal("unknown column should error")
+	}
+}

@@ -1,0 +1,53 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAttrKindString(t *testing.T) {
+	if Leaf.String() != "leaf" || Complex.String() != "complex" || SetValue.String() != "set" {
+		t.Fatal("AttrKind strings wrong")
+	}
+	if !strings.HasPrefix(AttrKind(9).String(), "AttrKind(") {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestAttrName(t *testing.T) {
+	if (Attr{Rel: "./contact/name"}).Name() != "contact/name" {
+		t.Fatal("Name strip wrong")
+	}
+	if (Attr{Rel: "."}).Name() != "." {
+		t.Fatal("self name wrong")
+	}
+}
+
+func TestNodeAccessor(t *testing.T) {
+	h := buildWH(t, Options{})
+	book := h.ByPivot("/warehouse/state/store/book")
+	if book.Node(0) == nil || book.Node(0).Label != "book" {
+		t.Fatalf("Node accessor wrong: %+v", book.Node(0))
+	}
+}
+
+func TestHierarchyRenderSmoke(t *testing.T) {
+	h := buildWH(t, Options{})
+	out := h.ByPivot("/warehouse/state/store").String()
+	for _, want := range []string{"R(/warehouse/state/store)", "@key parent", "contact/name"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStreamedRelationNodeIsNil(t *testing.T) {
+	h, err := BuildStream(strings.NewReader(warehouseXML), warehouseSchema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	book := h.ByPivot("/warehouse/state/store/book")
+	if book.Node(0) != nil {
+		t.Fatal("streamed hierarchies must not retain nodes")
+	}
+}

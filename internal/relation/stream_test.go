@@ -1,0 +1,142 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/schema"
+)
+
+// TestBuildStreamMatchesBuild checks structural equivalence between
+// the streaming builder and the in-memory builder on the warehouse
+// document: same relations, row counts, parent links, and — column by
+// column — the same grouping structure (codes may differ, groupings
+// may not).
+func TestBuildStreamMatchesBuild(t *testing.T) {
+	tr, err := datatree.ParseXMLString(warehouseXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := Build(tr, warehouseSchema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := BuildStream(strings.NewReader(warehouseXML), warehouseSchema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(str.Relations) != len(mem.Relations) {
+		t.Fatalf("relation counts differ: %d vs %d", len(str.Relations), len(mem.Relations))
+	}
+	for _, mrel := range mem.Relations {
+		srel := str.ByPivot(mrel.Pivot)
+		if srel == nil {
+			t.Fatalf("missing streamed relation %s", mrel.Pivot)
+		}
+		if srel.NRows() != mrel.NRows() || srel.NAttrs() != mrel.NAttrs() {
+			t.Fatalf("%s: shape %dx%d vs %dx%d", mrel.Pivot, srel.NRows(), srel.NAttrs(), mrel.NRows(), mrel.NAttrs())
+		}
+		for i := range mrel.ParentIdx {
+			if srel.ParentIdx[i] != mrel.ParentIdx[i] {
+				t.Fatalf("%s: parent of row %d differs: %d vs %d", mrel.Pivot, i, srel.ParentIdx[i], mrel.ParentIdx[i])
+			}
+		}
+		for ai := range mrel.Attrs {
+			if srel.Attrs[ai].Rel != mrel.Attrs[ai].Rel {
+				t.Fatalf("%s: attr %d differs: %s vs %s", mrel.Pivot, ai, srel.Attrs[ai].Rel, mrel.Attrs[ai].Rel)
+			}
+			sp := srel.ColumnPartition(ai)
+			mp := mrel.ColumnPartition(ai)
+			if !sp.Equal(mp) {
+				t.Fatalf("%s.%s: partitions differ:\n%v\nvs\n%v", mrel.Pivot, mrel.Attrs[ai].Rel, sp.Groups, mp.Groups)
+			}
+		}
+	}
+}
+
+// TestBuildStreamNonSetRootChildren covers root leaf attributes,
+// complex containers, and set elements nested below non-set
+// containers.
+func TestBuildStreamNonSetRootChildren(t *testing.T) {
+	s := mustSchema(t, `
+doc: Rcd
+  version: str
+  meta: Rcd
+    owner: str
+    tag: SetOf str
+  item: SetOf Rcd
+    id: str
+`)
+	xml := `
+<doc>
+  <version>3</version>
+  <meta><owner>me</owner><tag>a</tag><tag>b</tag></meta>
+  <item><id>1</id></item>
+  <item><id>2</id></item>
+</doc>`
+	h, err := BuildStream(strings.NewReader(xml), s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := h.Root
+	if root.NRows() != 1 {
+		t.Fatalf("root rows = %d", root.NRows())
+	}
+	for _, rel := range []struct {
+		attr string
+		null bool
+	}{{"./version", false}, {"./meta", false}, {"./meta/owner", false}, {"./meta/tag", false}, {"./item", false}} {
+		ai := root.AttrIndex(schemaRel(rel.attr))
+		if ai < 0 {
+			t.Fatalf("missing root attr %s: %v", rel.attr, root.Attrs)
+		}
+		if IsNull(root.Cols[ai][0]) != rel.null {
+			t.Fatalf("root attr %s null=%v", rel.attr, IsNull(root.Cols[ai][0]))
+		}
+	}
+	tags := h.ByPivot("/doc/meta/tag")
+	if tags == nil || tags.NRows() != 2 {
+		t.Fatalf("R_tag missing or wrong: %+v", tags)
+	}
+	items := h.ByPivot("/doc/item")
+	if items.NRows() != 2 {
+		t.Fatalf("R_item rows = %d", items.NRows())
+	}
+}
+
+// TestBuildStreamErrors covers root mismatch, undeclared children and
+// reuse after Finish.
+func TestBuildStreamErrors(t *testing.T) {
+	s := mustSchema(t, "doc: Rcd\n  item: SetOf Rcd\n    id: str")
+	if _, err := BuildStream(strings.NewReader("<other/>"), s, Options{}); err == nil {
+		t.Fatal("root mismatch should fail")
+	}
+	if _, err := BuildStream(strings.NewReader("<doc><bogus/></doc>"), s, Options{}); err == nil {
+		t.Fatal("undeclared child should fail")
+	}
+	b, err := NewBuilder(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("double Finish should fail")
+	}
+	if err := b.AddRootChild(&datatree.Node{Label: "item"}); err == nil {
+		t.Fatal("AddRootChild after Finish should fail")
+	}
+}
+
+func mustSchema(t *testing.T, text string) *schema.Schema {
+	t.Helper()
+	s, err := schema.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func schemaRel(s string) schema.RelPath { return schema.RelPath(s) }

@@ -1,0 +1,55 @@
+package schema
+
+import "testing"
+
+// FuzzParse asserts that arbitrary schema text never panics the
+// parser, and that anything it accepts round-trips through its own
+// String rendering.
+func FuzzParse(f *testing.F) {
+	f.Add("r: Rcd\n  a: str")
+	f.Add("r: Rcd\n  s: SetOf Rcd\n    x: int\n    y: float")
+	f.Add("r: Rcd\n  c: Choice\n    a: str\n    b: str")
+	f.Add("r: SetOf str")
+	f.Add(":")
+	f.Add("r: Rcd\n\ta: str")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Parse(input)
+		if err != nil {
+			return
+		}
+		s2, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("accepted schema failed to re-parse: %v\ninput: %q\nrendered:\n%s", err, input, s)
+		}
+		if !s.Equal(s2) {
+			t.Fatalf("round trip changed the schema\ninput: %q\nfirst:\n%s\nsecond:\n%s", input, s, s2)
+		}
+	})
+}
+
+// FuzzRelPathResolve asserts relative-path resolution never panics
+// and inverts Relativize whenever both succeed.
+func FuzzRelPathResolve(f *testing.F) {
+	f.Add("/a/b/c", "./x")
+	f.Add("/a/b/c", "../y/z")
+	f.Add("/a", "..")
+	f.Add("/a/b", ".")
+	f.Fuzz(func(t *testing.T, pivot, rel string) {
+		p := Path(pivot)
+		abs, err := RelPath(rel).Resolve(p)
+		if err != nil {
+			return
+		}
+		if !p.IsValid() {
+			return
+		}
+		back, err := Relativize(p, abs)
+		if err != nil {
+			t.Fatalf("Relativize(%q, %q) failed after successful Resolve: %v", p, abs, err)
+		}
+		abs2, err := back.Resolve(p)
+		if err != nil || abs2 != abs {
+			t.Fatalf("Resolve(Relativize) not identity: %q -> %q -> %q (%v)", abs, back, abs2, err)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConstructorsAndPanics(t *testing.T) {
+	ch := Ch(F("a", Simple(String)), F("b", Simple(Int)))
+	if ch.Kind != Choice || len(ch.Fields) != 2 {
+		t.Fatalf("Ch wrong: %+v", ch)
+	}
+	s := MustNew("r", Rcd(F("c", ch)))
+	if s.MustResolve("/r/c/b").Payload.Kind != Int {
+		t.Fatal("resolve through Choice failed")
+	}
+
+	assertPanics(t, "Simple(Set)", func() { Simple(Set) })
+	assertPanics(t, "MustNew invalid", func() { MustNew("", nil) })
+	assertPanics(t, "MustParse invalid", func() { MustParse(":") })
+	assertPanics(t, "MustResolve invalid", func() { s.MustResolve("/nope") })
+	assertPanics(t, "MustRelativize invalid", func() { MustRelativize("/a/x", "/b/y") })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s should panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestValidateBranches(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *Schema
+		sub  string
+	}{
+		{"nil", nil, "nil schema"},
+		{"nil root type", &Schema{Root: "r"}, "nil schema"},
+		{"empty root label", &Schema{Root: "", RootType: Rcd(F("a", Simple(String)))}, "empty root"},
+		{"set root", &Schema{Root: "r", RootType: SetOf(Simple(String))}, "must not be a set"},
+		{"empty record", &Schema{Root: "r", RootType: &Type{Kind: Record}}, "no fields"},
+		{"nil field type", &Schema{Root: "r", RootType: Rcd(Field{Label: "a"})}, "nil type"},
+		{"empty label", &Schema{Root: "r", RootType: Rcd(Field{Label: "", Type: Simple(String)})}, "empty field label"},
+		{"set missing elem", &Schema{Root: "r", RootType: Rcd(F("s", &Type{Kind: Set}))}, "no member type"},
+		{"bad kind", &Schema{Root: "r", RootType: &Type{Kind: Kind(99)}}, "unknown kind"},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("%s: err %v, want substring %q", c.name, err, c.sub)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		String: "str", Int: "int", Float: "float",
+		Set: "SetOf", Record: "Rcd", Choice: "Choice", Kind(42): "Kind(42)",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestEqualBranches(t *testing.T) {
+	a := MustParse("r: Rcd\n  x: str")
+	if a.Equal(nil) || !a.Equal(a) {
+		t.Fatal("nil/self Equal wrong")
+	}
+	b := MustParse("q: Rcd\n  x: str")
+	if a.Equal(b) {
+		t.Fatal("different roots must differ")
+	}
+	c := MustParse("r: Rcd\n  x: str\n  y: str")
+	if a.Equal(c) {
+		t.Fatal("different field counts must differ")
+	}
+	d := MustParse("r: Rcd\n  s: SetOf str")
+	e := MustParse("r: Rcd\n  s: SetOf int")
+	if d.Equal(e) {
+		t.Fatal("set member types must be compared")
+	}
+}

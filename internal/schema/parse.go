@@ -1,0 +1,164 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a schema in the nested-relational text notation of the
+// paper's Figure 2. Each line declares one element as
+//
+//	<label>: [SetOf] (str|int|float|Rcd|Choice)
+//
+// and nesting is expressed by indentation (any amount of leading
+// whitespace, as long as children are indented strictly more than
+// their parent). Blank lines and lines starting with '#' are ignored.
+// Example:
+//
+//	warehouse: Rcd
+//	  state: SetOf Rcd
+//	    name: str
+//	    store: SetOf Rcd
+//	      contact: Rcd
+//	        name: str
+//	        address: str
+//	      book: SetOf Rcd
+//	        ISBN: str
+//	        author: SetOf str
+//	        title: str
+//	        price: str
+func Parse(text string) (*Schema, error) {
+	type line struct {
+		no     int
+		indent int
+		label  string
+		set    bool
+		kind   Kind
+	}
+	var lines []line
+	for no, raw := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(raw)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		indent := indentWidth(raw)
+		colon := strings.Index(trimmed, ":")
+		if colon <= 0 {
+			return nil, fmt.Errorf("schema: line %d: expected \"label: type\", got %q", no+1, trimmed)
+		}
+		label := strings.TrimSpace(trimmed[:colon])
+		rest := strings.Fields(trimmed[colon+1:])
+		if len(label) == 0 || len(rest) == 0 || len(rest) > 2 {
+			return nil, fmt.Errorf("schema: line %d: malformed declaration %q", no+1, trimmed)
+		}
+		ln := line{no: no + 1, indent: indent, label: label}
+		ti := 0
+		if rest[0] == "SetOf" {
+			ln.set = true
+			ti = 1
+			if len(rest) == 1 {
+				return nil, fmt.Errorf("schema: line %d: SetOf requires a member type", no+1)
+			}
+		} else if len(rest) == 2 {
+			return nil, fmt.Errorf("schema: line %d: unexpected token %q", no+1, rest[1])
+		}
+		switch rest[ti] {
+		case "str":
+			ln.kind = String
+		case "int":
+			ln.kind = Int
+		case "float":
+			ln.kind = Float
+		case "Rcd":
+			ln.kind = Record
+		case "Choice":
+			ln.kind = Choice
+		default:
+			return nil, fmt.Errorf("schema: line %d: unknown type %q", no+1, rest[ti])
+		}
+		lines = append(lines, ln)
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("schema: empty schema text")
+	}
+	if lines[0].set {
+		return nil, fmt.Errorf("schema: line %d: root element %q must not be a set element",
+			lines[0].no, lines[0].label)
+	}
+
+	// Build the tree with an indentation stack.
+	type frame struct {
+		indent int
+		typ    *Type // the Record/Choice payload receiving children
+	}
+	makeType := func(ln line) *Type {
+		var t *Type
+		switch ln.kind {
+		case Record, Choice:
+			t = &Type{Kind: ln.kind}
+		default:
+			t = &Type{Kind: ln.kind}
+		}
+		if ln.set {
+			t = SetOf(t)
+		}
+		return t
+	}
+	payloadOf := func(t *Type) *Type {
+		if t.Kind == Set {
+			return t.Elem
+		}
+		return t
+	}
+
+	rootType := makeType(lines[0])
+	stack := []frame{{indent: lines[0].indent, typ: payloadOf(rootType)}}
+	for _, ln := range lines[1:] {
+		for len(stack) > 0 && ln.indent <= stack[len(stack)-1].indent {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			return nil, fmt.Errorf("schema: line %d: element %q is outside the root element", ln.no, ln.label)
+		}
+		parent := stack[len(stack)-1].typ
+		if parent.Kind != Record && parent.Kind != Choice {
+			return nil, fmt.Errorf("schema: line %d: element %q nested under a simple-typed element", ln.no, ln.label)
+		}
+		t := makeType(ln)
+		parent.Fields = append(parent.Fields, Field{Label: ln.label, Type: t})
+		if p := payloadOf(t); p.Kind == Record || p.Kind == Choice {
+			stack = append(stack, frame{indent: ln.indent, typ: p})
+		} else {
+			// Simple leaves can still "own" deeper indentation only
+			// erroneously; keep them off the stack so such input fails
+			// the parent-kind check above.
+			stack = append(stack, frame{indent: ln.indent, typ: p})
+		}
+	}
+	return New(lines[0].label, rootType)
+}
+
+// MustParse is Parse but panics on error; for statically known
+// schema literals in tests and examples.
+func MustParse(text string) *Schema {
+	s, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func indentWidth(raw string) int {
+	w := 0
+	for _, r := range raw {
+		switch r {
+		case ' ':
+			w++
+		case '\t':
+			w += 4
+		default:
+			return w
+		}
+	}
+	return w
+}

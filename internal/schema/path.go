@@ -1,0 +1,173 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Path is an absolute path expression /e1/e2/…/ek addressing a schema
+// element or a set of data nodes (Section 2.1). The empty string is
+// not a valid path.
+type Path string
+
+// RelPath is a path relative to some pivot path, formed with the
+// XPath steps "." (self) and ".." (parent), e.g. "./ISBN" or
+// "../contact/name". A relative path always begins with "./" or one
+// or more "../" steps (or is exactly ".").
+type RelPath string
+
+// PathOf joins label steps into an absolute path.
+func PathOf(steps ...string) Path {
+	return Path("/" + strings.Join(steps, "/"))
+}
+
+// Steps splits the path into its element labels.
+func (p Path) Steps() []string {
+	s := strings.TrimPrefix(string(p), "/")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "/")
+}
+
+// Depth returns the number of steps in the path.
+func (p Path) Depth() int { return len(p.Steps()) }
+
+// Last returns the final label of the path.
+func (p Path) Last() string {
+	steps := p.Steps()
+	if len(steps) == 0 {
+		return ""
+	}
+	return steps[len(steps)-1]
+}
+
+// Parent returns the path with the final step removed, and whether
+// the path had a parent (the root path has none).
+func (p Path) Parent() (Path, bool) {
+	steps := p.Steps()
+	if len(steps) <= 1 {
+		return "", false
+	}
+	return PathOf(steps[:len(steps)-1]...), true
+}
+
+// Child extends the path with one more step.
+func (p Path) Child(label string) Path {
+	return Path(string(p) + "/" + label)
+}
+
+// HasPrefix reports whether q is a (non-strict) step prefix of p.
+func (p Path) HasPrefix(q Path) bool {
+	if p == q {
+		return true
+	}
+	return strings.HasPrefix(string(p), string(q)+"/")
+}
+
+// IsValid reports whether the path is syntactically well formed:
+// non-empty, starting with "/", with no empty steps.
+func (p Path) IsValid() bool {
+	if p == "" || p[0] != '/' {
+		return false
+	}
+	for _, s := range p.Steps() {
+		if s == "" || s == "." || s == ".." {
+			return false
+		}
+	}
+	return len(p.Steps()) > 0
+}
+
+func (p Path) String() string { return string(p) }
+
+// Resolve converts the relative path into an absolute path with
+// respect to the given pivot path, following the paper's convention:
+// "." refers to the pivot itself and ".." to its parent, so e.g. for
+// pivot /warehouse/state/store the relative path ../name resolves to
+// /warehouse/state/name.
+func (r RelPath) Resolve(pivot Path) (Path, error) {
+	steps := strings.Split(string(r), "/")
+	cur := pivot.Steps()
+	if len(cur) == 0 {
+		return "", fmt.Errorf("schema: empty pivot path")
+	}
+	first := true
+	for _, s := range steps {
+		switch s {
+		case "":
+			return "", fmt.Errorf("schema: empty step in relative path %q", r)
+		case ".":
+			if !first {
+				return "", fmt.Errorf("schema: %q: '.' is only valid as the first step", r)
+			}
+		case "..":
+			if !first {
+				// ".." may follow other ".." steps but not labels.
+				if last := steps[0]; last != ".." {
+					// handled below: we only allow leading runs.
+				}
+			}
+			if len(cur) <= 1 {
+				return "", fmt.Errorf("schema: %q ascends above the root from pivot %s", r, pivot)
+			}
+			cur = cur[:len(cur)-1]
+		default:
+			cur = append(cur, s)
+		}
+		first = false
+	}
+	out := PathOf(cur...)
+	if !out.IsValid() {
+		return "", fmt.Errorf("schema: relative path %q resolves to invalid path from pivot %s", r, pivot)
+	}
+	return out, nil
+}
+
+// Relativize expresses the absolute path p relative to the pivot
+// path: if p is under the pivot the result starts with "./";
+// otherwise it climbs with "../" steps to the longest common ancestor
+// and descends from there. Relativize is the inverse of
+// RelPath.Resolve for paths in the same tree.
+func Relativize(pivot, p Path) (RelPath, error) {
+	ps := pivot.Steps()
+	ts := p.Steps()
+	if len(ps) == 0 || len(ts) == 0 {
+		return "", fmt.Errorf("schema: cannot relativize empty paths")
+	}
+	if ps[0] != ts[0] {
+		return "", fmt.Errorf("schema: %s and %s are in different trees", pivot, p)
+	}
+	common := 0
+	for common < len(ps) && common < len(ts) && ps[common] == ts[common] {
+		common++
+	}
+	ups := len(ps) - common
+	var b strings.Builder
+	if ups == 0 {
+		b.WriteString(".")
+	} else {
+		for i := 0; i < ups; i++ {
+			if i > 0 {
+				b.WriteByte('/')
+			}
+			b.WriteString("..")
+		}
+	}
+	for _, s := range ts[common:] {
+		b.WriteByte('/')
+		b.WriteString(s)
+	}
+	return RelPath(b.String()), nil
+}
+
+// MustRelativize is Relativize but panics on error.
+func MustRelativize(pivot, p Path) RelPath {
+	r, err := Relativize(pivot, p)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (r RelPath) String() string { return string(r) }

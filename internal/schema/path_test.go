@@ -1,0 +1,135 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathBasics(t *testing.T) {
+	p := PathOf("a", "b", "c")
+	if p != "/a/b/c" {
+		t.Fatalf("PathOf = %q", p)
+	}
+	if p.Depth() != 3 || p.Last() != "c" {
+		t.Fatalf("Depth/Last wrong: %d %q", p.Depth(), p.Last())
+	}
+	parent, ok := p.Parent()
+	if !ok || parent != "/a/b" {
+		t.Fatalf("Parent = %q,%v", parent, ok)
+	}
+	if _, ok := Path("/a").Parent(); ok {
+		t.Fatal("root path should have no parent")
+	}
+	if p.Child("d") != "/a/b/c/d" {
+		t.Fatalf("Child wrong")
+	}
+	if !p.HasPrefix("/a/b") || !p.HasPrefix(p) || p.HasPrefix("/a/bx") {
+		t.Fatal("HasPrefix wrong")
+	}
+}
+
+func TestPathIsValid(t *testing.T) {
+	valid := []Path{"/a", "/a/b", "/warehouse/state"}
+	invalid := []Path{"", "a", "/", "//a", "/a//b", "/a/./b", "/a/../b"}
+	for _, p := range valid {
+		if !p.IsValid() {
+			t.Errorf("%q should be valid", p)
+		}
+	}
+	for _, p := range invalid {
+		if p.IsValid() {
+			t.Errorf("%q should be invalid", p)
+		}
+	}
+}
+
+func TestRelPathResolve(t *testing.T) {
+	pivot := Path("/warehouse/state/store/book")
+	cases := []struct {
+		rel  RelPath
+		want Path
+	}{
+		{"./ISBN", "/warehouse/state/store/book/ISBN"},
+		{".", "/warehouse/state/store/book"},
+		{"../contact/name", "/warehouse/state/store/contact/name"},
+		{"../../name", "/warehouse/state/name"},
+		{"..", "/warehouse/state/store"},
+		{"../..", "/warehouse/state"},
+	}
+	for _, c := range cases {
+		got, err := c.rel.Resolve(pivot)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", c.rel, err)
+		}
+		if got != c.want {
+			t.Errorf("Resolve(%q) = %q, want %q", c.rel, got, c.want)
+		}
+	}
+	for _, bad := range []RelPath{"../../../../..", "a//b", ""} {
+		if _, err := bad.Resolve(pivot); err == nil {
+			t.Errorf("Resolve(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRelativize(t *testing.T) {
+	cases := []struct {
+		pivot, p Path
+		want     RelPath
+	}{
+		{"/w/s/b", "/w/s/b/x", "./x"},
+		{"/w/s/b", "/w/s/b", "."},
+		{"/w/s/b", "/w/s/c/n", "../c/n"},
+		{"/w/s/b", "/w/n", "../../n"},
+		{"/w/s/b", "/w/s", ".."},
+	}
+	for _, c := range cases {
+		got, err := Relativize(c.pivot, c.p)
+		if err != nil {
+			t.Fatalf("Relativize(%s,%s): %v", c.pivot, c.p, err)
+		}
+		if got != c.want {
+			t.Errorf("Relativize(%s,%s) = %q, want %q", c.pivot, c.p, got, c.want)
+		}
+	}
+	if _, err := Relativize("/a/x", "/b/y"); err == nil {
+		t.Error("different roots should fail")
+	}
+}
+
+// TestRelativizeResolveInverse property-checks that Resolve inverts
+// Relativize for randomly generated path pairs sharing a root.
+func TestRelativizeResolveInverse(t *testing.T) {
+	gen := func(seed uint8, downA, downB []uint8) bool {
+		mk := func(downs []uint8) Path {
+			steps := []string{"root"}
+			for _, d := range downs {
+				steps = append(steps, string(rune('a'+d%5)))
+			}
+			if len(steps) > 6 {
+				steps = steps[:6]
+			}
+			return PathOf(steps...)
+		}
+		pivot, p := mk(downA), mk(downB)
+		rel, err := Relativize(pivot, p)
+		if err != nil {
+			return false
+		}
+		back, err := rel.Resolve(pivot)
+		return err == nil && back == p
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelPathStrings(t *testing.T) {
+	if RelPath("./x").String() != "./x" || Path("/a").String() != "/a" {
+		t.Fatal("String methods wrong")
+	}
+	if !strings.HasPrefix(string(MustRelativize("/a/b", "/a/c")), "..") {
+		t.Fatal("sibling relativization should climb")
+	}
+}

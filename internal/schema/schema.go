@@ -1,0 +1,385 @@
+// Package schema implements the XML schema model of Yu & Jagadish
+// (VLDB 2006), Definition 1: a schema is a set of labeled elements,
+// each associated with a type drawn from
+//
+//	τ ::= str | int | float | SetOf τ | Rcd[e1:τ1,…,en:τn] | Choice[e1:τ1,…,en:τn]
+//
+// together with a distinguished root element whose type is not SetOf.
+// The model corresponds to the core constructs of XML Schema: Rcd is
+// the "all"/"sequence" model group (order is ignored), Choice is the
+// "choice" model group, and SetOf marks elements with maxOccurs > 1.
+// Attributes are treated like elements whose label carries an "@"
+// prefix.
+//
+// The package also provides path expressions over schemas (absolute
+// paths such as /warehouse/state/store, and relative paths using the
+// XPath steps "." and ".."), the notion of repeatable paths (paths
+// ending at a set element), and a compact nested-relational text
+// notation (the paper's Figure 2) for reading and writing schemas.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates the type constructors of Definition 1.
+type Kind int
+
+const (
+	// String is the system-defined simple type str.
+	String Kind = iota
+	// Int is the system-defined simple type int.
+	Int
+	// Float is the system-defined simple type float.
+	Float
+	// Set is the SetOf constructor: the element may occur multiple
+	// times under one parent in the data.
+	Set
+	// Record is the Rcd constructor: a complex element with a fixed
+	// collection of child elements (order ignored).
+	Record
+	// Choice is the Choice constructor: a complex element with
+	// exactly one of the listed child elements present.
+	Choice
+)
+
+// String returns the keyword used in the nested-relational notation.
+func (k Kind) String() string {
+	switch k {
+	case String:
+		return "str"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Set:
+		return "SetOf"
+	case Record:
+		return "Rcd"
+	case Choice:
+		return "Choice"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// IsSimple reports whether the kind is one of the system-defined
+// simple types str, int, float.
+func (k Kind) IsSimple() bool { return k == String || k == Int || k == Float }
+
+// Type is a schema type. Exactly one of the auxiliary fields is
+// meaningful, determined by Kind:
+//
+//   - Set: Elem holds the member type,
+//   - Record, Choice: Fields holds the child elements,
+//   - simple kinds: no auxiliary data.
+type Type struct {
+	Kind   Kind
+	Elem   *Type   // member type when Kind == Set
+	Fields []Field // child elements when Kind is Record or Choice
+}
+
+// Field is one labeled child element of a Record or Choice type.
+type Field struct {
+	Label string
+	Type  *Type
+}
+
+// Schema is a complete schema: a root element label and its type.
+// Per Definition 1 the root type must not be SetOf.
+type Schema struct {
+	Root     string
+	RootType *Type
+}
+
+// Simple constructs a simple type of the given kind. It panics if the
+// kind is not simple; schema construction errors are programmer
+// errors.
+func Simple(k Kind) *Type {
+	if !k.IsSimple() {
+		panic("schema: Simple called with non-simple kind " + k.String())
+	}
+	return &Type{Kind: k}
+}
+
+// SetOf constructs a SetOf type with the given member type.
+func SetOf(elem *Type) *Type { return &Type{Kind: Set, Elem: elem} }
+
+// Rcd constructs a record type from the given fields.
+func Rcd(fields ...Field) *Type { return &Type{Kind: Record, Fields: fields} }
+
+// Ch constructs a choice type from the given fields.
+func Ch(fields ...Field) *Type { return &Type{Kind: Choice, Fields: fields} }
+
+// F is shorthand for constructing a Field.
+func F(label string, t *Type) Field { return Field{Label: label, Type: t} }
+
+// New constructs a schema and validates it. The root type must not be
+// a set type, labels must be non-empty and unique among siblings.
+func New(root string, rootType *Type) (*Schema, error) {
+	s := &Schema{Root: root, RootType: rootType}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error; intended for tests and
+// statically known schemas.
+func MustNew(root string, rootType *Type) *Schema {
+	s, err := New(root, rootType)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Validate checks the structural invariants of the schema: the root
+// is labeled and not a set, every label is non-empty, sibling labels
+// are unique, set member types are present, and complex types have at
+// least one field.
+func (s *Schema) Validate() error {
+	if s == nil || s.RootType == nil {
+		return fmt.Errorf("schema: nil schema or root type")
+	}
+	if s.Root == "" {
+		return fmt.Errorf("schema: empty root label")
+	}
+	if s.RootType.Kind == Set {
+		return fmt.Errorf("schema: root element %q must not be a set element", s.Root)
+	}
+	return validateType(s.RootType, "/"+s.Root)
+}
+
+func validateType(t *Type, at string) error {
+	if t == nil {
+		return fmt.Errorf("schema: nil type at %s", at)
+	}
+	switch t.Kind {
+	case String, Int, Float:
+		return nil
+	case Set:
+		if t.Elem == nil {
+			return fmt.Errorf("schema: set at %s has no member type", at)
+		}
+		if t.Elem.Kind == Set {
+			return fmt.Errorf("schema: set of set at %s is not expressible in the data model", at)
+		}
+		return validateType(t.Elem, at)
+	case Record, Choice:
+		if len(t.Fields) == 0 {
+			return fmt.Errorf("schema: complex type at %s has no fields", at)
+		}
+		seen := make(map[string]bool, len(t.Fields))
+		for _, f := range t.Fields {
+			if f.Label == "" {
+				return fmt.Errorf("schema: empty field label at %s", at)
+			}
+			if seen[f.Label] {
+				return fmt.Errorf("schema: duplicate field label %q at %s", f.Label, at)
+			}
+			seen[f.Label] = true
+			if err := validateType(f.Type, at+"/"+f.Label); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("schema: unknown kind %d at %s", int(t.Kind), at)
+	}
+}
+
+// unwrapSet strips at most one SetOf constructor, returning the
+// payload type and whether the element is repeatable.
+func unwrapSet(t *Type) (payload *Type, repeatable bool) {
+	if t.Kind == Set {
+		return t.Elem, true
+	}
+	return t, false
+}
+
+// Element describes one schema element reached by a path.
+type Element struct {
+	// Path is the absolute path of the element.
+	Path Path
+	// Label is the final step of the path.
+	Label string
+	// Type is the element's declared type (including any SetOf
+	// wrapper).
+	Type *Type
+	// Repeatable reports whether the element is a set element.
+	Repeatable bool
+	// Payload is Type with any SetOf wrapper removed.
+	Payload *Type
+}
+
+// Resolve looks up the schema element addressed by an absolute path.
+// Per Section 2.1 a path /e1/e2/…/ek addresses element ek reached by
+// following record (or choice) fields from the root.
+func (s *Schema) Resolve(p Path) (Element, error) {
+	steps := p.Steps()
+	if len(steps) == 0 {
+		return Element{}, fmt.Errorf("schema: empty path")
+	}
+	if steps[0] != s.Root {
+		return Element{}, fmt.Errorf("schema: path %s does not start at root %q", p, s.Root)
+	}
+	cur := s.RootType
+	label := s.Root
+	for i := 1; i < len(steps); i++ {
+		payload, _ := unwrapSet(cur)
+		if payload.Kind != Record && payload.Kind != Choice {
+			return Element{}, fmt.Errorf("schema: %s has no children; cannot descend to %q in %s",
+				PathOf(steps[:i]...), steps[i], p)
+		}
+		var next *Type
+		for _, f := range payload.Fields {
+			if f.Label == steps[i] {
+				next = f.Type
+				break
+			}
+		}
+		if next == nil {
+			return Element{}, fmt.Errorf("schema: no element %q under %s in path %s",
+				steps[i], PathOf(steps[:i]...), p)
+		}
+		cur = next
+		label = steps[i]
+	}
+	payload, rep := unwrapSet(cur)
+	return Element{Path: p, Label: label, Type: cur, Repeatable: rep, Payload: payload}, nil
+}
+
+// MustResolve is Resolve but panics on error.
+func (s *Schema) MustResolve(p Path) Element {
+	e, err := s.Resolve(p)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Walk visits every schema element in depth-first, declaration order,
+// starting at the root. The visit function receives the element; if
+// it returns false the element's descendants are skipped.
+func (s *Schema) Walk(visit func(Element) bool) {
+	var rec func(p Path, label string, t *Type)
+	rec = func(p Path, label string, t *Type) {
+		payload, rep := unwrapSet(t)
+		if !visit(Element{Path: p, Label: label, Type: t, Repeatable: rep, Payload: payload}) {
+			return
+		}
+		if payload.Kind == Record || payload.Kind == Choice {
+			for _, f := range payload.Fields {
+				rec(p.Child(f.Label), f.Label, f.Type)
+			}
+		}
+	}
+	rec(PathOf(s.Root), s.Root, s.RootType)
+}
+
+// RepeatablePaths returns the repeatable paths of the schema — the
+// paths of all set elements — in depth-first declaration order. These
+// are exactly the pivot paths of the essential tuple classes
+// (Section 3.2.2).
+func (s *Schema) RepeatablePaths() []Path {
+	var out []Path
+	s.Walk(func(e Element) bool {
+		if e.Repeatable {
+			out = append(out, e.Path)
+		}
+		return true
+	})
+	return out
+}
+
+// LongestRepeatablePrefix returns the longest repeatable path that is
+// a proper-or-equal prefix of p, and whether one exists. For the path
+// of a set element the result is the path itself.
+func (s *Schema) LongestRepeatablePrefix(p Path) (Path, bool) {
+	steps := p.Steps()
+	for i := len(steps); i >= 1; i-- {
+		prefix := PathOf(steps[:i]...)
+		e, err := s.Resolve(prefix)
+		if err != nil {
+			return "", false
+		}
+		if e.Repeatable {
+			return prefix, true
+		}
+	}
+	return "", false
+}
+
+// Equal reports whether two schemas are structurally identical,
+// ignoring field order within records and choices (the data model
+// ignores element order).
+func (s *Schema) Equal(o *Schema) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	return s.Root == o.Root && typeEqual(s.RootType, o.RootType)
+}
+
+func typeEqual(a, b *Type) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Set:
+		return typeEqual(a.Elem, b.Elem)
+	case Record, Choice:
+		if len(a.Fields) != len(b.Fields) {
+			return false
+		}
+		af := sortedFields(a.Fields)
+		bf := sortedFields(b.Fields)
+		for i := range af {
+			if af[i].Label != bf[i].Label || !typeEqual(af[i].Type, bf[i].Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+func sortedFields(fs []Field) []Field {
+	out := make([]Field, len(fs))
+	copy(out, fs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// String renders the schema in the nested-relational notation of the
+// paper's Figure 2.
+func (s *Schema) String() string {
+	var b strings.Builder
+	writeElem(&b, 0, s.Root, s.RootType)
+	return b.String()
+}
+
+func writeElem(b *strings.Builder, depth int, label string, t *Type) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(label)
+	b.WriteString(": ")
+	payload, rep := unwrapSet(t)
+	if rep {
+		b.WriteString("SetOf ")
+	}
+	b.WriteString(payload.Kind.String())
+	b.WriteByte('\n')
+	if payload.Kind == Record || payload.Kind == Choice {
+		for _, f := range payload.Fields {
+			writeElem(b, depth+1, f.Label, f.Type)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+const warehouseText = `
+warehouse: Rcd
+  state: SetOf Rcd
+    name: str
+    store: SetOf Rcd
+      contact: Rcd
+        name: str
+        address: str
+      book: SetOf Rcd
+        ISBN: str
+        author: SetOf str
+        title: str
+        price: str
+`
+
+func warehouse(t *testing.T) *Schema {
+	t.Helper()
+	s, err := Parse(warehouseText)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	s := warehouse(t)
+	s2, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+	if !s.Equal(s2) {
+		t.Fatalf("round trip changed the schema:\n%s\nvs\n%s", s, s2)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	s, err := Parse("# top comment\nroot: Rcd\n  # nested comment\n  a: str\n\n  b: int\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	el := s.MustResolve("/root/b")
+	if el.Payload.Kind != Int {
+		t.Fatalf("b should be int, got %v", el.Payload.Kind)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, text, wantSub string
+	}{
+		{"empty", "", "empty schema"},
+		{"no colon", "root Rcd", "expected"},
+		{"set root", "root: SetOf Rcd\n  a: str", "must not be a set"},
+		{"unknown type", "root: Blob", "unknown type"},
+		{"setof nothing", "root: Rcd\n  a: SetOf", "requires a member type"},
+		{"child of leaf", "root: Rcd\n  a: str\n    b: str", "nested under a simple-typed"},
+		{"double outdent", "root: Rcd\n  a: str\nb: str", "outside the root"},
+		{"duplicate sibling", "root: Rcd\n  a: str\n  a: int", "duplicate field label"},
+		{"extra token", "root: Rcd extra", "unexpected token"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.text)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestResolve(t *testing.T) {
+	s := warehouse(t)
+	cases := []struct {
+		path       Path
+		repeatable bool
+		kind       Kind
+	}{
+		{"/warehouse", false, Record},
+		{"/warehouse/state", true, Record},
+		{"/warehouse/state/name", false, String},
+		{"/warehouse/state/store/contact", false, Record},
+		{"/warehouse/state/store/contact/name", false, String},
+		{"/warehouse/state/store/book/author", true, String},
+	}
+	for _, c := range cases {
+		el, err := s.Resolve(c.path)
+		if err != nil {
+			t.Fatalf("Resolve(%s): %v", c.path, err)
+		}
+		if el.Repeatable != c.repeatable {
+			t.Errorf("%s: repeatable=%v, want %v", c.path, el.Repeatable, c.repeatable)
+		}
+		if el.Payload.Kind != c.kind {
+			t.Errorf("%s: kind=%v, want %v", c.path, el.Payload.Kind, c.kind)
+		}
+	}
+	for _, bad := range []Path{"/nope", "/warehouse/nope", "/warehouse/state/name/deeper", ""} {
+		if _, err := s.Resolve(bad); err == nil {
+			t.Errorf("Resolve(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRepeatablePaths(t *testing.T) {
+	s := warehouse(t)
+	got := s.RepeatablePaths()
+	want := []Path{
+		"/warehouse/state",
+		"/warehouse/state/store",
+		"/warehouse/state/store/book",
+		"/warehouse/state/store/book/author",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLongestRepeatablePrefix(t *testing.T) {
+	s := warehouse(t)
+	cases := []struct {
+		in   Path
+		want Path
+		ok   bool
+	}{
+		{"/warehouse/state/store/contact/name", "/warehouse/state/store", true},
+		{"/warehouse/state/store/book/author", "/warehouse/state/store/book/author", true},
+		{"/warehouse/state/name", "/warehouse/state", true},
+		{"/warehouse", "", false},
+	}
+	for _, c := range cases {
+		got, ok := s.LongestRepeatablePrefix(c.in)
+		if ok != c.ok || got != c.want {
+			t.Errorf("LongestRepeatablePrefix(%s) = (%q,%v), want (%q,%v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestEqualIgnoresFieldOrder(t *testing.T) {
+	a := MustParse("r: Rcd\n  x: str\n  y: int")
+	b := MustParse("r: Rcd\n  y: int\n  x: str")
+	if !a.Equal(b) {
+		t.Fatal("field order should not affect Equal")
+	}
+	c := MustParse("r: Rcd\n  x: str\n  y: str")
+	if a.Equal(c) {
+		t.Fatal("different leaf types should not be Equal")
+	}
+}
+
+func TestChoiceParsing(t *testing.T) {
+	s := MustParse("r: Rcd\n  c: Choice\n    a: str\n    b: str")
+	el := s.MustResolve("/r/c")
+	if el.Payload.Kind != Choice {
+		t.Fatalf("c should be Choice, got %v", el.Payload.Kind)
+	}
+}
+
+func TestValidateRejectsSetOfSet(t *testing.T) {
+	bad := &Schema{Root: "r", RootType: Rcd(F("s", SetOf(SetOf(Simple(String)))))}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("SetOf SetOf should be rejected")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	s := warehouse(t)
+	var paths []Path
+	s.Walk(func(e Element) bool {
+		paths = append(paths, e.Path)
+		return true
+	})
+	if len(paths) != 12 {
+		t.Fatalf("expected 12 elements, got %d: %v", len(paths), paths)
+	}
+	if paths[0] != "/warehouse" || paths[len(paths)-1] != "/warehouse/state/store/book/price" {
+		t.Fatalf("unexpected walk order: %v", paths)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	s := warehouse(t)
+	var n int
+	s.Walk(func(e Element) bool {
+		n++
+		return e.Path != "/warehouse/state/store" // prune below store
+	})
+	if n != 4 { // warehouse, state, name, store
+		t.Fatalf("pruned walk visited %d elements, want 4", n)
+	}
+}

@@ -1,0 +1,164 @@
+package xmlgen
+
+import (
+	"fmt"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/schema"
+)
+
+// AuctionParams sizes the XMark-style auction benchmark generator.
+// Factor plays the role of XMark's scale factor: all entity counts
+// grow linearly in it.
+type AuctionParams struct {
+	// Factor scales the document; Factor 1 yields roughly 6 regions ×
+	// 20 items, 100 people and 60 auctions (~3k nodes).
+	Factor int
+	// Seed makes the dataset deterministic.
+	Seed int64
+}
+
+// DefaultAuction returns the parameters used by experiment E1.
+func DefaultAuction() AuctionParams { return AuctionParams{Factor: 1, Seed: 4} }
+
+// AuctionSchema declares the benchmark subset: regions with items,
+// people, and open auctions with bidder sets.
+var AuctionSchema = schema.MustParse(`
+site: Rcd
+  region: SetOf Rcd
+    name: str
+    item: SetOf Rcd
+      id: str
+      name: str
+      category: str
+      quantity: str
+      seller: str
+  person: SetOf Rcd
+    id: str
+    name: str
+    email: str
+    country: str
+  auction: SetOf Rcd
+    id: str
+    itemref: str
+    sellerref: str
+    reserve: str
+    bid: SetOf Rcd
+      personref: str
+      increase: str
+`)
+
+// Auction generates an auction site document. Ground-truth
+// constraints:
+//
+//	KEY {./id}   of C_item, C_person and C_auction;
+//	FD  {./name} -> ./category     w.r.t. C_item — items instantiate a
+//	    fixed item-type catalog;
+//	FD  {./itemref} -> ./sellerref w.r.t. C_auction — the seller comes
+//	    from the referenced item;
+//	FD  {../itemref, ./personref} -> ./increase w.r.t. C_bid — a
+//	    person's increase on an item is fixed (inter-relation).
+func Auction(p AuctionParams) Dataset {
+	if p.Factor < 1 {
+		p.Factor = 1
+	}
+	r := newRNG(p.Seed)
+
+	regions := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	nItemsPerRegion := 20 * p.Factor
+	nPeople := 100 * p.Factor
+	nAuctions := 60 * p.Factor
+
+	type itemType struct{ name, category string }
+	types := make([]itemType, 30)
+	for i := range types {
+		types[i] = itemType{
+			name:     titleCase(titleWords(r, 2)) + fmt.Sprintf(" %c", 'A'+i%26),
+			category: fmt.Sprintf("category%d", 1+i%10),
+		}
+	}
+
+	root := &datatree.Node{Label: "site"}
+	var itemIDs []string
+	sellerOfItem := make(map[string]string)
+	itemSeq := 0
+	var personIDs []string
+	for i := 0; i < nPeople; i++ {
+		personIDs = append(personIDs, fmt.Sprintf("person%d", i))
+	}
+
+	for _, rg := range regions {
+		region := root.AddChild("region")
+		region.AddLeaf("name", rg)
+		for i := 0; i < nItemsPerRegion; i++ {
+			itemSeq++
+			id := fmt.Sprintf("item%d", itemSeq)
+			t := pick(r, types)
+			seller := pick(r, personIDs)
+			item := region.AddChild("item")
+			item.AddLeaf("id", id)
+			item.AddLeaf("name", t.name)
+			item.AddLeaf("category", t.category)
+			item.AddLeaf("quantity", fmt.Sprintf("%d", 1+r.Intn(5)))
+			item.AddLeaf("seller", seller)
+			itemIDs = append(itemIDs, id)
+			sellerOfItem[id] = seller
+		}
+	}
+
+	for i := 0; i < nPeople; i++ {
+		person := root.AddChild("person")
+		name := personName(r)
+		person.AddLeaf("id", personIDs[i])
+		person.AddLeaf("name", name)
+		person.AddLeaf("email", fmt.Sprintf("u%d@example.org", i))
+		person.AddLeaf("country", pick(r, countries))
+	}
+
+	// increase per (item, person): the inter-relation ground truth.
+	incOf := make(map[string]string)
+	increase := func(item, person string) string {
+		k := item + "\x00" + person
+		if v, ok := incOf[k]; ok {
+			return v
+		}
+		v := fmt.Sprintf("%d.00", 1+r.Intn(50))
+		incOf[k] = v
+		return v
+	}
+
+	for i := 0; i < nAuctions; i++ {
+		itemID := pick(r, itemIDs)
+		auction := root.AddChild("auction")
+		auction.AddLeaf("id", fmt.Sprintf("auction%d", i))
+		auction.AddLeaf("itemref", itemID)
+		auction.AddLeaf("sellerref", sellerOfItem[itemID])
+		auction.AddLeaf("reserve", fmt.Sprintf("%d.00", 10+r.Intn(500)))
+		nBids := r.Intn(5)
+		for b := 0; b < nBids; b++ {
+			p := pick(r, personIDs)
+			bid := auction.AddChild("bid")
+			bid.AddLeaf("personref", p)
+			bid.AddLeaf("increase", increase(itemID, p))
+		}
+	}
+	tree := datatree.NewTree(root)
+
+	item := schema.Path("/site/region/item")
+	person := schema.Path("/site/person")
+	auction := schema.Path("/site/auction")
+	bid := schema.Path("/site/auction/bid")
+	return Dataset{
+		Name:   fmt.Sprintf("auction(factor=%d)", p.Factor),
+		Tree:   tree,
+		Schema: AuctionSchema,
+		GroundTruth: []Constraint{
+			{Class: item, LHS: []schema.RelPath{"./id"}, RHS: "./name", Key: true},
+			{Class: person, LHS: []schema.RelPath{"./id"}, RHS: "./name", Key: true},
+			{Class: auction, LHS: []schema.RelPath{"./id"}, RHS: "./itemref", Key: true},
+			{Class: item, LHS: []schema.RelPath{"./name"}, RHS: "./category"},
+			{Class: auction, LHS: []schema.RelPath{"./itemref"}, RHS: "./sellerref"},
+			{Class: bid, LHS: []schema.RelPath{"../itemref", "./personref"}, RHS: "./increase"},
+		},
+	}
+}

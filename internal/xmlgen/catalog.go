@@ -1,0 +1,100 @@
+package xmlgen
+
+import (
+	"fmt"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/schema"
+)
+
+// CatalogParams sizes the attribute-heavy product catalog generator.
+// Unlike the other datasets it stores most data in XML *attributes*
+// and mixed-content text, exercising the "@"-labeled leaf paths of
+// the data model end to end.
+type CatalogParams struct {
+	// Products is the number of product elements.
+	Products int
+	// SKUPool is the number of distinct SKUs; products sample from it
+	// (duplicate listings inject the redundancies).
+	SKUPool int
+	// Seed makes the dataset deterministic.
+	Seed int64
+}
+
+// DefaultCatalog returns the parameters used in tests.
+func DefaultCatalog() CatalogParams {
+	return CatalogParams{Products: 120, SKUPool: 40, Seed: 8}
+}
+
+// CatalogSchema declares the attribute-heavy schema: @sku, @line and
+// @currency are XML attributes, @text the mixed-content tier label.
+var CatalogSchema = schema.MustParse(`
+catalog: Rcd
+  vendor: str
+  product: SetOf Rcd
+    @sku: str
+    @line: str
+    @text: str
+    price: Rcd
+      @currency: str
+      amount: str
+    tag: SetOf str
+`)
+
+// Catalog generates the product catalog. Ground-truth constraints:
+//
+//	FD {./@sku} -> ./@line           w.r.t. C_product — the SKU fixes
+//	   the product line (duplicated listings make it redundant);
+//	FD {./@sku} -> ./tag             w.r.t. C_product — and the tag SET;
+//	FD {./@line} -> ./@text          w.r.t. C_product — the line fixes
+//	   the mixed-content tier label;
+//	FD {./@sku} -> ./price/@currency w.r.t. C_product.
+func Catalog(p CatalogParams) Dataset {
+	r := newRNG(p.Seed)
+	type sku struct {
+		id, line, currency string
+		tags               []string
+	}
+	lines := []string{"alpha", "beta", "gamma"}
+	tierOf := map[string]string{"alpha": "standard", "beta": "premium", "gamma": "clearance"}
+	tagPool := []string{"new", "sale", "eco", "import", "bulk", "fragile", "digital", "oversize"}
+	pool := make([]sku, p.SKUPool)
+	for i := range pool {
+		pool[i] = sku{
+			id:       fmt.Sprintf("SKU-%04d", i+1),
+			line:     pick(r, lines),
+			currency: pick(r, []string{"USD", "EUR", "KRW"}),
+			tags:     sample(r, tagPool, 1+r.Intn(3)),
+		}
+	}
+
+	root := &datatree.Node{Label: "catalog"}
+	root.AddLeaf("vendor", "Acme Trading")
+	for i := 0; i < p.Products; i++ {
+		sk := pick(r, pool)
+		prod := root.AddChild("product")
+		prod.AddLeaf("@sku", sk.id)
+		prod.AddLeaf("@line", sk.line)
+		prod.AddLeaf("@text", tierOf[sk.line])
+		price := prod.AddChild("price")
+		price.AddLeaf("@currency", sk.currency)
+		price.AddLeaf("amount", fmt.Sprintf("%d.%02d", 1+r.Intn(500), r.Intn(100)))
+		for _, tg := range shuffled(r, sk.tags) {
+			prod.AddLeaf("tag", tg)
+		}
+	}
+	tree := datatree.NewTree(root)
+
+	product := schema.Path("/catalog/product")
+	return Dataset{
+		Name:   fmt.Sprintf("catalog(products=%d,skus=%d)", p.Products, p.SKUPool),
+		Tree:   tree,
+		Schema: CatalogSchema,
+		GroundTruth: []Constraint{
+			{Class: product, LHS: []schema.RelPath{"./@sku"}, RHS: "./@line"},
+			{Class: product, LHS: []schema.RelPath{"./@sku"}, RHS: "./tag"},
+			{Class: product, LHS: []schema.RelPath{"./@line"}, RHS: "./@text"},
+			{Class: product, LHS: []schema.RelPath{"./@sku"}, RHS: "./price/@currency"},
+		},
+	}
+}

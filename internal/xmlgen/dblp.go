@@ -1,0 +1,128 @@
+package xmlgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/schema"
+)
+
+// DBLPParams sizes the DBLP-style bibliography generator.
+type DBLPParams struct {
+	// Venues is the number of journals/conferences.
+	Venues int
+	// ArticlesPerVenue is the number of article entries per venue.
+	ArticlesPerVenue int
+	// PaperPool is the number of distinct papers; sampling with
+	// replacement (each sample gets a fresh key) models the duplicate
+	// bibliography entries that make FDs redundancy-indicating.
+	PaperPool int
+	// Seed makes the dataset deterministic.
+	Seed int64
+}
+
+// DefaultDBLP returns the parameters used by experiment E1.
+func DefaultDBLP() DBLPParams {
+	return DBLPParams{Venues: 6, ArticlesPerVenue: 40, PaperPool: 120, Seed: 2}
+}
+
+// DBLPSchema declares the bibliography schema: venues containing
+// article entries with author sets.
+var DBLPSchema = schema.MustParse(`
+dblp: Rcd
+  venue: SetOf Rcd
+    name: str
+    publisher: str
+    article: SetOf Rcd
+      key: str
+      title: str
+      year: str
+      volume: str
+      author: SetOf str
+`)
+
+// DBLP generates a bibliography. Ground-truth constraints:
+//
+//	KEY {./key}                 of C_article — entry keys are unique;
+//	FD  {./author, ./title} -> ./year   w.r.t. C_article — duplicate
+//	    entries of one paper agree on the year (set element on LHS);
+//	FD  {../name, ./year} -> ./volume   w.r.t. C_article — within a
+//	    venue the year determines the volume (inter-relation).
+func DBLP(p DBLPParams) Dataset {
+	r := newRNG(p.Seed)
+
+	type paper struct {
+		title, year string
+		authors     []string
+	}
+	pool := make([]paper, 0, p.PaperPool)
+	seen := make(map[string]bool)
+	for i := 0; i < p.PaperPool; i++ {
+		var pp paper
+		for {
+			pp = paper{
+				title: titleCase(titleWords(r, 3)),
+				year:  fmt.Sprintf("%d", 1995+r.Intn(12)),
+			}
+			pp.authors = make([]string, 0, 1+r.Intn(3))
+			for _, ln := range sample(r, lastNames, 1+r.Intn(3)) {
+				pp.authors = append(pp.authors, pick(r, firstNames)+" "+ln)
+			}
+			sorted := append([]string(nil), pp.authors...)
+			sort.Strings(sorted)
+			k := strings.Join(sorted, "|") + "\x00" + pp.title
+			if !seen[k] {
+				seen[k] = true
+				break
+			}
+		}
+		pool = append(pool, pp)
+	}
+
+	volumeOf := make(map[string]string) // (venue, year) -> volume
+	volume := func(venue, year string) string {
+		k := venue + "\x00" + year
+		if v, ok := volumeOf[k]; ok {
+			return v
+		}
+		v := fmt.Sprintf("%d", 1+len(volumeOf)%60)
+		volumeOf[k] = v
+		return v
+	}
+
+	root := &datatree.Node{Label: "dblp"}
+	keySeq := 0
+	for vi := 0; vi < p.Venues; vi++ {
+		venue := root.AddChild("venue")
+		vname := fmt.Sprintf("Journal of %s %s", titleCase(pick(r, adjectives)), titleCase(pick(r, nouns)))
+		venue.AddLeaf("name", vname)
+		venue.AddLeaf("publisher", pick(r, []string{"ACM", "IEEE", "Springer", "Elsevier"}))
+		for ai := 0; ai < p.ArticlesPerVenue; ai++ {
+			pp := pick(r, pool)
+			keySeq++
+			art := venue.AddChild("article")
+			art.AddLeaf("key", fmt.Sprintf("entry/%06d", keySeq))
+			art.AddLeaf("title", pp.title)
+			art.AddLeaf("year", pp.year)
+			art.AddLeaf("volume", volume(vname, pp.year))
+			for _, a := range shuffled(r, pp.authors) {
+				art.AddLeaf("author", a)
+			}
+		}
+	}
+	tree := datatree.NewTree(root)
+
+	article := schema.Path("/dblp/venue/article")
+	return Dataset{
+		Name:   fmt.Sprintf("dblp(venues=%d,articles=%d,pool=%d)", p.Venues, p.ArticlesPerVenue, p.PaperPool),
+		Tree:   tree,
+		Schema: DBLPSchema,
+		GroundTruth: []Constraint{
+			{Class: article, LHS: []schema.RelPath{"./key"}, RHS: "./title", Key: true},
+			{Class: article, LHS: []schema.RelPath{"./author", "./title"}, RHS: "./year"},
+			{Class: article, LHS: []schema.RelPath{"../name", "./year"}, RHS: "./volume"},
+		},
+	}
+}

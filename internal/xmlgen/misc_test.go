@@ -1,0 +1,89 @@
+package xmlgen
+
+import (
+	"strings"
+	"testing"
+
+	"discoverxfd/internal/schema"
+)
+
+func TestConstraintString(t *testing.T) {
+	c := Constraint{Class: "/a/b", LHS: []schema.RelPath{"./x", "./y"}, RHS: "./z"}
+	if got := c.String(); got != "FD {./x, ./y} -> ./z w.r.t. C(/a/b)" {
+		t.Fatalf("Constraint.String: %q", got)
+	}
+	c.Key = true
+	if !strings.HasPrefix(c.String(), "KEY ") {
+		t.Fatalf("key prefix missing: %q", c.String())
+	}
+}
+
+func TestTitleCase(t *testing.T) {
+	cases := map[string]string{
+		"hello world": "Hello World",
+		"a":           "A",
+		"":            "",
+		"Already Up":  "Already Up",
+		"x  y":        "X  Y",
+	}
+	for in, want := range cases {
+		if got := titleCase(in); got != want {
+			t.Errorf("titleCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	r := newRNG(1)
+	xs := []int{1, 2, 3, 4, 5}
+	if got := sample(r, xs, 10); len(got) != len(xs) {
+		t.Fatalf("sample should cap at len: %v", got)
+	}
+	sh := shuffled(r, xs)
+	if len(sh) != len(xs) {
+		t.Fatalf("shuffled length: %v", sh)
+	}
+	sum := 0
+	for _, v := range sh {
+		sum += v
+	}
+	if sum != 15 {
+		t.Fatalf("shuffled must permute, not mutate: %v", sh)
+	}
+	if v := pick(r, xs); v < 1 || v > 5 {
+		t.Fatalf("pick out of range: %d", v)
+	}
+	if n := personName(r); !strings.Contains(n, " ") {
+		t.Fatalf("personName: %q", n)
+	}
+	if w := titleWords(r, 3); len(strings.Fields(w)) != 3 {
+		t.Fatalf("titleWords: %q", w)
+	}
+}
+
+func TestWideParamClamps(t *testing.T) {
+	ds := Wide(WideParams{Rows: 10, Attrs: 1, Domain: 1, Seed: 1})
+	if got := len(ds.Tree.Root.Children[0].Children); got != 2 {
+		t.Fatalf("Attrs should clamp to 2, got %d leaf children", got)
+	}
+	ds = Wide(WideParams{Rows: 3, Attrs: 30, Domain: 3, FDEvery: 2, Seed: 1})
+	if len(ds.GroundTruth) == 0 {
+		t.Fatal("FDEvery should inject ground truth")
+	}
+}
+
+func TestPSDParamClamps(t *testing.T) {
+	for _, k := range []int{-3, 0, 1, 4, 9} {
+		ds := PSD(PSDParams{Entries: 5, ProteinPool: 3, UnrelatedSets: k, MembersPerSet: 0, Seed: 2})
+		if ds.Tree == nil || ds.Schema == nil {
+			t.Fatalf("PSD(%d) broken", k)
+		}
+	}
+}
+
+func TestAuctionFactorClamp(t *testing.T) {
+	ds := Auction(AuctionParams{Factor: 0, Seed: 1})
+	if ds.Tree.Size() == 0 {
+		t.Fatal("factor clamp broken")
+	}
+}

@@ -1,0 +1,146 @@
+package xmlgen
+
+import (
+	"fmt"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/schema"
+)
+
+// MondialParams sizes the Mondial-style geography generator. Mondial
+// is the classic deeply nested XML dataset (countries → provinces →
+// cities); this variant also exercises the Choice model group
+// (government: republic | monarchy), which the other generators do
+// not.
+type MondialParams struct {
+	// Countries, ProvincesPerCountry, CitiesPerProvince size the
+	// hierarchy.
+	Countries, ProvincesPerCountry, CitiesPerProvince int
+	// CityPool is the number of distinct city identities (name +
+	// elevation); provinces sample from it, duplicating city names.
+	CityPool int
+	// Organizations adds international organizations with member
+	// sets.
+	Organizations int
+	// Seed makes the dataset deterministic.
+	Seed int64
+}
+
+// DefaultMondial returns the parameters used in tests.
+func DefaultMondial() MondialParams {
+	return MondialParams{
+		Countries: 8, ProvincesPerCountry: 3, CitiesPerProvince: 6,
+		CityPool: 30, Organizations: 4, Seed: 6,
+	}
+}
+
+// MondialSchema declares the geography schema, including a Choice
+// element.
+var MondialSchema = schema.MustParse(`
+mondial: Rcd
+  country: SetOf Rcd
+    name: str
+    capital: str
+    government: Choice
+      republic: str
+      monarchy: str
+    province: SetOf Rcd
+      name: str
+      area: str
+      city: SetOf Rcd
+        name: str
+        population: int
+        elevation: str
+  organization: SetOf Rcd
+    abbrev: str
+    name: str
+    member: SetOf str
+`)
+
+// Mondial generates a geography document. Ground-truth constraints:
+//
+//	KEY {./name}                      of C_country;
+//	KEY {./abbrev}                    of C_organization;
+//	FD  {./name} -> ./elevation       w.r.t. C_city — city identities
+//	    are drawn from a pool with a fixed elevation per name;
+//	FD  {../../name, ./name} -> ./population w.r.t. C_city — the
+//	    population is fixed per (country, city name), an
+//	    inter-relation FD skipping the province level.
+//
+// Exactly one of government/republic and government/monarchy is
+// present per country (the Choice model group), so FDs over those
+// paths exercise strong-satisfaction nulls structurally.
+func Mondial(p MondialParams) Dataset {
+	r := newRNG(p.Seed)
+
+	type cityID struct{ name, elevation string }
+	pool := make([]cityID, p.CityPool)
+	for i := range pool {
+		pool[i] = cityID{
+			name:      fmt.Sprintf("%s %s", titleCase(pick(r, adjectives)), titleCase(pick(r, nouns))),
+			elevation: fmt.Sprintf("%dm", 5+r.Intn(2500)),
+		}
+	}
+	popOf := make(map[string]string) // (country, city name) -> population
+	population := func(country, city string) string {
+		k := country + "\x00" + city
+		if v, ok := popOf[k]; ok {
+			return v
+		}
+		v := fmt.Sprintf("%d", 1000+r.Intn(5_000_000))
+		popOf[k] = v
+		return v
+	}
+
+	root := &datatree.Node{Label: "mondial"}
+	var countryNames []string
+	for c := 0; c < p.Countries; c++ {
+		country := root.AddChild("country")
+		cname := fmt.Sprintf("Country %c%d", 'A'+c%26, c)
+		countryNames = append(countryNames, cname)
+		country.AddLeaf("name", cname)
+		country.AddLeaf("capital", pick(r, cities))
+		gov := country.AddChild("government")
+		if r.Intn(3) > 0 {
+			gov.AddLeaf("republic", pick(r, []string{"president", "chancellor", "premier"}))
+		} else {
+			gov.AddLeaf("monarchy", pick(r, []string{"house of gold", "house of oak", "house of ivy"}))
+		}
+		for pr := 0; pr < p.ProvincesPerCountry; pr++ {
+			province := country.AddChild("province")
+			province.AddLeaf("name", fmt.Sprintf("%s Province %d", cname, pr+1))
+			province.AddLeaf("area", fmt.Sprintf("%d", 100+r.Intn(9000)))
+			for ci := 0; ci < p.CitiesPerProvince; ci++ {
+				id := pick(r, pool)
+				city := province.AddChild("city")
+				city.AddLeaf("name", id.name)
+				city.AddLeaf("population", population(cname, id.name))
+				city.AddLeaf("elevation", id.elevation)
+			}
+		}
+	}
+	for o := 0; o < p.Organizations; o++ {
+		org := root.AddChild("organization")
+		org.AddLeaf("abbrev", fmt.Sprintf("ORG%d", o+1))
+		org.AddLeaf("name", fmt.Sprintf("Organization of %s %s", titleCase(pick(r, adjectives)), titleCase(pick(r, nouns))))
+		for _, m := range sample(r, countryNames, 2+r.Intn(len(countryNames)-1)) {
+			org.AddLeaf("member", m)
+		}
+	}
+	tree := datatree.NewTree(root)
+
+	country := schema.Path("/mondial/country")
+	city := schema.Path("/mondial/country/province/city")
+	organization := schema.Path("/mondial/organization")
+	return Dataset{
+		Name:   fmt.Sprintf("mondial(countries=%d,pool=%d)", p.Countries, p.CityPool),
+		Tree:   tree,
+		Schema: MondialSchema,
+		GroundTruth: []Constraint{
+			{Class: country, LHS: []schema.RelPath{"./name"}, RHS: "./capital", Key: true},
+			{Class: organization, LHS: []schema.RelPath{"./abbrev"}, RHS: "./name", Key: true},
+			{Class: city, LHS: []schema.RelPath{"./name"}, RHS: "./elevation"},
+			{Class: city, LHS: []schema.RelPath{"../../name", "./name"}, RHS: "./population"},
+		},
+	}
+}

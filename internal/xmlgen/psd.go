@@ -1,0 +1,208 @@
+package xmlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/schema"
+)
+
+// PSDParams sizes the PIR/PSD-style protein database generator — the
+// paper's introduction (footnote 1) names PIR as the kind of large,
+// casually designed community resource whose redundancies motivate
+// the system.
+type PSDParams struct {
+	// Entries is the number of protein entries.
+	Entries int
+	// ProteinPool is the number of distinct proteins; entries sample
+	// from it (with fresh ids), injecting redundancy.
+	ProteinPool int
+	// UnrelatedSets (1..4) selects how many sibling set elements each
+	// entry carries (keyword, reference, feature, accession). The
+	// flat representation's tuple count grows multiplicatively in
+	// this knob (experiment E3), while the hierarchical one grows
+	// additively.
+	UnrelatedSets int
+	// MembersPerSet is the expected member count of each set element.
+	MembersPerSet int
+	// Seed makes the dataset deterministic.
+	Seed int64
+}
+
+// DefaultPSD returns the parameters used by experiment E1.
+func DefaultPSD() PSDParams {
+	return PSDParams{Entries: 150, ProteinPool: 60, UnrelatedSets: 4, MembersPerSet: 2, Seed: 3}
+}
+
+// PSDSchema builds the schema carrying the first k unrelated set
+// elements (k in 1..4).
+func PSDSchema(k int) *schema.Schema {
+	if k < 1 {
+		k = 1
+	}
+	if k > 4 {
+		k = 4
+	}
+	var b strings.Builder
+	b.WriteString(`
+proteinDatabase: Rcd
+  entry: SetOf Rcd
+    id: str
+    protein: Rcd
+      name: str
+      classification: str
+    organism: Rcd
+      scientific: str
+      common: str
+`)
+	sets := []string{
+		"    keyword: SetOf str\n",
+		"    reference: SetOf Rcd\n      title: str\n      year: str\n      author: SetOf str\n",
+		"    feature: SetOf Rcd\n      type: str\n      location: str\n",
+		"    accession: SetOf str\n",
+	}
+	for i := 0; i < k; i++ {
+		b.WriteString(sets[i])
+	}
+	return schema.MustParse(b.String())
+}
+
+// PSD generates a protein database. Ground-truth constraints:
+//
+//	KEY {./id}                                    of C_entry;
+//	FD  {./protein/name} -> ./protein/classification w.r.t. C_entry;
+//	FD  {./organism/scientific} -> ./organism/common w.r.t. C_entry;
+//	FD  {./protein/name} -> ./keyword             w.r.t. C_entry
+//	    (set element on the RHS; present when UnrelatedSets ≥ 1);
+//	FD  {./title} -> ./year  and  {./title} -> ./author
+//	    w.r.t. C_reference (present when UnrelatedSets ≥ 2).
+func PSD(p PSDParams) Dataset {
+	if p.UnrelatedSets < 1 {
+		p.UnrelatedSets = 1
+	}
+	if p.UnrelatedSets > 4 {
+		p.UnrelatedSets = 4
+	}
+	if p.MembersPerSet < 1 {
+		p.MembersPerSet = 1
+	}
+	r := newRNG(p.Seed)
+	s := PSDSchema(p.UnrelatedSets)
+
+	type protein struct {
+		name, class      string
+		organism, common string
+		keywords         []string
+		features         [][2]string
+		accessions       []string
+		refTitles        []int // indices into refPool
+	}
+	type refPaper struct {
+		title, year string
+		authors     []string
+	}
+
+	refPool := make([]refPaper, 40)
+	for i := range refPool {
+		refPool[i] = refPaper{
+			title:   titleCase(titleWords(r, 3)) + fmt.Sprintf(" %d", i+1),
+			year:    fmt.Sprintf("%d", 1980+r.Intn(25)),
+			authors: sample(r, lastNames, 1+r.Intn(3)),
+		}
+	}
+	organisms := [][2]string{
+		{"Homo sapiens", "human"}, {"Mus musculus", "mouse"},
+		{"Rattus norvegicus", "rat"}, {"Gallus gallus", "chicken"},
+		{"Escherichia coli", "colibacillus"}, {"Saccharomyces cerevisiae", "yeast"},
+	}
+	classes := []string{"oxidoreductase", "transferase", "hydrolase", "lyase", "isomerase", "ligase"}
+	kwPool := []string{"membrane", "signal", "kinase", "receptor", "transport",
+		"binding", "repeat", "zinc", "glyco", "nuclear", "mito", "cyto"}
+	featTypes := []string{"domain", "binding site", "active site", "modified site"}
+
+	pool := make([]protein, p.ProteinPool)
+	for i := range pool {
+		org := pick(r, organisms)
+		pool[i] = protein{
+			name:     fmt.Sprintf("%s %s %d", titleCase(pick(r, adjectives)), "protein", i+1),
+			class:    pick(r, classes),
+			organism: org[0],
+			common:   org[1],
+			keywords: sample(r, kwPool, 1+r.Intn(p.MembersPerSet+1)),
+		}
+		for f := 0; f < 1+r.Intn(p.MembersPerSet+1); f++ {
+			pool[i].features = append(pool[i].features,
+				[2]string{pick(r, featTypes), fmt.Sprintf("%d-%d", 1+r.Intn(200), 201+r.Intn(300))})
+		}
+		for a := 0; a < 1+r.Intn(p.MembersPerSet); a++ {
+			pool[i].accessions = append(pool[i].accessions, fmt.Sprintf("A%05d", r.Intn(99999)))
+		}
+		for rf := 0; rf < 1+r.Intn(p.MembersPerSet+1); rf++ {
+			pool[i].refTitles = append(pool[i].refTitles, r.Intn(len(refPool)))
+		}
+	}
+
+	root := &datatree.Node{Label: "proteinDatabase"}
+	for e := 0; e < p.Entries; e++ {
+		pr := pick(r, pool)
+		entry := root.AddChild("entry")
+		entry.AddLeaf("id", fmt.Sprintf("PSD%06d", e+1))
+		prot := entry.AddChild("protein")
+		prot.AddLeaf("name", pr.name)
+		prot.AddLeaf("classification", pr.class)
+		org := entry.AddChild("organism")
+		org.AddLeaf("scientific", pr.organism)
+		org.AddLeaf("common", pr.common)
+		if p.UnrelatedSets >= 1 {
+			for _, kw := range shuffled(r, pr.keywords) {
+				entry.AddLeaf("keyword", kw)
+			}
+		}
+		if p.UnrelatedSets >= 2 {
+			for _, ri := range pr.refTitles {
+				rp := refPool[ri]
+				ref := entry.AddChild("reference")
+				ref.AddLeaf("title", rp.title)
+				ref.AddLeaf("year", rp.year)
+				for _, a := range shuffled(r, rp.authors) {
+					ref.AddLeaf("author", a)
+				}
+			}
+		}
+		if p.UnrelatedSets >= 3 {
+			for _, f := range pr.features {
+				feat := entry.AddChild("feature")
+				feat.AddLeaf("type", f[0])
+				feat.AddLeaf("location", f[1])
+			}
+		}
+		if p.UnrelatedSets >= 4 {
+			for _, acc := range pr.accessions {
+				entry.AddLeaf("accession", acc)
+			}
+		}
+	}
+	tree := datatree.NewTree(root)
+
+	entry := schema.Path("/proteinDatabase/entry")
+	gt := []Constraint{
+		{Class: entry, LHS: []schema.RelPath{"./id"}, RHS: "./protein/name", Key: true},
+		{Class: entry, LHS: []schema.RelPath{"./protein/name"}, RHS: "./protein/classification"},
+		{Class: entry, LHS: []schema.RelPath{"./organism/scientific"}, RHS: "./organism/common"},
+		{Class: entry, LHS: []schema.RelPath{"./protein/name"}, RHS: "./keyword"},
+	}
+	if p.UnrelatedSets >= 2 {
+		ref := schema.Path("/proteinDatabase/entry/reference")
+		gt = append(gt,
+			Constraint{Class: ref, LHS: []schema.RelPath{"./title"}, RHS: "./year"},
+			Constraint{Class: ref, LHS: []schema.RelPath{"./title"}, RHS: "./author"},
+		)
+	}
+	return Dataset{
+		Name:        fmt.Sprintf("psd(entries=%d,pool=%d,sets=%d)", p.Entries, p.ProteinPool, p.UnrelatedSets),
+		Tree:        tree,
+		Schema:      s,
+		GroundTruth: gt,
+	}
+}

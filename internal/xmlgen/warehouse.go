@@ -1,0 +1,168 @@
+package xmlgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/schema"
+)
+
+// WarehouseParams sizes the warehouse generator (the paper's Figure 1
+// example, scaled).
+type WarehouseParams struct {
+	// States, StoresPerState, BooksPerStore size the hierarchy.
+	States, StoresPerState, BooksPerStore int
+	// CatalogSize is the number of distinct books (ISBNs); stores
+	// sample from the catalog, so a smaller catalog means more
+	// redundancy.
+	CatalogSize int
+	// Chains is the number of distinct store names; prices are set
+	// per (chain, ISBN), which injects the paper's Constraint 2.
+	Chains int
+	// MissingPricePermille drops the price element with probability
+	// n/1000, exercising strong-satisfaction null handling.
+	MissingPricePermille int
+	// Seed makes the dataset deterministic.
+	Seed int64
+}
+
+// DefaultWarehouse returns the parameters used by experiment E1.
+func DefaultWarehouse() WarehouseParams {
+	return WarehouseParams{
+		States: 4, StoresPerState: 3, BooksPerStore: 12,
+		CatalogSize: 18, Chains: 4, MissingPricePermille: 100, Seed: 1,
+	}
+}
+
+// WarehouseSchema is the example schema of the paper's Figure 2.
+var WarehouseSchema = schema.MustParse(`
+warehouse: Rcd
+  state: SetOf Rcd
+    name: str
+    store: SetOf Rcd
+      contact: Rcd
+        name: str
+        address: str
+      book: SetOf Rcd
+        ISBN: str
+        author: SetOf str
+        title: str
+        price: str
+`)
+
+// Warehouse generates a warehouse document. By construction it
+// satisfies the paper's four example constraints:
+//
+//	FD 1: {./ISBN} -> ./title            w.r.t. C_book
+//	FD 2: {../contact/name, ./ISBN} -> ./price w.r.t. C_book
+//	FD 3: {./ISBN} -> ./author           w.r.t. C_book (a set element)
+//	FD 4: {./author, ./title} -> ./ISBN  w.r.t. C_book (set on the LHS)
+//
+// Author order is shuffled per book instance, so FD 3 and FD 4 hold
+// only under the unordered set semantics the paper argues for.
+func Warehouse(p WarehouseParams) Dataset {
+	r := newRNG(p.Seed)
+
+	type catBook struct {
+		isbn, title string
+		authors     []string
+	}
+	catalog := make([]catBook, 0, p.CatalogSize)
+	seenAT := make(map[string]bool) // (authors,title) -> taken, enforcing FD 4
+	for i := 0; i < p.CatalogSize; i++ {
+		b := catBook{isbn: fmt.Sprintf("978-%07d", i+1)}
+		for {
+			b.title = titleCase(titleWords(r, 2))
+			na := 1 + r.Intn(3)
+			b.authors = sample(r, lastNames, na)
+			sorted := append([]string(nil), b.authors...)
+			sort.Strings(sorted)
+			key := strings.Join(sorted, "|") + "\x00" + b.title
+			if !seenAT[key] {
+				seenAT[key] = true
+				break
+			}
+		}
+		catalog = append(catalog, b)
+	}
+
+	chains := make([]string, p.Chains)
+	for i := range chains {
+		chains[i] = fmt.Sprintf("%s Books", titleCase(pick(r, adjectives)))
+		for j := 0; j < i; j++ {
+			if chains[j] == chains[i] {
+				chains[i] = fmt.Sprintf("%s Books %d", titleCase(pick(r, adjectives)), i)
+			}
+		}
+	}
+	// price per (chain, ISBN): Constraint 2 by construction.
+	priceOf := make(map[string]string)
+	price := func(chain, isbn string) string {
+		k := chain + "\x00" + isbn
+		if v, ok := priceOf[k]; ok {
+			return v
+		}
+		v := fmt.Sprintf("%d.%02d", 5+r.Intn(95), r.Intn(100))
+		priceOf[k] = v
+		return v
+	}
+
+	// Two passes: a price may only be omitted when its (chain, ISBN)
+	// combination is globally unique — like book 80 in the paper's
+	// Figure 1 — otherwise the missing RHS would violate FD 2 under
+	// strong satisfaction (Definition 7 requires non-null RHS for
+	// pairs that agree on the LHS).
+	type pendingBook struct {
+		node        *datatree.Node
+		chain, isbn string
+	}
+	var pending []pendingBook
+	comboCount := make(map[string]int)
+
+	root := &datatree.Node{Label: "warehouse"}
+	for si := 0; si < p.States; si++ {
+		state := root.AddChild("state")
+		state.AddLeaf("name", fmt.Sprintf("S%02d", si+1))
+		for st := 0; st < p.StoresPerState; st++ {
+			store := state.AddChild("store")
+			chain := pick(r, chains)
+			contact := store.AddChild("contact")
+			contact.AddLeaf("name", chain)
+			contact.AddLeaf("address", pick(r, cities))
+			for bi := 0; bi < p.BooksPerStore; bi++ {
+				cb := pick(r, catalog)
+				book := store.AddChild("book")
+				book.AddLeaf("ISBN", cb.isbn)
+				for _, a := range shuffled(r, cb.authors) {
+					book.AddLeaf("author", a)
+				}
+				book.AddLeaf("title", cb.title)
+				pending = append(pending, pendingBook{node: book, chain: chain, isbn: cb.isbn})
+				comboCount[chain+"\x00"+cb.isbn]++
+			}
+		}
+	}
+	for _, pb := range pending {
+		unique := comboCount[pb.chain+"\x00"+pb.isbn] == 1
+		if unique && r.Intn(1000) < p.MissingPricePermille {
+			continue
+		}
+		pb.node.AddLeaf("price", price(pb.chain, pb.isbn))
+	}
+	tree := datatree.NewTree(root)
+
+	book := schema.Path("/warehouse/state/store/book")
+	return Dataset{
+		Name:   fmt.Sprintf("warehouse(states=%d,stores=%d,books=%d,catalog=%d)", p.States, p.StoresPerState, p.BooksPerStore, p.CatalogSize),
+		Tree:   tree,
+		Schema: WarehouseSchema,
+		GroundTruth: []Constraint{
+			{Class: book, LHS: []schema.RelPath{"./ISBN"}, RHS: "./title"},
+			{Class: book, LHS: []schema.RelPath{"./ISBN"}, RHS: "./author"},
+			{Class: book, LHS: []schema.RelPath{"./author", "./title"}, RHS: "./ISBN"},
+			{Class: book, LHS: []schema.RelPath{"../contact/name", "./ISBN"}, RHS: "./price"},
+		},
+	}
+}

@@ -1,0 +1,123 @@
+package xmlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/schema"
+)
+
+// WideParams sizes the synthetic wide-relation generator used by
+// experiment E4 (schema-width sensitivity): a single set element
+// whose record payload has Attrs leaf attributes. Lattice size — and
+// therefore relational FD discovery cost — grows exponentially in
+// Attrs, which is the paper's argument for why flat-representation
+// discovery does not scale with schema complexity.
+type WideParams struct {
+	// Rows is the number of tuples.
+	Rows int
+	// Attrs is the number of leaf attributes per tuple (2..26).
+	Attrs int
+	// Domain is the number of distinct values per independent
+	// attribute; smaller domains mean larger partition groups.
+	Domain int
+	// FDEvery injects a dependency a_{i} -> a_{i+1} for every i
+	// divisible by FDEvery (0 disables injection, making attributes
+	// independent).
+	FDEvery int
+	// NoisePermille corrupts each derived value with probability
+	// n/1000, turning the injected dependencies into approximate FDs
+	// (experiment E8). Corrupted values are drawn outside the normal
+	// derived domain so every corruption is a real violation.
+	NoisePermille int
+	// Seed makes the dataset deterministic.
+	Seed int64
+}
+
+// DefaultWide returns the parameters used by experiment E4 at width w.
+func DefaultWide(w int) WideParams {
+	return WideParams{Rows: 400, Attrs: w, Domain: 12, FDEvery: 3, Seed: 5}
+}
+
+// WideSchema builds the flat one-set-element schema with n leaf
+// attributes named a1..an.
+func WideSchema(n int) *schema.Schema {
+	var b strings.Builder
+	b.WriteString("table: Rcd\n  row: SetOf Rcd\n")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "    a%d: str\n", i)
+	}
+	return schema.MustParse(b.String())
+}
+
+// Wide generates the synthetic wide relation. When FDEvery > 0, the
+// injected dependencies {./a_i} -> ./a_{i+1} (for i ≡ 0 mod FDEvery)
+// are reported as ground truth.
+func Wide(p WideParams) Dataset {
+	if p.Attrs < 2 {
+		p.Attrs = 2
+	}
+	if p.Attrs > 26 {
+		p.Attrs = 26
+	}
+	if p.Domain < 2 {
+		p.Domain = 2
+	}
+	r := newRNG(p.Seed)
+
+	// derived[i] = true means a_{i+1} is a function of a_i.
+	derived := make([]bool, p.Attrs+1)
+	if p.FDEvery > 0 {
+		for i := p.FDEvery; i+1 <= p.Attrs; i += p.FDEvery {
+			derived[i+1] = true
+		}
+	}
+	fn := make([]map[string]string, p.Attrs+1)
+	for i := range fn {
+		fn[i] = make(map[string]string)
+	}
+
+	root := &datatree.Node{Label: "table"}
+	for t := 0; t < p.Rows; t++ {
+		row := root.AddChild("row")
+		prev := ""
+		for i := 1; i <= p.Attrs; i++ {
+			var v string
+			if derived[i] {
+				var ok bool
+				v, ok = fn[i][prev]
+				if !ok {
+					v = fmt.Sprintf("d%d_%d", i, len(fn[i])%p.Domain)
+					fn[i][prev] = v
+				}
+				if p.NoisePermille > 0 && r.Intn(1000) < p.NoisePermille {
+					v = fmt.Sprintf("noise%d_%d", i, t)
+				}
+			} else {
+				v = fmt.Sprintf("v%d_%d", i, r.Intn(p.Domain))
+			}
+			row.AddLeaf(fmt.Sprintf("a%d", i), v)
+			prev = v
+		}
+	}
+	tree := datatree.NewTree(root)
+
+	rowPath := schema.Path("/table/row")
+	var gt []Constraint
+	for i := 1; i < p.Attrs; i++ {
+		if derived[i+1] {
+			gt = append(gt, Constraint{
+				Class: rowPath,
+				LHS:   []schema.RelPath{schema.RelPath(fmt.Sprintf("./a%d", i))},
+				RHS:   schema.RelPath(fmt.Sprintf("./a%d", i+1)),
+			})
+		}
+	}
+	return Dataset{
+		Name:        fmt.Sprintf("wide(rows=%d,attrs=%d,domain=%d)", p.Rows, p.Attrs, p.Domain),
+		Tree:        tree,
+		Schema:      WideSchema(p.Attrs),
+		GroundTruth: gt,
+	}
+}

@@ -1,0 +1,96 @@
+package discoverxfd
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFD is the wire form of an FD.
+type jsonFD struct {
+	Class       string   `json:"class"`
+	LHS         []string `json:"lhs"`
+	RHS         string   `json:"rhs"`
+	Inter       bool     `json:"interRelation,omitempty"`
+	Approximate bool     `json:"approximate,omitempty"`
+	G3Error     float64  `json:"g3Error,omitempty"`
+	// Redundancy witnesses (exact FDs only).
+	RedundantValues int `json:"redundantValues"`
+	WitnessGroups   int `json:"witnessGroups"`
+}
+
+type jsonKey struct {
+	Class string   `json:"class"`
+	LHS   []string `json:"lhs"`
+	Inter bool     `json:"interRelation,omitempty"`
+}
+
+type jsonResult struct {
+	FDs       []jsonFD  `json:"fds"`
+	Keys      []jsonKey `json:"keys"`
+	ApproxFDs []jsonFD  `json:"approxFDs,omitempty"`
+	Stats     struct {
+		Relations          int    `json:"relations"`
+		Tuples             int    `json:"tuples"`
+		LatticeNodes       int    `json:"latticeNodes"`
+		PartitionsComputed int    `json:"partitionsComputed"`
+		TargetsCreated     int    `json:"targetsCreated"`
+		TargetsPropagated  int    `json:"targetsPropagated"`
+		TargetsDropped     int    `json:"targetsDropped"`
+		IntraTime          string `json:"intraTime"`
+		InterTime          string `json:"interTime"`
+	} `json:"stats"`
+}
+
+func relStrings(rs []RelPath) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = string(r)
+	}
+	return out
+}
+
+// WriteJSON renders a discovery result as a stable JSON document, for
+// machine consumption of the CLI output (discoverxfd -json).
+func WriteJSON(w io.Writer, res *Result) error {
+	var jr jsonResult
+	jr.FDs = make([]jsonFD, 0, len(res.FDs))
+	for i, fd := range res.FDs {
+		j := jsonFD{
+			Class: string(fd.Class),
+			LHS:   relStrings(fd.LHS),
+			RHS:   string(fd.RHS),
+			Inter: fd.Inter,
+		}
+		if i < len(res.Redundancies) {
+			j.RedundantValues = res.Redundancies[i].RedundantValues
+			j.WitnessGroups = res.Redundancies[i].Groups
+		}
+		jr.FDs = append(jr.FDs, j)
+	}
+	jr.Keys = make([]jsonKey, 0, len(res.Keys))
+	for _, k := range res.Keys {
+		jr.Keys = append(jr.Keys, jsonKey{Class: string(k.Class), LHS: relStrings(k.LHS), Inter: k.Inter})
+	}
+	for _, fd := range res.ApproxFDs {
+		jr.ApproxFDs = append(jr.ApproxFDs, jsonFD{
+			Class:       string(fd.Class),
+			LHS:         relStrings(fd.LHS),
+			RHS:         string(fd.RHS),
+			Approximate: true,
+			G3Error:     fd.Error,
+		})
+	}
+	jr.Stats.Relations = res.Stats.Relations
+	jr.Stats.Tuples = res.Stats.Tuples
+	jr.Stats.LatticeNodes = res.Stats.NodesVisited
+	jr.Stats.PartitionsComputed = res.Stats.PartitionsComputed
+	jr.Stats.TargetsCreated = res.Stats.TargetsCreated
+	jr.Stats.TargetsPropagated = res.Stats.TargetsPropagated
+	jr.Stats.TargetsDropped = res.Stats.TargetsDropped
+	jr.Stats.IntraTime = res.Stats.IntraTime.String()
+	jr.Stats.InterTime = res.Stats.InterTime.String()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jr)
+}

@@ -1,0 +1,29 @@
+package discoverxfd
+
+import (
+	"discoverxfd/internal/refine"
+)
+
+// Suggestion is one proposed schema refinement (see
+// SuggestRefinements).
+type Suggestion = refine.Suggestion
+
+// SuggestRefinements turns a discovery result into ranked
+// schema-refinement actions in the XML-Normal-Form spirit: each
+// redundancy-indicating FD is repaired by moving its RHS element into
+// a new set element keyed by the LHS. Suggestions are ranked by the
+// redundant values they would save.
+func SuggestRefinements(h *Hierarchy, res *Result) []Suggestion {
+	return refine.Suggest(h, res)
+}
+
+// ApplyRefinement performs one suggested repair on the document in
+// place: it hoists one (LHS, RHS) pair per distinct LHS value into a
+// new top-level lookup element and removes the now-derivable RHS
+// nodes, returning how many RHS occurrences were removed. Only
+// intra-relation FDs over leaf paths (with a leaf or simple-set RHS)
+// are supported; re-infer the schema to keep working with the
+// refined document.
+func ApplyRefinement(doc *Document, h *Hierarchy, fd FD) (int, error) {
+	return refine.Apply(doc, h, fd)
+}

@@ -1,0 +1,102 @@
+package discoverxfd
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"discoverxfd/internal/schema"
+)
+
+// WriteReport renders a human-readable summary of a discovery result:
+// redundancy-indicating FDs grouped by tuple class (most redundant
+// first within each class), then keys per class, then run statistics.
+func WriteReport(w io.Writer, res *Result) error {
+	ew := &errw{w: w}
+
+	fmt.Fprintf(ew, "Redundancy-indicating XML FDs: %d\n", len(res.FDs))
+	byClass := map[schema.Path][]Redundancy{}
+	var classes []schema.Path
+	for _, r := range res.Redundancies {
+		if _, ok := byClass[r.FD.Class]; !ok {
+			classes = append(classes, r.FD.Class)
+		}
+		byClass[r.FD.Class] = append(byClass[r.FD.Class], r)
+	}
+	for _, c := range classes {
+		fmt.Fprintf(ew, "\n  tuple class C(%s):\n", c)
+		rs := byClass[c]
+		for i := 0; i < len(rs); i++ {
+			for j := i + 1; j < len(rs); j++ {
+				if rs[j].RedundantValues > rs[i].RedundantValues {
+					rs[i], rs[j] = rs[j], rs[i]
+				}
+			}
+		}
+		for _, r := range rs {
+			fmt.Fprintf(ew, "    {%s} -> %s   (%d redundant value(s) in %d group(s))\n",
+				joinRelPaths(r.FD.LHS), r.FD.RHS, r.RedundantValues, r.Groups)
+		}
+	}
+
+	fmt.Fprintf(ew, "\nXML Keys: %d\n", len(res.Keys))
+	var last schema.Path
+	for _, k := range res.Keys {
+		if k.Class != last {
+			fmt.Fprintf(ew, "\n  tuple class C(%s):\n", k.Class)
+			last = k.Class
+		}
+		fmt.Fprintf(ew, "    {%s}\n", joinRelPaths(k.LHS))
+	}
+
+	st := res.Stats
+	fmt.Fprintf(ew, "\nRun: %d relation(s), %d tuple(s), %d lattice node(s), %d partition product(s)\n",
+		st.Relations, st.Tuples, st.NodesVisited, st.PartitionsComputed)
+	fmt.Fprintf(ew, "     targets created %d, propagated %d, dropped %d; intra %v, inter %v\n",
+		st.TargetsCreated, st.TargetsPropagated, st.TargetsDropped,
+		st.IntraTime.Round(timeUnit(st.IntraTime)), st.InterTime.Round(timeUnit(st.InterTime)))
+	return ew.err
+}
+
+// ReportString renders WriteReport into a string.
+func ReportString(res *Result) string {
+	var b strings.Builder
+	WriteReport(&b, res)
+	return b.String()
+}
+
+func joinRelPaths(rs []RelPath) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = string(r)
+	}
+	return strings.Join(parts, ", ")
+}
+
+type errw struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errw) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+// timeUnit picks a rounding granularity proportional to the
+// duration's magnitude so reports stay readable.
+func timeUnit(d time.Duration) time.Duration {
+	switch {
+	case d > time.Second:
+		return 10 * time.Millisecond
+	case d > time.Millisecond:
+		return 10 * time.Microsecond
+	default:
+		return 100 * time.Nanosecond
+	}
+}
