@@ -160,6 +160,65 @@ func TestCLIErrors(t *testing.T) {
 	if code != 2 || !strings.Contains(out, "usage:") {
 		t.Fatalf("no-arg run: code %d\n%s", code, out)
 	}
+	// -stream without -schema is a usage error (exit 2), diagnosed
+	// before the document is touched.
+	out, code = run(t, disc, "", "-stream", "/nonexistent.xml")
+	if code != 2 || !strings.Contains(out, "-schema") {
+		t.Fatalf("-stream without -schema: code %d\n%s", code, out)
+	}
+	// Malformed XML is a runtime error: exit 1 with a diagnostic.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.xml")
+	if err := os.WriteFile(bad, []byte("<doc><unclosed></doc>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = run(t, disc, "", bad)
+	if code != 1 || !strings.Contains(out, "discoverxfd:") {
+		t.Fatalf("malformed XML: code %d\n%s", code, out)
+	}
+	// A parse limit rejects hostile input with exit 1.
+	deep := filepath.Join(dir, "deep.xml")
+	if err := os.WriteFile(deep, []byte(strings.Repeat("<a>", 99)+strings.Repeat("</a>", 99)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = run(t, disc, "", "-maxdepth", "10", deep)
+	if code != 1 || !strings.Contains(out, "depth") {
+		t.Fatalf("-maxdepth: code %d\n%s", code, out)
+	}
+	out, code = run(t, disc, "", "-maxnodes", "5", deep)
+	if code != 1 || !strings.Contains(out, "node count") {
+		t.Fatalf("-maxnodes: code %d\n%s", code, out)
+	}
+}
+
+// TestCLIResourceFlags exercises the graceful-degradation flags: a
+// tuple budget or timeout yields a partial report with exit 0.
+func TestCLIResourceFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	gen := buildCmd(t, "xfdgen")
+	disc := buildCmd(t, "discoverxfd")
+	xml, code := run(t, gen, "", "-dataset", "warehouse")
+	if code != 0 {
+		t.Fatalf("xfdgen failed (code %d)", code)
+	}
+	docPath := filepath.Join(t.TempDir(), "wh.xml")
+	if err := os.WriteFile(docPath, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, disc, "", "-maxtuples", "20", docPath)
+	if code != 0 || !strings.Contains(out, "PARTIAL RESULT") {
+		t.Fatalf("-maxtuples run: code %d\n%.500s", code, out)
+	}
+	out, code = run(t, disc, "", "-timeout", "1ns", docPath)
+	if code != 0 || !strings.Contains(out, "PARTIAL RESULT") {
+		t.Fatalf("-timeout run: code %d\n%.500s", code, out)
+	}
+	out, code = run(t, disc, "", "-json", "-maxtuples", "20", docPath)
+	if code != 0 || !strings.Contains(out, `"truncated": true`) {
+		t.Fatalf("-json -maxtuples run: code %d\n%.500s", code, out)
+	}
 }
 
 func TestCLIBenchQuickSubset(t *testing.T) {

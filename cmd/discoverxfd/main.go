@@ -9,9 +9,20 @@
 // repeated under one parent become set elements). The report lists
 // redundancy-indicating FDs per tuple class with witness counts, then
 // keys, in the paper's path notation.
+//
+// Resource flags bound what a run may consume: -maxdepth and
+// -maxnodes reject oversized or hostile input with an error, while
+// -timeout and -maxtuples degrade gracefully — the run stops early
+// and the report is marked PARTIAL RESULT.
+//
+// Exit status is 0 on success (including a partial result), 1 on a
+// runtime error (unreadable file, malformed XML, exceeded parse
+// limit), and 2 on a usage error (bad flags, missing argument,
+// -stream without -schema).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +43,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of the text report")
 	parallel := flag.Bool("parallel", false, "discover independent subtrees concurrently")
 	stream := flag.Bool("stream", false, "stream the document instead of materializing it (requires -schema; disables -suggest)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run; on expiry the partial result found so far is reported (0 = none)")
+	maxNodes := flag.Int("maxnodes", 0, "reject documents with more than this many data nodes (0 = unlimited)")
+	maxDepth := flag.Int("maxdepth", 0, "reject documents nested deeper than this many elements (0 = parser default)")
+	maxTuples := flag.Int("maxtuples", 0, "ingest at most this many tuples, truncating the result (0 = unlimited)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: discoverxfd [flags] file.xml\n\n")
 		flag.PrintDefaults()
@@ -41,12 +56,31 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	opts := &discoverxfd.Options{
+		MaxLHS:          *maxLHS,
+		IntraOnly:       *intraOnly,
+		NoSetElements:   *noSets,
+		OrderedSets:     *ordered,
+		KeepConstantFDs: *constants,
+		ApproxError:     *approx,
+		Parallel:        *parallel,
+		Limits: discoverxfd.Limits{
+			MaxDepth:  *maxDepth,
+			MaxNodes:  *maxNodes,
+			MaxTuples: *maxTuples,
+			Deadline:  *timeout,
+		},
+	}
 	if *stream {
-		runStream(flag.Arg(0), *schemaPath, *jsonOut, buildOptions(*maxLHS, *intraOnly, *noSets, *ordered, *constants, *approx, *parallel))
+		if *schemaPath == "" {
+			fmt.Fprintf(os.Stderr, "discoverxfd: -stream requires -schema (inference needs the whole document)\n")
+			os.Exit(2)
+		}
+		runStream(flag.Arg(0), *schemaPath, *jsonOut, opts)
 		return
 	}
 
-	doc, err := discoverxfd.LoadDocumentFile(flag.Arg(0))
+	doc, err := discoverxfd.LoadDocumentFileContext(context.Background(), flag.Arg(0), opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -71,7 +105,6 @@ func main() {
 		return
 	}
 
-	opts := buildOptions(*maxLHS, *intraOnly, *noSets, *ordered, *constants, *approx, *parallel)
 	h, err := discoverxfd.BuildHierarchy(doc, s, opts)
 	if err != nil {
 		fatal(err)
@@ -108,24 +141,9 @@ func main() {
 	}
 }
 
-func buildOptions(maxLHS int, intraOnly, noSets, ordered, constants bool, approx float64, parallel bool) *discoverxfd.Options {
-	return &discoverxfd.Options{
-		MaxLHS:          maxLHS,
-		IntraOnly:       intraOnly,
-		NoSetElements:   noSets,
-		OrderedSets:     ordered,
-		KeepConstantFDs: constants,
-		ApproxError:     approx,
-		Parallel:        parallel,
-	}
-}
-
 // runStream discovers over a streamed document: constant memory in
 // the document size, at the cost of node-level reporting.
 func runStream(path, schemaPath string, jsonOut bool, opts *discoverxfd.Options) {
-	if schemaPath == "" {
-		fatal(fmt.Errorf("-stream requires -schema (inference needs the whole document)"))
-	}
 	text, err := os.ReadFile(schemaPath)
 	if err != nil {
 		fatal(err)

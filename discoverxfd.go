@@ -33,9 +33,11 @@
 package discoverxfd
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"discoverxfd/internal/core"
 	"discoverxfd/internal/datatree"
@@ -103,11 +105,20 @@ type Options struct {
 	// redundancy worth refining. Results land in Result.ApproxFDs.
 	ApproxError float64
 	// Parallel discovers independent relation subtrees concurrently;
-	// results are identical to the serial run.
+	// results are identical to the serial run. Workers are
+	// panic-safe: a panic in one subtree surfaces as an error from
+	// Discover, not a process crash.
 	Parallel bool
+	// Limits bounds the resources the call may consume (input size,
+	// search depth, wall-clock time). See the Limits type for the
+	// error-versus-graceful-truncation contract. The zero value
+	// applies only the parser's default nesting bound.
+	Limits Limits
 }
 
-func (o *Options) coreOptions() core.Options {
+// coreOptions maps the public options onto the engine's, carrying the
+// absolute wall-clock deadline computed at the call boundary.
+func (o *Options) coreOptions(deadline time.Time) core.Options {
 	if o == nil {
 		o = &Options{}
 	}
@@ -118,32 +129,53 @@ func (o *Options) coreOptions() core.Options {
 		KeepConstantFDs:  o.KeepConstantFDs,
 		ApproxError:      o.ApproxError,
 		Parallel:         o.Parallel,
+		MaxLatticeLevel:  o.Limits.MaxLatticeLevel,
+		Deadline:         deadline,
 	}
 }
 
-func (o *Options) relationOptions() relation.Options {
+func (o *Options) relationOptions(deadline time.Time) relation.Options {
 	if o == nil {
 		o = &Options{}
 	}
 	return relation.Options{
 		OrderedSets:     o.OrderedSets,
 		DisableSetAttrs: o.NoSetElements,
+		MaxTuples:       o.Limits.MaxTuples,
+		Deadline:        deadline,
+		Parse:           o.Limits.parseLimits(),
 	}
 }
 
-// LoadDocument parses an XML document from r.
+// LoadDocument parses an XML document from r under the parser's
+// default limits. Use LoadDocumentContext for explicit limits or
+// cancellation.
 func LoadDocument(r io.Reader) (*Document, error) {
 	return datatree.ParseXML(r)
 }
 
+// LoadDocumentContext parses an XML document from r under the parse
+// limits of opts (MaxDepth, MaxNodes), checking ctx periodically.
+// Documents exceeding a parse limit fail fast with a "datatree:"
+// error — a deep-nesting or entity-bloat bomb never exhausts memory.
+func LoadDocumentContext(ctx context.Context, r io.Reader, opts *Options) (*Document, error) {
+	return datatree.ParseXMLContext(ctx, r, opts.limits().parseLimits())
+}
+
 // LoadDocumentFile parses an XML document from a file.
 func LoadDocumentFile(path string) (*Document, error) {
+	return LoadDocumentFileContext(context.Background(), path, nil)
+}
+
+// LoadDocumentFileContext is LoadDocumentFile with parse limits and
+// cancellation (see LoadDocumentContext).
+func LoadDocumentFileContext(ctx context.Context, path string, opts *Options) (*Document, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	doc, err := datatree.ParseXML(f)
+	doc, err := datatree.ParseXMLContext(ctx, f, opts.limits().parseLimits())
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -184,6 +216,20 @@ func Conform(doc *Document, s *Schema) error {
 // can use Discover directly; the hierarchy is exposed for Evaluate
 // and for inspecting tuple classes.
 func BuildHierarchy(doc *Document, s *Schema, opts *Options) (*Hierarchy, error) {
+	return BuildHierarchyContext(context.Background(), doc, s, opts)
+}
+
+// BuildHierarchyContext is BuildHierarchy with cancellation and
+// resource budgets: cancelling ctx aborts with an error, while
+// exhausting Limits.MaxTuples or Limits.Deadline stops ingestion
+// early and returns a consistent hierarchy marked truncated.
+func BuildHierarchyContext(ctx context.Context, doc *Document, s *Schema, opts *Options) (*Hierarchy, error) {
+	return buildHierarchyAt(ctx, doc, s, opts, opts.limits().deadlineFrom(time.Now()))
+}
+
+// buildHierarchyAt carries the absolute deadline computed at whichever
+// public entry point owns the whole-call budget.
+func buildHierarchyAt(ctx context.Context, doc *Document, s *Schema, opts *Options, deadline time.Time) (*Hierarchy, error) {
 	if s == nil {
 		inferred, err := datatree.InferSchema(doc)
 		if err != nil {
@@ -193,7 +239,7 @@ func BuildHierarchy(doc *Document, s *Schema, opts *Options) (*Hierarchy, error)
 	} else if err := datatree.Conform(doc, s); err != nil {
 		return nil, err
 	}
-	return relation.Build(doc, s, opts.relationOptions())
+	return relation.BuildContext(ctx, doc, s, opts.relationOptions(deadline))
 }
 
 // BuildHierarchyStream constructs the hierarchical representation
@@ -204,20 +250,39 @@ func BuildHierarchy(doc *Document, s *Schema, opts *Options) (*Hierarchy, error)
 // so discovery and Evaluate work identically but ApplyRefinement and
 // DetectAnomalies need the in-memory BuildHierarchy.
 func BuildHierarchyStream(r io.Reader, s *Schema, opts *Options) (*Hierarchy, error) {
+	return BuildHierarchyStreamContext(context.Background(), r, s, opts)
+}
+
+// BuildHierarchyStreamContext is BuildHierarchyStream with
+// cancellation and resource budgets (see BuildHierarchyContext; parse
+// limits apply to the stream as it is read).
+func BuildHierarchyStreamContext(ctx context.Context, r io.Reader, s *Schema, opts *Options) (*Hierarchy, error) {
+	return buildHierarchyStreamAt(ctx, r, s, opts, opts.limits().deadlineFrom(time.Now()))
+}
+
+func buildHierarchyStreamAt(ctx context.Context, r io.Reader, s *Schema, opts *Options, deadline time.Time) (*Hierarchy, error) {
 	if s == nil {
 		return nil, fmt.Errorf("discoverxfd: streaming requires an explicit schema")
 	}
-	return relation.BuildStream(r, s, opts.relationOptions())
+	return relation.BuildStreamContext(ctx, r, s, opts.relationOptions(deadline))
 }
 
 // DiscoverStream runs DiscoverXFD over an XML stream (see
 // BuildHierarchyStream).
 func DiscoverStream(r io.Reader, s *Schema, opts *Options) (*Result, error) {
-	h, err := BuildHierarchyStream(r, s, opts)
+	return DiscoverStreamContext(context.Background(), r, s, opts)
+}
+
+// DiscoverStreamContext is DiscoverStream with cancellation and
+// resource budgets. The Limits.Deadline budget covers the whole call:
+// streaming ingestion and discovery share it.
+func DiscoverStreamContext(ctx context.Context, r io.Reader, s *Schema, opts *Options) (*Result, error) {
+	deadline := opts.limits().deadlineFrom(time.Now())
+	h, err := buildHierarchyStreamAt(ctx, r, s, opts, deadline)
 	if err != nil {
 		return nil, err
 	}
-	return DiscoverHierarchy(h, opts)
+	return discoverHierarchyAt(ctx, h, opts, deadline)
 }
 
 // Discover runs DiscoverXFD on the document: it finds all minimal
@@ -225,20 +290,41 @@ func DiscoverStream(r io.Reader, s *Schema, opts *Options) (*Result, error) {
 // indicate. If s is nil the schema is inferred from the data; opts
 // may be nil for defaults.
 func Discover(doc *Document, s *Schema, opts *Options) (*Result, error) {
-	h, err := BuildHierarchy(doc, s, opts)
+	return DiscoverContext(context.Background(), doc, s, opts)
+}
+
+// DiscoverContext is Discover with cancellation and resource budgets.
+// Cancelling ctx aborts with an error; exhausting a Limits budget
+// (deadline, tuple cap, lattice cap) instead returns the partial
+// Result found so far with Stats.Truncated and Stats.TruncatedReason
+// set. The Limits.Deadline budget covers hierarchy construction and
+// discovery together.
+func DiscoverContext(ctx context.Context, doc *Document, s *Schema, opts *Options) (*Result, error) {
+	deadline := opts.limits().deadlineFrom(time.Now())
+	h, err := buildHierarchyAt(ctx, doc, s, opts, deadline)
 	if err != nil {
 		return nil, err
 	}
-	return DiscoverHierarchy(h, opts)
+	return discoverHierarchyAt(ctx, h, opts, deadline)
 }
 
 // DiscoverHierarchy runs DiscoverXFD on a prebuilt hierarchy.
 func DiscoverHierarchy(h *Hierarchy, opts *Options) (*Result, error) {
-	co := opts.coreOptions()
+	return DiscoverHierarchyContext(context.Background(), h, opts)
+}
+
+// DiscoverHierarchyContext is DiscoverHierarchy with cancellation and
+// resource budgets (see DiscoverContext).
+func DiscoverHierarchyContext(ctx context.Context, h *Hierarchy, opts *Options) (*Result, error) {
+	return discoverHierarchyAt(ctx, h, opts, opts.limits().deadlineFrom(time.Now()))
+}
+
+func discoverHierarchyAt(ctx context.Context, h *Hierarchy, opts *Options, deadline time.Time) (*Result, error) {
+	co := opts.coreOptions(deadline)
 	if co.NoInterRelation {
-		return core.DiscoverIntra(h, co)
+		return core.DiscoverIntraContext(ctx, h, co)
 	}
-	return core.Discover(h, co)
+	return core.DiscoverContext(ctx, h, co)
 }
 
 // Evaluate checks a single XML FD ⟨class, lhs, rhs⟩ directly against
@@ -247,4 +333,10 @@ func DiscoverHierarchy(h *Hierarchy, opts *Options) (*Result, error) {
 // values it witnesses.
 func Evaluate(h *Hierarchy, class Path, lhs []RelPath, rhs RelPath) (Evaluation, error) {
 	return core.Evaluate(h, class, lhs, rhs)
+}
+
+// EvaluateContext is Evaluate with cancellation, checked periodically
+// over the class's tuples.
+func EvaluateContext(ctx context.Context, h *Hierarchy, class Path, lhs []RelPath, rhs RelPath) (Evaluation, error) {
+	return core.EvaluateContext(ctx, h, class, lhs, rhs)
 }

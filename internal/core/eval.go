@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -79,6 +80,16 @@ func resolveRef(h *relation.Hierarchy, origin *relation.Relation, rp schema.RelP
 // parent links for ancestor paths) and comparing RHS codes within
 // LHS-equal groups.
 func Evaluate(h *relation.Hierarchy, class schema.Path, lhs []schema.RelPath, rhs schema.RelPath) (Evaluation, error) {
+	return EvaluateContext(context.Background(), h, class, lhs, rhs)
+}
+
+// evalCheckInterval is how many tuples are processed between context
+// checks in EvaluateContext.
+const evalCheckInterval = 4096
+
+// EvaluateContext is Evaluate with cancellation, checked periodically
+// over the class's tuples.
+func EvaluateContext(ctx context.Context, h *relation.Hierarchy, class schema.Path, lhs []schema.RelPath, rhs schema.RelPath) (Evaluation, error) {
 	origin := h.ByPivot(class)
 	if origin == nil {
 		return Evaluation{}, fmt.Errorf("core: no tuple class with pivot %s", class)
@@ -103,6 +114,11 @@ func Evaluate(h *relation.Hierarchy, class schema.Path, lhs []schema.RelPath, rh
 	groups := make(map[string][]int, n)
 	var sig strings.Builder
 	for t := 0; t < n; t++ {
+		if t%evalCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return Evaluation{}, fmt.Errorf("core: evaluation cancelled: %w", err)
+			}
+		}
 		sig.Reset()
 		null := false
 		for _, r := range refs {

@@ -157,6 +157,15 @@ type Stats struct {
 	// arithmetic; InterTime is time spent creating, converting and
 	// checking partition targets.
 	IntraTime, InterTime time.Duration
+	// Truncated reports that a resource budget (deadline, tuple
+	// budget, or lattice-level cap) stopped the run early: the Result
+	// is a valid partial answer — every reported FD/Key holds on the
+	// data that was examined — but constraints may be missing and, if
+	// the input itself was truncated, reported constraints may not
+	// hold on the full document. TruncatedReason names the first
+	// budget that ran out.
+	Truncated       bool
+	TruncatedReason string
 }
 
 // Result is the output of a discovery run.
@@ -220,7 +229,27 @@ type Options struct {
 	// relation's lattice still runs after all of its children, which
 	// its partition targets depend on). Results are identical to the
 	// serial run; Stats times become summed per-relation times.
+	// Workers are panic-safe: a panic in one subtree surfaces as an
+	// error from Discover (joined in deterministic child order), not a
+	// process crash.
 	Parallel bool
+	// MaxLatticeLevel caps the attribute-set size explored in any
+	// relation's lattice. Unlike MaxLHS (a language restriction on the
+	// FDs sought), hitting this cap marks the result Truncated: levels
+	// that could have held results were skipped. 0 means unbounded.
+	MaxLatticeLevel int
+	// Deadline, when nonzero, is the wall-clock instant past which the
+	// traversal stops and Discover returns the partial Result found so
+	// far with Stats.Truncated set — graceful degradation, not an
+	// error. Cancellation (an error) comes from the context passed to
+	// DiscoverContext instead.
+	Deadline time.Time
+	// RelationHook, if non-nil, is invoked at the start of each
+	// essential relation's lattice traversal with the relation's pivot
+	// path. It exists for fault injection in tests
+	// (internal/faultinject): a hook that panics exercises the
+	// recover-to-error path of parallel discovery.
+	RelationHook func(pivot schema.Path)
 }
 
 func (o Options) maxPartialAttrs() int {

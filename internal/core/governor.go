@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// governor is the resource-governance state shared by one discovery
+// run. It distinguishes two ways a run can end early:
+//
+//   - cancellation (the context fired): the run aborts with an error;
+//   - budget exhaustion (the wall-clock deadline passed, or a search
+//     bound such as MaxLatticeLevel cut the traversal): the run keeps
+//     whatever it has found and reports a partial Result with
+//     Stats.Truncated set — graceful degradation, never an error.
+//
+// All methods are safe for concurrent use by parallel discovery
+// workers and are no-ops on a nil receiver, so ungoverned entry
+// points need no special casing.
+type governor struct {
+	ctx      context.Context
+	deadline time.Time // zero = no wall-clock budget
+
+	mu        sync.Mutex
+	truncated bool
+	reason    string
+}
+
+func newGovernor(ctx context.Context, opts *Options) *governor {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &governor{ctx: ctx, deadline: opts.Deadline}
+}
+
+// cancelled returns a wrapped context error once the context fires.
+func (g *governor) cancelled() error {
+	if g == nil || g.ctx == nil {
+		return nil
+	}
+	select {
+	case <-g.ctx.Done():
+		return fmt.Errorf("core: discovery cancelled: %w", g.ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// expired reports whether the wall-clock budget is spent, recording
+// the truncation on first observation.
+func (g *governor) expired() bool {
+	if g == nil || g.deadline.IsZero() {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.truncated {
+		return true
+	}
+	if time.Now().After(g.deadline) {
+		g.truncated = true
+		g.reason = "deadline exceeded"
+		return true
+	}
+	return false
+}
+
+// truncate records a budget exhaustion; the first reason wins.
+func (g *governor) truncate(reason string) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.truncated {
+		g.truncated = true
+		g.reason = reason
+	}
+}
+
+// status returns the truncation flag and reason for Stats.
+func (g *governor) status() (bool, string) {
+	if g == nil {
+		return false, ""
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.truncated, g.reason
+}

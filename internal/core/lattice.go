@@ -33,6 +33,12 @@ type latticeRun struct {
 	depths   map[*relation.Relation]int
 	incoming []*target
 
+	// gov is the run's resource governor (nil in ungoverned tests):
+	// cancellation aborts the traversal with err set; an expired
+	// wall-clock budget stops it early keeping the partial output.
+	gov *governor
+	err error
+
 	// ni governs whether degenerate (same-ancestor) target pairs can
 	// still be satisfied vacuously by a missing value at or above the
 	// parent relation.
@@ -106,12 +112,28 @@ func (lr *latticeRun) run(xfd bool) {
 	if lr.opts.MaxLHS > 0 && lr.opts.MaxLHS+1 < maxSize {
 		maxSize = lr.opts.MaxLHS + 1
 	}
+	if lr.opts.MaxLatticeLevel > 0 && maxSize > lr.opts.MaxLatticeLevel {
+		// Unlike MaxLHS this is a resource bound, not a language
+		// choice: cutting levels that could have held results makes
+		// the answer partial, so record the truncation.
+		maxSize = lr.opts.MaxLatticeLevel
+		lr.gov.truncate(fmt.Sprintf("lattice capped at level %d for relation %s (%d attributes)", maxSize, rel.Pivot, m))
+	}
 
 	queue := make([]AttrSet, 0, m)
 	for i := 0; i < m; i++ {
 		queue = append(queue, AttrSet(0).Add(i))
 	}
 	for qi := 0; qi < len(queue); qi++ {
+		// One check per lattice node keeps cancellation latency
+		// bounded by a single node's partition work.
+		if err := lr.gov.cancelled(); err != nil {
+			lr.err = err
+			break
+		}
+		if lr.gov.expired() {
+			break // keep the partial traversal output
+		}
 		a := queue[qi]
 		lr.stats.NodesVisited++
 

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -28,7 +31,17 @@ func mergeStats(dst, src *Stats) {
 // intra-relation and inter-relation XML FDs and Keys, and derives the
 // data redundancies they indicate (Definition 11).
 func Discover(h *relation.Hierarchy, opts Options) (*Result, error) {
-	return discover(h, opts, true)
+	return DiscoverContext(context.Background(), h, opts)
+}
+
+// DiscoverContext is Discover with cancellation. The context is
+// checked periodically in the lattice hot loops; cancellation aborts
+// with an error. Budget exhaustion (Options.Deadline,
+// Options.MaxLatticeLevel, or a truncated input hierarchy) instead
+// degrades gracefully: the partial Result found so far is returned
+// with Stats.Truncated set.
+func DiscoverContext(ctx context.Context, h *relation.Hierarchy, opts Options) (*Result, error) {
+	return discover(ctx, h, opts, true)
 }
 
 // DiscoverIntra runs DiscoverFD (Figure 8) independently on each
@@ -36,17 +49,37 @@ func Discover(h *relation.Hierarchy, opts Options) (*Result, error) {
 // This is the restriction the paper uses to contrast against full
 // DiscoverXFD (experiment E5).
 func DiscoverIntra(h *relation.Hierarchy, opts Options) (*Result, error) {
-	opts.NoInterRelation = true
-	return discover(h, opts, false)
+	return DiscoverIntraContext(context.Background(), h, opts)
 }
 
-func discover(h *relation.Hierarchy, opts Options, xfd bool) (*Result, error) {
+// DiscoverIntraContext is DiscoverIntra with cancellation (see
+// DiscoverContext).
+func DiscoverIntraContext(ctx context.Context, h *relation.Hierarchy, opts Options) (*Result, error) {
+	opts.NoInterRelation = true
+	return discover(ctx, h, opts, false)
+}
+
+func discover(ctx context.Context, h *relation.Hierarchy, opts Options, xfd bool) (res *Result, err error) {
+	// Last-resort containment: any panic that escapes the traversal —
+	// from the serial path or from result assembly — surfaces as an
+	// error to the caller instead of killing the process. Parallel
+	// workers additionally recover per goroutine below, which is what
+	// keeps a worker panic from unwinding past wg.Wait.
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("core: panic during discovery: %v\n%s", p, debug.Stack())
+		}
+	}()
 	for _, r := range h.Relations {
 		if err := checkWidth(r); err != nil {
 			return nil, err
 		}
 	}
-	res := &Result{}
+	gov := newGovernor(ctx, &opts)
+	if h.Truncated {
+		gov.truncate(h.TruncatedReason)
+	}
+	res = &Result{}
 	depths := relationDepths(h)
 	anyNull := computeAnyNullRows(h)
 	nullsAtOrAbove := make(map[*relation.Relation]bool, len(h.Relations))
@@ -73,6 +106,7 @@ func discover(h *relation.Hierarchy, opts Options, xfd bool) (*Result, error) {
 		approx []FD
 		stats  Stats
 		out    []*target
+		err    error // first error in deterministic child order
 	}
 	merge := func(g *gathered, o *gathered) {
 		g.fds = append(g.fds, o.fds...)
@@ -80,10 +114,17 @@ func discover(h *relation.Hierarchy, opts Options, xfd bool) (*Result, error) {
 		g.approx = append(g.approx, o.approx...)
 		g.out = append(g.out, o.out...)
 		mergeStats(&g.stats, &o.stats)
+		if g.err == nil {
+			g.err = o.err
+		}
 	}
 	var visit func(r *relation.Relation) gathered
 	visit = func(r *relation.Relation) gathered {
 		var g gathered
+		if err := gov.cancelled(); err != nil {
+			g.err = err
+			return g
+		}
 		if opts.Parallel && len(r.Children) > 1 {
 			results := make([]gathered, len(r.Children))
 			var wg sync.WaitGroup
@@ -91,6 +132,15 @@ func discover(h *relation.Hierarchy, opts Options, xfd bool) (*Result, error) {
 				wg.Add(1)
 				go func(i int, c *relation.Relation) {
 					defer wg.Done()
+					// A worker panic must not unwind past this
+					// goroutine's stack (that would kill the process);
+					// it becomes this subtree's error and joins the
+					// others in child order.
+					defer func() {
+						if p := recover(); p != nil {
+							results[i] = gathered{err: fmt.Errorf("core: panic in parallel discovery worker for subtree %s: %v\n%s", c.Pivot, p, debug.Stack())}
+						}
+					}()
 					results[i] = visit(c)
 				}(i, c)
 			}
@@ -102,7 +152,13 @@ func discover(h *relation.Hierarchy, opts Options, xfd bool) (*Result, error) {
 			for _, c := range r.Children {
 				cg := visit(c)
 				merge(&g, &cg)
+				if g.err != nil {
+					break
+				}
 			}
+		}
+		if g.err != nil {
+			return g
 		}
 		incoming := g.out
 		g.out = nil
@@ -111,13 +167,25 @@ func discover(h *relation.Hierarchy, opts Options, xfd bool) (*Result, error) {
 			// over it is meaningful and no target can reach it.
 			return g
 		}
+		if gov.expired() {
+			// Out of wall-clock budget: keep what the subtree found,
+			// skip this relation's lattice (graceful degradation).
+			return g
+		}
+		if opts.RelationHook != nil {
+			opts.RelationHook(r.Pivot)
+		}
 		g.stats.Relations++
 		g.stats.Tuples += r.NRows()
-		lr := &latticeRun{rel: r, opts: &opts, stats: &g.stats, depths: depths, incoming: incoming}
+		lr := &latticeRun{rel: r, opts: &opts, stats: &g.stats, depths: depths, incoming: incoming, gov: gov}
 		if p := r.Parent; p != nil {
 			lr.ni = nullInfo{parentAnyNull: anyNull[p], aboveParent: p.Parent != nil && nullsAtOrAbove[p.Parent]}
 		}
 		lr.run(xfd)
+		if lr.err != nil {
+			g.err = lr.err
+			return g
+		}
 
 		for _, e := range lr.out.intraFDs {
 			if e.lhs == 0 && !opts.KeepConstantFDs {
@@ -137,6 +205,9 @@ func discover(h *relation.Hierarchy, opts Options, xfd bool) (*Result, error) {
 		return g
 	}
 	top := visit(h.Root)
+	if top.err != nil {
+		return nil, top.err
+	}
 	res.Stats = top.stats
 	rawFDs := top.fds
 	rawKeys := top.keys
@@ -155,6 +226,9 @@ func discover(h *relation.Hierarchy, opts Options, xfd bool) (*Result, error) {
 	res.FDs = res.FDs[:0]
 	res.Redundancies = res.Redundancies[:0]
 	for _, fd := range fds {
+		if err := gov.cancelled(); err != nil {
+			return nil, err
+		}
 		ev, err := Evaluate(h, fd.Class, fd.LHS, fd.RHS)
 		if err != nil {
 			return nil, err
@@ -176,6 +250,7 @@ func discover(h *relation.Hierarchy, opts Options, xfd bool) (*Result, error) {
 		res.ApproxFDs = minimizeApprox(rawApprox, res.FDs)
 		sortFDs(res.ApproxFDs)
 	}
+	res.Stats.Truncated, res.Stats.TruncatedReason = gov.status()
 	return res, nil
 }
 

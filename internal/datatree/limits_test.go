@@ -1,0 +1,118 @@
+package datatree
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// nestingBomb returns a document of the given element depth, built
+// iteratively so the test itself never recurses.
+func nestingBomb(depth int) string {
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&b, "<e%d>", i%7)
+	}
+	for i := depth - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "</e%d>", i%7)
+	}
+	return b.String()
+}
+
+func TestParseXMLDeepNestingBombFailsFast(t *testing.T) {
+	// 50k levels of nesting: well past DefaultMaxDepth, small enough
+	// to generate instantly. The default entry point must reject it
+	// instead of building a 50k-deep tree.
+	doc := nestingBomb(50000)
+	if _, err := ParseXML(strings.NewReader(doc)); err == nil {
+		t.Fatal("ParseXML accepted a 50k-deep nesting bomb")
+	} else if !strings.Contains(err.Error(), "datatree: maximum element depth") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestParseXMLMaxDepth(t *testing.T) {
+	doc := nestingBomb(10)
+	if _, err := ParseXMLContext(context.Background(), strings.NewReader(doc), ParseLimits{MaxDepth: 9}); err == nil {
+		t.Fatal("MaxDepth 9 accepted depth 10")
+	}
+	tree, err := ParseXMLContext(context.Background(), strings.NewReader(doc), ParseLimits{MaxDepth: 10})
+	if err != nil {
+		t.Fatalf("MaxDepth 10 rejected depth 10: %v", err)
+	}
+	if tree.Size() != 10 {
+		t.Fatalf("tree size = %d, want 10", tree.Size())
+	}
+	// Zero limits mean unlimited.
+	if _, err := ParseXMLContext(context.Background(), strings.NewReader(nestingBomb(20000)), ParseLimits{}); err != nil {
+		t.Fatalf("unlimited parse failed: %v", err)
+	}
+}
+
+// wideDoc returns a flat document with n leaf children (one attribute
+// each), several megabytes of XML for large n.
+func wideDoc(n int) string {
+	var b strings.Builder
+	b.WriteString("<root>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<item id="%d">value-%d-with-some-padding-to-grow-the-document</item>`, i, i)
+	}
+	b.WriteString("</root>")
+	return b.String()
+}
+
+func TestParseXMLMaxNodes(t *testing.T) {
+	// ~6 MB of XML; with a small node budget the parse must stop
+	// early instead of materializing ~120k nodes.
+	doc := wideDoc(60000)
+	if len(doc) < 4<<20 {
+		t.Fatalf("test document too small: %d bytes", len(doc))
+	}
+	_, err := ParseXMLContext(context.Background(), strings.NewReader(doc), ParseLimits{MaxNodes: 1000})
+	if err == nil {
+		t.Fatal("MaxNodes 1000 accepted a ~120k-node document")
+	}
+	if !strings.Contains(err.Error(), "datatree: maximum node count") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The same document parses fine without a budget.
+	tree, err := ParseXMLContext(context.Background(), strings.NewReader(doc), ParseLimits{})
+	if err != nil {
+		t.Fatalf("unbudgeted parse failed: %v", err)
+	}
+	if tree.Size() < 120000 {
+		t.Fatalf("tree size = %d, want >= 120000", tree.Size())
+	}
+}
+
+func TestParseXMLContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ParseXMLContext(ctx, strings.NewReader(wideDoc(5000)), ParseLimits{})
+	if err == nil {
+		t.Fatal("cancelled parse succeeded")
+	}
+	if !strings.Contains(err.Error(), "cancelled") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestStreamRootChildrenLimits(t *testing.T) {
+	onChild := func(*Node) error { return nil }
+	if _, err := StreamRootChildrenContext(context.Background(), strings.NewReader(nestingBomb(50)), ParseLimits{MaxDepth: 10}, onChild); err == nil {
+		t.Fatal("stream MaxDepth 10 accepted depth 50")
+	}
+	if _, err := StreamRootChildrenContext(context.Background(), strings.NewReader(wideDoc(5000)), ParseLimits{MaxNodes: 100}, onChild); err == nil {
+		t.Fatal("stream MaxNodes 100 accepted ~10k nodes")
+	}
+	// The default entry point rejects the bomb too.
+	if _, err := StreamRootChildren(strings.NewReader(nestingBomb(DefaultMaxDepth+5)), onChild); err == nil {
+		t.Fatal("StreamRootChildren accepted a bomb past DefaultMaxDepth")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := StreamRootChildrenContext(ctx, strings.NewReader(wideDoc(5000)), ParseLimits{}, onChild); err == nil {
+		t.Fatal("cancelled stream parse succeeded")
+	}
+}

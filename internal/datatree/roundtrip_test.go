@@ -1,0 +1,69 @@
+package datatree
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAttrEscapeRoundTrip verifies that attribute values containing
+// quotes, newlines, ampersands, and angle brackets survive
+// WriteXML → ParseXML unchanged. Newlines are the delicate case: a
+// literal newline inside an attribute is normalized to a space by XML
+// attribute-value normalization, so escapeAttr must emit it as a
+// character reference.
+func TestAttrEscapeRoundTrip(t *testing.T) {
+	values := []string{
+		`plain`,
+		`double " quote`,
+		`single ' quote`,
+		"line\nbreak",
+		"tab\tand\rcarriage",
+		`amp & amp`,
+		`less < more > both`,
+		`all "of' <them>&` + "\n\ttogether",
+	}
+	root := &Node{Label: "root"}
+	for i, v := range values {
+		child := &Node{Label: "item", Parent: root}
+		child.AddLeaf("@val", v)
+		child.AddLeaf("@idx", strings.Repeat("x", i+1))
+		root.Children = append(root.Children, child)
+	}
+	tree := NewTree(root)
+
+	var b strings.Builder
+	if err := tree.WriteXML(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseXMLString(b.String())
+	if err != nil {
+		t.Fatalf("re-parsing WriteXML output: %v\n%s", err, b.String())
+	}
+	items := back.Root.ChildrenLabeled("item")
+	if len(items) != len(values) {
+		t.Fatalf("round trip kept %d items, want %d", len(items), len(values))
+	}
+	for i, want := range values {
+		got := items[i].Child("@val")
+		if got == nil {
+			t.Fatalf("item %d lost its @val attribute", i)
+		}
+		if got.Value != want {
+			t.Errorf("item %d: round-tripped %q, want %q", i, got.Value, want)
+		}
+	}
+
+	// Element text with the same hostile characters round-trips too.
+	leafTree, err := ParseXMLString(`<r><v>seed</v></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafTree.Root.Child("v").Value = "a <b> & \"c\"\nd"
+	back2, err := ParseXMLString(leafTree.XMLString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back2.Root.Child("v").Value; got != "a <b> & \"c\"\nd" {
+		t.Errorf("text round trip got %q", got)
+	}
+}

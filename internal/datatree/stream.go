@@ -1,6 +1,7 @@
 package datatree
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -16,9 +17,19 @@ import (
 // Memory stays proportional to the largest single child subtree.
 //
 // It returns the root element's label. A non-nil error from fn aborts
-// the parse and is returned verbatim.
+// the parse and is returned verbatim. DefaultLimits applies; use
+// StreamRootChildrenContext for explicit limits or cancellation.
 func StreamRootChildren(r io.Reader, fn func(child *Node) error) (string, error) {
+	return StreamRootChildrenContext(context.Background(), r, DefaultLimits(), fn)
+}
+
+// StreamRootChildrenContext is StreamRootChildren with explicit
+// resource limits and a context. MaxNodes bounds the cumulative node
+// count over all delivered subtrees, not just the retained one;
+// cancellation is checked periodically between decoder tokens.
+func StreamRootChildrenContext(ctx context.Context, r io.Reader, lim ParseLimits, fn func(child *Node) error) (string, error) {
 	dec := xml.NewDecoder(r)
+	guard := &parseGuard{ctx: ctx, lim: lim}
 	rootLabel := ""
 	sawRoot := false
 	var stack []*Node // depth-1 subtree under construction (stack[0] is the child)
@@ -35,12 +46,18 @@ func StreamRootChildren(r io.Reader, fn func(child *Node) error) (string, error)
 		if err != nil {
 			return rootLabel, fmt.Errorf("datatree: XML parse error: %w", err)
 		}
+		if err := guard.tick(); err != nil {
+			return rootLabel, err
+		}
 		switch tk := tok.(type) {
 		case xml.StartElement:
 			if !sawRoot {
 				sawRoot = true
 				rootLabel = tk.Name.Local
 				depth = 1
+				if err := guard.addNodes(1 + len(tk.Attr)); err != nil {
+					return rootLabel, err
+				}
 				for _, a := range tk.Attr {
 					if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
 						continue
@@ -55,12 +72,21 @@ func StreamRootChildren(r io.Reader, fn func(child *Node) error) (string, error)
 			if depth == 0 {
 				return rootLabel, fmt.Errorf("datatree: multiple root elements (%q and %q)", rootLabel, tk.Name.Local)
 			}
+			// The root element is depth 1 and subtree nodes under
+			// construction sit on the stack, so this element nests at
+			// len(stack)+2.
+			if err := guard.checkDepth(len(stack) + 2); err != nil {
+				return rootLabel, err
+			}
 			n := &Node{Label: tk.Name.Local}
 			for _, a := range tk.Attr {
 				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
 					continue
 				}
 				n.AddLeaf("@"+a.Name.Local, a.Value)
+			}
+			if err := guard.addNodes(1 + len(n.Children)); err != nil {
+				return rootLabel, err
 			}
 			if len(stack) > 0 {
 				p := stack[len(stack)-1]
@@ -85,6 +111,9 @@ func StreamRootChildren(r io.Reader, fn func(child *Node) error) (string, error)
 					n.HasValue = true
 				} else {
 					n.AddLeaf(TextLabel, text)
+					if err := guard.addNodes(1); err != nil {
+						return rootLabel, err
+					}
 				}
 			}
 			if len(stack) == 0 {

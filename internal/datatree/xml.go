@@ -1,6 +1,7 @@
 package datatree
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -12,6 +13,68 @@ import (
 // convention ("we store it under a distinct new @text").
 const TextLabel = "@text"
 
+// DefaultMaxDepth is the element-nesting bound applied by ParseXML
+// and StreamRootChildren when no explicit limits are given. Real
+// documents sit far below it; a deep-nesting bomb hits it after a few
+// kilobytes of input instead of exhausting memory.
+const DefaultMaxDepth = 10000
+
+// ParseLimits bounds resource use while parsing an XML document.
+// The zero value means "no limits"; DefaultLimits returns the bounds
+// the convenience entry points (ParseXML, StreamRootChildren) apply.
+type ParseLimits struct {
+	// MaxDepth bounds element nesting depth (the root element is depth
+	// 1). Exceeding it is a parse error. 0 or negative = unlimited.
+	MaxDepth int
+	// MaxNodes bounds the total number of data nodes built (elements,
+	// attribute leaves, and @text leaves all count). Exceeding it is a
+	// parse error. 0 or negative = unlimited.
+	MaxNodes int
+}
+
+// DefaultLimits returns the limits used by ParseXML and
+// StreamRootChildren: DefaultMaxDepth nesting, unlimited nodes.
+func DefaultLimits() ParseLimits { return ParseLimits{MaxDepth: DefaultMaxDepth} }
+
+// ctxCheckInterval is how many decoder tokens are processed between
+// context-cancellation checks in the parsing loops.
+const ctxCheckInterval = 1024
+
+// parseGuard enforces ParseLimits and periodic context checks inside
+// the token loops of ParseXML and StreamRootChildren.
+type parseGuard struct {
+	ctx    context.Context
+	lim    ParseLimits
+	nodes  int
+	tokens int
+}
+
+func (g *parseGuard) tick() error {
+	g.tokens++
+	if g.tokens%ctxCheckInterval == 0 && g.ctx != nil {
+		if err := g.ctx.Err(); err != nil {
+			return fmt.Errorf("datatree: parse cancelled: %w", err)
+		}
+	}
+	return nil
+}
+
+func (g *parseGuard) checkDepth(depth int) error {
+	if g.lim.MaxDepth > 0 && depth > g.lim.MaxDepth {
+		return fmt.Errorf("datatree: maximum element depth %d exceeded", g.lim.MaxDepth)
+	}
+	return nil
+}
+
+// addNodes counts n freshly built nodes against the budget.
+func (g *parseGuard) addNodes(n int) error {
+	g.nodes += n
+	if g.lim.MaxNodes > 0 && g.nodes > g.lim.MaxNodes {
+		return fmt.Errorf("datatree: maximum node count %d exceeded", g.lim.MaxNodes)
+	}
+	return nil
+}
+
 // ParseXML reads an XML document from r and builds the corresponding
 // data tree. XML attributes become leaf children labeled "@name".
 // For an element containing both child elements and character data,
@@ -19,8 +82,19 @@ const TextLabel = "@text"
 // child labeled @text if non-empty; an element with character data
 // only becomes a leaf node carrying that value. Element order is
 // preserved in the tree but carries no semantics in the data model.
+// DefaultLimits applies; use ParseXMLContext for explicit limits or
+// cancellation.
 func ParseXML(r io.Reader) (*Tree, error) {
+	return ParseXMLContext(context.Background(), r, DefaultLimits())
+}
+
+// ParseXMLContext is ParseXML with explicit resource limits and a
+// context. Cancellation is checked periodically between decoder
+// tokens; exceeding a limit or cancellation aborts the parse with a
+// "datatree:" error.
+func ParseXMLContext(ctx context.Context, r io.Reader, lim ParseLimits) (*Tree, error) {
 	dec := xml.NewDecoder(r)
+	guard := &parseGuard{ctx: ctx, lim: lim}
 	var root *Node
 	var stack []*Node
 	var texts []*strings.Builder
@@ -33,14 +107,23 @@ func ParseXML(r io.Reader) (*Tree, error) {
 		if err != nil {
 			return nil, fmt.Errorf("datatree: XML parse error: %w", err)
 		}
+		if err := guard.tick(); err != nil {
+			return nil, err
+		}
 		switch tk := tok.(type) {
 		case xml.StartElement:
+			if err := guard.checkDepth(len(stack) + 1); err != nil {
+				return nil, err
+			}
 			n := &Node{Label: tk.Name.Local}
 			for _, a := range tk.Attr {
 				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
 					continue
 				}
 				n.AddLeaf("@"+a.Name.Local, a.Value)
+			}
+			if err := guard.addNodes(1 + len(n.Children)); err != nil {
+				return nil, err
 			}
 			if len(stack) == 0 {
 				if root != nil {
@@ -68,6 +151,9 @@ func ParseXML(r io.Reader) (*Tree, error) {
 					n.HasValue = true
 				} else {
 					n.AddLeaf(TextLabel, text)
+					if err := guard.addNodes(1); err != nil {
+						return nil, err
+					}
 				}
 			}
 		case xml.CharData:
@@ -164,8 +250,12 @@ func escapeText(s string) string {
 }
 
 func escapeAttr(s string) string {
-	// xml.EscapeText also escapes quotes, which is sufficient for
-	// attribute values emitted with %q above; strip the quoting done
-	// by EscapeText of newlines etc. is not needed — just reuse it.
+	// Attribute values are emitted inside double quotes, so the
+	// escaping must cover `"` as well as `&` and `<`. xml.EscapeText
+	// escapes all of those, plus `\t`/`\n`/`\r` as character
+	// references — which is exactly what double-quoted attribute
+	// values need for a lossless ParseXML round trip (a literal
+	// newline inside an attribute would otherwise be normalized to a
+	// space by the XML decoder).
 	return escapeText(s)
 }

@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReaderFailsAfterN(t *testing.T) {
+	r := &Reader{R: strings.NewReader("abcdefghij"), FailAfter: 4}
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if string(got) != "abcd" {
+		t.Fatalf("read %q before the fault, want %q", got, "abcd")
+	}
+}
+
+func TestReaderCustomError(t *testing.T) {
+	custom := errors.New("boom")
+	r := &Reader{R: strings.NewReader("abc"), FailAfter: 1, Err: custom}
+	if _, err := io.ReadAll(r); !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want custom error", err)
+	}
+}
+
+func TestShort(t *testing.T) {
+	got, err := io.ReadAll(Short(strings.NewReader("abcdefghij"), 3))
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestStallReaderUnblocksOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &StallReader{R: strings.NewReader("abcdef"), StallAfter: 2, Ctx: ctx}
+	buf := make([]byte, 10)
+	n, err := r.Read(buf)
+	if n != 2 || err != nil {
+		t.Fatalf("first read: %d, %v", n, err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Read(buf)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("stalled read err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stalled read did not unblock on cancel")
+	}
+}
+
+func TestCancelAfterBytes(t *testing.T) {
+	r, ctx := CancelAfterBytes(context.Background(), strings.NewReader(strings.Repeat("x", 100)), 10)
+	buf := make([]byte, 4)
+	for i := 0; i < 2; i++ {
+		if _, err := r.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		if ctx.Err() != nil {
+			t.Fatalf("cancelled after only %d bytes", (i+1)*4)
+		}
+	}
+	if _, err := r.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("context not cancelled after 12 >= 10 bytes")
+	}
+}
+
+func TestPanicHook(t *testing.T) {
+	hook, fired := PanicHook("book")
+	hook("/warehouse/state") // no match, no panic
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("hook did not panic on matching pivot")
+			}
+		}()
+		hook("/warehouse/state/store/book")
+	}()
+	if fired.Load() != 1 {
+		t.Fatalf("fired = %d, want 1", fired.Load())
+	}
+}
+
+func TestCheckGoroutinesTolerance(t *testing.T) {
+	check := CheckGoroutines(t)
+	ch := make(chan struct{})
+	go func() { <-ch }()
+	close(ch) // goroutine exits; the checker's polling must tolerate the teardown lag
+	check()
+}

@@ -1,0 +1,178 @@
+package relation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"discoverxfd/internal/datatree"
+)
+
+// bigWarehouseXML renders a warehouse document with n states of one
+// store and two books each, so tuple budgets have room to bite.
+func bigWarehouseXML(n int) string {
+	var b strings.Builder
+	b.WriteString("<warehouse>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<state><name>s%d</name><store>`, i)
+		fmt.Fprintf(&b, `<contact><name>c%d</name><address>a%d</address></contact>`, i%7, i%7)
+		fmt.Fprintf(&b, `<book><ISBN>i%d</ISBN><author>A</author><title>t%d</title><price>9</price></book>`, i, i%5)
+		fmt.Fprintf(&b, `<book><ISBN>j%d</ISBN><author>B</author><title>u%d</title><price>7</price></book>`, i, i%5)
+		b.WriteString(`</store></state>`)
+	}
+	b.WriteString("</warehouse>")
+	return b.String()
+}
+
+// TestBuildMaxTuplesTruncates checks the in-memory builder's tuple
+// budget: ingestion stops early, the hierarchy is marked truncated,
+// and what was ingested is structurally consistent (children only
+// reference ingested parents).
+func TestBuildMaxTuplesTruncates(t *testing.T) {
+	tr, err := datatree.ParseXMLString(bigWarehouseXML(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Build(tr, warehouseSchema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := Build(tr, warehouseSchema, Options{MaxTuples: 40})
+	if err != nil {
+		t.Fatalf("tuple budget must degrade gracefully, got error: %v", err)
+	}
+	if !capped.Truncated {
+		t.Fatal("tuple budget did not mark the hierarchy truncated")
+	}
+	if !strings.Contains(capped.TruncatedReason, "tuple budget") {
+		t.Errorf("TruncatedReason = %q", capped.TruncatedReason)
+	}
+	cappedTuples := nonRootTuples(capped)
+	fullTuples := nonRootTuples(full)
+	if cappedTuples > 40 {
+		t.Errorf("capped hierarchy holds %d tuples, budget was 40", cappedTuples)
+	}
+	if cappedTuples >= fullTuples {
+		t.Errorf("capped %d tuples, full %d; budget had no effect", cappedTuples, fullTuples)
+	}
+	checkParentLinks(t, capped)
+}
+
+// TestBuildStreamMaxTuplesTruncates checks the streaming builder's
+// budget: the parse itself is abandoned early (errBudgetExhausted is
+// internal, so we can only observe the truncated hierarchy), and the
+// result stays consistent.
+func TestBuildStreamMaxTuplesTruncates(t *testing.T) {
+	h, err := BuildStream(strings.NewReader(bigWarehouseXML(50)), warehouseSchema, Options{MaxTuples: 40})
+	if err != nil {
+		t.Fatalf("tuple budget must degrade gracefully, got error: %v", err)
+	}
+	if !h.Truncated {
+		t.Fatal("tuple budget did not mark the streamed hierarchy truncated")
+	}
+	if tuples := nonRootTuples(h); tuples > 40 {
+		t.Errorf("streamed hierarchy holds %d tuples, budget was 40", tuples)
+	}
+	checkParentLinks(t, h)
+}
+
+// nonRootTuples counts ingested tuples outside the synthetic root
+// relation; the root's single tuple exists before any ingestion and
+// is not charged against MaxTuples.
+func nonRootTuples(h *Hierarchy) int {
+	n := 0
+	for _, r := range h.Relations {
+		if r != h.Root {
+			n += r.NRows()
+		}
+	}
+	return n
+}
+
+// checkParentLinks asserts every non-root tuple references an ingested
+// parent row — the structural-consistency promise of truncation.
+func checkParentLinks(t *testing.T, h *Hierarchy) {
+	t.Helper()
+	for _, r := range h.Relations {
+		if r.Parent == nil {
+			continue
+		}
+		for i, pi := range r.ParentIdx {
+			if pi < 0 || int(pi) >= r.Parent.NRows() {
+				t.Fatalf("%s row %d references parent row %d of %d: truncation broke consistency",
+					r.Pivot, i, pi, r.Parent.NRows())
+			}
+		}
+	}
+}
+
+// TestBuildDeadlineTruncates checks that an already-expired deadline
+// truncates the build instead of erroring.
+func TestBuildDeadlineTruncates(t *testing.T) {
+	tr, err := datatree.ParseXMLString(bigWarehouseXML(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Build(tr, warehouseSchema, Options{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatalf("expired deadline must not error: %v", err)
+	}
+	if !h.Truncated {
+		t.Fatal("expired deadline did not truncate the build")
+	}
+	if !strings.Contains(h.TruncatedReason, "deadline") {
+		t.Errorf("TruncatedReason = %q", h.TruncatedReason)
+	}
+}
+
+// TestBuildContextCancelled checks the other channel: cancellation is
+// an error, not a truncation.
+func TestBuildContextCancelled(t *testing.T) {
+	tr, err := datatree.ParseXMLString(bigWarehouseXML(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildContext(ctx, tr, warehouseSchema, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := BuildStreamContext(ctx, strings.NewReader(bigWarehouseXML(50)), warehouseSchema, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("stream err = %v, want context.Canceled", err)
+	}
+}
+
+// TestUntouchedBudgetMatchesPlainBuild checks determinism: building
+// under generous limits is structurally identical to a plain build.
+func TestUntouchedBudgetMatchesPlainBuild(t *testing.T) {
+	xml := bigWarehouseXML(10)
+	tr, err := datatree.ParseXMLString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Build(tr, warehouseSchema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	governed, err := BuildContext(context.Background(), tr, warehouseSchema, Options{
+		MaxTuples: 1 << 20,
+		Deadline:  time.Now().Add(time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if governed.Truncated {
+		t.Fatal("generous limits marked the hierarchy truncated")
+	}
+	if len(governed.Relations) != len(plain.Relations) {
+		t.Fatalf("relation counts differ: %d vs %d", len(governed.Relations), len(plain.Relations))
+	}
+	for i, pr := range plain.Relations {
+		if got, want := governed.Relations[i].String(), pr.String(); got != want {
+			t.Errorf("relation %s differs under governed build\nplain:\n%s\ngoverned:\n%s", pr.Pivot, want, got)
+		}
+	}
+}

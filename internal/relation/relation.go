@@ -22,9 +22,11 @@
 package relation
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"discoverxfd/internal/datatree"
 	"discoverxfd/internal/partition"
@@ -155,8 +157,24 @@ type Hierarchy struct {
 	// list semantics instead of the default unordered multiset
 	// semantics (Section 4.5 ablation).
 	OrderedSets bool
+	// Truncated reports that tuple ingestion stopped early because a
+	// resource budget (Options.MaxTuples or Options.Deadline) ran out;
+	// the representation is structurally consistent but covers only a
+	// prefix of the document's tuples. TruncatedReason says which
+	// budget was exhausted.
+	Truncated       bool
+	TruncatedReason string
 
 	byPivot map[schema.Path]*Relation
+}
+
+// truncate records the first budget exhaustion; later ones keep the
+// original reason.
+func (h *Hierarchy) truncate(reason string) {
+	if !h.Truncated {
+		h.Truncated = true
+		h.TruncatedReason = reason
+	}
 }
 
 // ByPivot returns the relation with the given pivot path, or nil.
@@ -198,6 +216,69 @@ type Options struct {
 	// restricts discovery to the FD notions of Arenas & Libkin and
 	// Vincent et al. (no set-element FDs).
 	DisableSetAttrs bool
+	// MaxTuples caps the total number of tuples ingested across all
+	// essential relations. When the cap is reached, Build/BuildStream
+	// stop adding tuples and mark the hierarchy Truncated instead of
+	// failing — graceful degradation for oversized inputs. 0 means
+	// unlimited.
+	MaxTuples int
+	// Deadline, when nonzero, is the wall-clock instant past which
+	// tuple ingestion stops, marking the hierarchy Truncated. The
+	// caller owns the overall budget and passes the absolute deadline
+	// down; cancellation (an error, not truncation) comes from the
+	// context instead.
+	Deadline time.Time
+	// Parse bounds the streaming XML parse of BuildStream. The zero
+	// value applies datatree.DefaultLimits; set MaxDepth negative to
+	// lift the default depth bound. Parse-limit violations are hard
+	// errors (malformed or hostile input), not truncation.
+	Parse datatree.ParseLimits
+}
+
+// parseLimits resolves the zero value to the datatree defaults.
+func (o Options) parseLimits() datatree.ParseLimits {
+	if o.Parse == (datatree.ParseLimits{}) {
+		return datatree.DefaultLimits()
+	}
+	return o.Parse
+}
+
+// budgetCheckInterval is how many tuples are ingested between
+// deadline/cancellation checks during hierarchy construction.
+const budgetCheckInterval = 1024
+
+// buildBudget enforces Options.MaxTuples, Options.Deadline, and
+// context cancellation during hierarchy construction. Cancellation is
+// an error; budget exhaustion truncates the hierarchy.
+type buildBudget struct {
+	ctx    context.Context
+	opts   *Options
+	h      *Hierarchy
+	tuples int
+}
+
+// admit reports whether one more tuple may be ingested. It returns
+// false once a budget is exhausted (marking the hierarchy truncated)
+// and an error if the context was cancelled.
+func (b *buildBudget) admit() (bool, error) {
+	if b.h.Truncated {
+		return false, nil
+	}
+	if b.tuples%budgetCheckInterval == 0 {
+		if err := b.ctx.Err(); err != nil {
+			return false, fmt.Errorf("relation: build cancelled: %w", err)
+		}
+		if !b.opts.Deadline.IsZero() && time.Now().After(b.opts.Deadline) {
+			b.h.truncate("deadline exceeded during hierarchy build")
+			return false, nil
+		}
+	}
+	if b.opts.MaxTuples > 0 && b.tuples >= b.opts.MaxTuples {
+		b.h.truncate(fmt.Sprintf("tuple budget of %d exhausted", b.opts.MaxTuples))
+		return false, nil
+	}
+	b.tuples++
+	return true, nil
 }
 
 // Build constructs the hierarchical representation of the tree under
@@ -205,6 +286,14 @@ type Options struct {
 // datatree.Conform); Build reports an error on the first
 // non-conforming structure it hits.
 func Build(t *datatree.Tree, s *schema.Schema, opts Options) (*Hierarchy, error) {
+	return BuildContext(context.Background(), t, s, opts)
+}
+
+// BuildContext is Build with cancellation. Context cancellation is
+// checked periodically and returns an error; exhausting
+// Options.MaxTuples or Options.Deadline instead stops ingestion early
+// and returns a structurally consistent hierarchy with Truncated set.
+func BuildContext(ctx context.Context, t *datatree.Tree, s *schema.Schema, opts Options) (*Hierarchy, error) {
 	if t == nil || t.Root == nil {
 		return nil, fmt.Errorf("relation: empty tree")
 	}
@@ -219,16 +308,17 @@ func Build(t *datatree.Tree, s *schema.Schema, opts Options) (*Hierarchy, error)
 
 	// Pass 2: populate tuples top-down.
 	enc := &datatree.Encoder{}
+	bb := &buildBudget{ctx: ctx, opts: &opts, h: h}
 	h.Root.nodes = []*datatree.Node{t.Root}
 	h.Root.Keys = []int{t.Root.Key}
 	h.Root.ParentIdx = []int32{-1}
 	for _, r := range h.Relations {
 		if r != h.Root {
-			if err := populateTuples(r); err != nil {
+			if err := populateTuples(r, bb); err != nil {
 				return nil, err
 			}
 		}
-		if err := populateColumns(r, enc); err != nil {
+		if err := populateColumns(ctx, r, enc); err != nil {
 			return nil, err
 		}
 	}
@@ -237,6 +327,9 @@ func Build(t *datatree.Tree, s *schema.Schema, opts Options) (*Hierarchy, error)
 	// them after all relations are populated.
 	if !opts.DisableSetAttrs {
 		for _, r := range h.Relations {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("relation: build cancelled: %w", err)
+			}
 			fillSetColumns(h, r, enc, opts.OrderedSets)
 		}
 	}
@@ -310,8 +403,9 @@ func layoutHierarchy(s *schema.Schema, opts Options) (*Hierarchy, error) {
 
 // populateTuples finds the pivot nodes of relation r underneath each
 // parent tuple. The descent from the parent pivot to r's pivot
-// crosses only non-set elements except for the final step.
-func populateTuples(r *Relation) error {
+// crosses only non-set elements except for the final step. Ingestion
+// stops early (without error) once the build budget is exhausted.
+func populateTuples(r *Relation, bb *buildBudget) error {
 	rel := schema.MustRelativize(r.Parent.Pivot, r.Pivot)
 	steps := strings.Split(strings.TrimPrefix(string(rel), "./"), "/")
 	for pi, pnode := range r.Parent.nodes {
@@ -328,6 +422,13 @@ func populateTuples(r *Relation) error {
 		last := steps[len(steps)-1]
 		for _, n := range frontier {
 			for _, c := range n.ChildrenLabeled(last) {
+				ok, err := bb.admit()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
 				r.nodes = append(r.nodes, c)
 				r.Keys = append(r.Keys, c.Key)
 				r.ParentIdx = append(r.ParentIdx, int32(pi))
@@ -339,10 +440,13 @@ func populateTuples(r *Relation) error {
 
 // populateColumns encodes the Leaf and Complex attribute columns of
 // the relation. SetValue columns are filled later by fillSetColumns.
-func populateColumns(r *Relation, enc *datatree.Encoder) error {
+func populateColumns(ctx context.Context, r *Relation, enc *datatree.Encoder) error {
 	n := r.NRows()
 	r.Cols = make([][]int64, len(r.Attrs))
 	for ai, a := range r.Attrs {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("relation: build cancelled: %w", err)
+		}
 		col := make([]int64, n)
 		r.Cols[ai] = col
 		if a.Kind == SetValue {

@@ -1,6 +1,8 @@
 package relation
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -8,6 +10,11 @@ import (
 	"discoverxfd/internal/datatree"
 	"discoverxfd/internal/schema"
 )
+
+// errBudgetExhausted aborts the streaming parse once the tuple or
+// wall-clock budget runs out; BuildStream converts it into a
+// truncated (but valid) hierarchy rather than an error.
+var errBudgetExhausted = errors.New("relation: ingestion budget exhausted")
 
 // Builder constructs the hierarchical representation incrementally,
 // one root-child subtree at a time, so a large document never needs
@@ -20,9 +27,10 @@ import (
 // discovery work identically but node-level reporting (refine.Apply,
 // anomaly occurrences) needs the in-memory Build.
 type Builder struct {
-	h    *Hierarchy
-	opts Options
-	enc  *datatree.Encoder
+	h      *Hierarchy
+	opts   Options
+	enc    *datatree.Encoder
+	budget *buildBudget
 
 	dicts map[*Relation][]map[string]int64
 	// rootSetCodes accumulates member subtree codes for the root
@@ -40,6 +48,14 @@ type Builder struct {
 // NewBuilder lays out the relation tree for the schema and returns an
 // empty builder.
 func NewBuilder(s *schema.Schema, opts Options) (*Builder, error) {
+	return NewBuilderContext(context.Background(), s, opts)
+}
+
+// NewBuilderContext is NewBuilder with cancellation and resource
+// budgets: AddRootChild checks the context, and tuples beyond
+// Options.MaxTuples (or past Options.Deadline) truncate the hierarchy
+// instead of being ingested.
+func NewBuilderContext(ctx context.Context, s *schema.Schema, opts Options) (*Builder, error) {
 	h, err := layoutHierarchy(s, opts)
 	if err != nil {
 		return nil, err
@@ -52,6 +68,7 @@ func NewBuilder(s *schema.Schema, opts Options) (*Builder, error) {
 		rootSetCodes: make(map[int][]int),
 		rootNode:     &datatree.Node{Label: s.Root},
 	}
+	b.budget = &buildBudget{ctx: ctx, opts: &b.opts, h: h}
 	for _, r := range h.Relations {
 		ds := make([]map[string]int64, len(r.Attrs))
 		for i := range ds {
@@ -70,10 +87,18 @@ func NewBuilder(s *schema.Schema, opts Options) (*Builder, error) {
 // AddRootChild ingests one direct child of the document root (element
 // subtree or "@attr" leaf). Children of set elements are converted to
 // tuples immediately and the subtree becomes garbage; non-set
-// children are retained until Finish.
+// children are retained until Finish. Once the ingestion budget is
+// exhausted it returns errBudgetExhausted, which BuildStream maps to
+// a truncated hierarchy.
 func (b *Builder) AddRootChild(n *datatree.Node) error {
 	if b.finished {
 		return fmt.Errorf("relation: builder already finished")
+	}
+	if err := b.budget.ctx.Err(); err != nil {
+		return fmt.Errorf("relation: build cancelled: %w", err)
+	}
+	if b.h.Truncated {
+		return errBudgetExhausted
 	}
 	// Which top-level relation (if any) does this child pivot?
 	childPath := schema.PathOf(b.h.Schema.Root).Child(n.Label)
@@ -81,7 +106,9 @@ func (b *Builder) AddRootChild(n *datatree.Node) error {
 		if ai := b.h.Root.AttrIndex(schema.MustRelativize(b.h.Root.Pivot, childPath)); ai >= 0 {
 			b.rootSetCodes[ai] = append(b.rootSetCodes[ai], b.enc.Encode(n))
 		}
-		b.addTuple(rel, n, 0)
+		if err := b.addTuple(rel, n, 0); err != nil {
+			return err
+		}
 		b.enc.Forget(n)
 		return nil
 	}
@@ -151,15 +178,26 @@ func (b *Builder) Finish() (*Hierarchy, error) {
 			continue // direct children were streamed
 		}
 		for _, m := range collectMembers(b.rootNode, rel) {
-			b.addTuple(child, m, 0)
+			if err := b.addTuple(child, m, 0); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return b.h, nil
 }
 
 // addTuple converts the subtree rooted at pivot into one tuple of rel
-// (plus, recursively, tuples of rel's descendants).
-func (b *Builder) addTuple(rel *Relation, pivot *datatree.Node, parentRow int32) {
+// (plus, recursively, tuples of rel's descendants). A tuple beyond
+// the ingestion budget is skipped (the hierarchy is then marked
+// truncated); only cancellation is an error.
+func (b *Builder) addTuple(rel *Relation, pivot *datatree.Node, parentRow int32) error {
+	ok, err := b.budget.admit()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
 	b.seq++
 	row := rel.NRows()
 	rel.Keys = append(rel.Keys, b.seq)
@@ -199,9 +237,12 @@ func (b *Builder) addTuple(rel *Relation, pivot *datatree.Node, parentRow int32)
 	for _, child := range rel.Children {
 		crel := schema.MustRelativize(rel.Pivot, child.Pivot)
 		for _, m := range collectMembers(pivot, crel) {
-			b.addTuple(child, m, int32(row))
+			if err := b.addTuple(child, m, int32(row)); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 func (b *Builder) dictCode(rel *Relation, ai int, value string) int64 {
@@ -232,12 +273,21 @@ func collectMembers(pivot *datatree.Node, rel schema.RelPath) []*datatree.Node {
 // from an XML stream under the given schema, without materializing
 // the document. The root element's label must match the schema.
 func BuildStream(r io.Reader, s *schema.Schema, opts Options) (*Hierarchy, error) {
-	b, err := NewBuilder(s, opts)
+	return BuildStreamContext(context.Background(), r, s, opts)
+}
+
+// BuildStreamContext is BuildStream with cancellation and resource
+// budgets. Parse-limit violations (Options.Parse) and cancellation
+// are errors; exhausting Options.MaxTuples or Options.Deadline aborts
+// the parse early and returns the hierarchy built so far with
+// Truncated set.
+func BuildStreamContext(ctx context.Context, r io.Reader, s *schema.Schema, opts Options) (*Hierarchy, error) {
+	b, err := NewBuilderContext(ctx, s, opts)
 	if err != nil {
 		return nil, err
 	}
-	rootLabel, err := datatree.StreamRootChildren(r, b.AddRootChild)
-	if err != nil {
+	rootLabel, err := datatree.StreamRootChildrenContext(ctx, r, opts.parseLimits(), b.AddRootChild)
+	if err != nil && !errors.Is(err, errBudgetExhausted) {
 		return nil, err
 	}
 	if rootLabel != s.Root {

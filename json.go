@@ -38,6 +38,8 @@ type jsonResult struct {
 		TargetsDropped     int    `json:"targetsDropped"`
 		IntraTime          string `json:"intraTime"`
 		InterTime          string `json:"interTime"`
+		Truncated          bool   `json:"truncated,omitempty"`
+		TruncatedReason    string `json:"truncatedReason,omitempty"`
 	} `json:"stats"`
 }
 
@@ -89,6 +91,8 @@ func WriteJSON(w io.Writer, res *Result) error {
 	jr.Stats.TargetsDropped = res.Stats.TargetsDropped
 	jr.Stats.IntraTime = res.Stats.IntraTime.String()
 	jr.Stats.InterTime = res.Stats.InterTime.String()
+	jr.Stats.Truncated = res.Stats.Truncated
+	jr.Stats.TruncatedReason = res.Stats.TruncatedReason
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

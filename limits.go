@@ -1,0 +1,80 @@
+package discoverxfd
+
+import (
+	"time"
+
+	"discoverxfd/internal/datatree"
+)
+
+// Limits bounds the resources a single discovery call may consume.
+// The zero value applies only the parser's default nesting bound;
+// every other budget is off.
+//
+// Two enforcement regimes apply, by layer:
+//
+//   - Parse limits (MaxDepth, MaxNodes) are hard errors: a document
+//     that exceeds them is hostile or malformed, and a partial data
+//     tree would be useless, so parsing fails fast with a "datatree:"
+//     error.
+//   - Discovery budgets (MaxTuples, MaxLatticeLevel, Deadline)
+//     degrade gracefully: when one runs out, the pipeline keeps the
+//     work already done and returns a partial Result with
+//     Stats.Truncated and Stats.TruncatedReason set — never an error
+//     and never a hang. Every FD/Key in a truncated Result holds on
+//     the data that was examined, but constraints may be missing,
+//     and, if tuple ingestion itself was truncated, a reported
+//     constraint may not hold on the full document.
+//
+// Cancellation is separate from both: cancelling the context passed
+// to a ...Context function aborts the call with an error.
+type Limits struct {
+	// MaxDepth bounds XML element nesting while parsing. 0 applies
+	// the parser default (datatree.DefaultMaxDepth, 10000); negative
+	// lifts the bound entirely.
+	MaxDepth int
+	// MaxNodes bounds the number of data nodes materialized while
+	// parsing (elements, attribute leaves, and text leaves). 0 means
+	// unlimited.
+	MaxNodes int
+	// MaxTuples caps the total tuples ingested into the hierarchical
+	// representation across all tuple classes; beyond it ingestion
+	// stops and the result is marked truncated. 0 means unlimited.
+	MaxTuples int
+	// MaxLatticeLevel caps the attribute-set size explored in any
+	// relation's lattice (the level-wise search is worst-case
+	// exponential in attribute count). Hitting the cap marks the
+	// result truncated. 0 means unbounded.
+	MaxLatticeLevel int
+	// Deadline is a wall-clock budget for the whole call, measured
+	// from its start. On expiry the traversal stops at the next check
+	// and the partial Result is returned with Stats.Truncated set.
+	// 0 means no budget.
+	Deadline time.Duration
+}
+
+// parseLimits maps the parse-layer fields onto the datatree limits,
+// resolving 0 to the parser default depth.
+func (l Limits) parseLimits() datatree.ParseLimits {
+	pl := datatree.ParseLimits{MaxDepth: l.MaxDepth, MaxNodes: l.MaxNodes}
+	if pl.MaxDepth == 0 {
+		pl.MaxDepth = datatree.DefaultMaxDepth
+	}
+	return pl
+}
+
+// deadlineFrom converts the relative budget into the absolute instant
+// the lower layers check against; zero means no budget.
+func (l Limits) deadlineFrom(now time.Time) time.Time {
+	if l.Deadline <= 0 {
+		return time.Time{}
+	}
+	return now.Add(l.Deadline)
+}
+
+// limits returns the configured Limits, nil-safe.
+func (o *Options) limits() Limits {
+	if o == nil {
+		return Limits{}
+	}
+	return o.Limits
+}

@@ -56,6 +56,9 @@ func WriteReport(w io.Writer, res *Result) error {
 	fmt.Fprintf(ew, "     targets created %d, propagated %d, dropped %d; intra %v, inter %v\n",
 		st.TargetsCreated, st.TargetsPropagated, st.TargetsDropped,
 		st.IntraTime.Round(timeUnit(st.IntraTime)), st.InterTime.Round(timeUnit(st.InterTime)))
+	if st.Truncated {
+		fmt.Fprintf(ew, "\nPARTIAL RESULT: %s — constraints may be missing (see Limits).\n", st.TruncatedReason)
+	}
 	return ew.err
 }
 
