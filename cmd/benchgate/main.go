@@ -1,0 +1,63 @@
+// Command benchgate is the CI bench-regression gate: it compares a
+// fresh `xfdbench -json` report against the committed baseline
+// (BENCH_partition.json) and exits nonzero when a gated speedup
+// metric fell more than -threshold below its baseline value. Only
+// within-run ratios are gated — absolute timings are machine-
+// dependent and ignored — so the gate holds across CI hardware.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_partition.json -current bench.json [-threshold 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"discoverxfd/internal/bench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_partition.json", "committed baseline report")
+	current := flag.String("current", "", "freshly generated report to gate (required)")
+	threshold := flag.Float64("threshold", 0.25, "maximum allowed fractional drop of a gated metric")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	read := func(path string) *bench.Report {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r, err := bench.ReadReport(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		return r
+	}
+	base := read(*baseline)
+	cur := read(*current)
+
+	regs, err := bench.Compare(base, cur, *threshold)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) beyond the %.0f%% threshold:\n", len(regs), *threshold*100)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		fmt.Fprintln(os.Stderr, "benchgate: if the slowdown is intended, regenerate BENCH_partition.json or apply the bench-regression-ok label (see .github/workflows/ci.yml)")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok — no gated metric regressed beyond the threshold")
+}

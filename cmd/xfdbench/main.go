@@ -1,11 +1,12 @@
 // Command xfdbench runs the experiment harness reconstructing the
 // paper's evaluation (see DESIGN.md and EXPERIMENTS.md). With no
 // arguments it runs every experiment; otherwise it runs the named
-// ones (e1..e7).
+// ones (e1..e13). -json emits the machine-readable report consumed by
+// the CI bench gate (cmd/benchgate) instead of the text tables.
 //
 // Usage:
 //
-//	xfdbench [-quick] [e1 e2 ...]
+//	xfdbench [-quick] [-json] [e1 e2 ...]
 package main
 
 import (
@@ -19,8 +20,9 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run scaled-down configurations (CI speed)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report (tables, per-experiment timings, metrics)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xfdbench [-quick] [-list] [e1 e2 ...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: xfdbench [-quick] [-json] [-list] [e1 e2 ...]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the DiscoverXFD experiment suite (default: all).\n\n")
 		flag.PrintDefaults()
 	}
@@ -45,6 +47,13 @@ func main() {
 			}
 			todo = append(todo, *e)
 		}
+	}
+	if *jsonOut {
+		if err := bench.Run(todo, *quick).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "xfdbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	for _, e := range todo {
 		e.Run(*quick).Fprint(os.Stdout)

@@ -123,14 +123,15 @@ func (o *Options) coreOptions(deadline time.Time) core.Options {
 		o = &Options{}
 	}
 	return core.Options{
-		MaxLHS:           o.MaxLHS,
-		NoInterRelation:  o.IntraOnly,
-		PropagatePartial: true,
-		KeepConstantFDs:  o.KeepConstantFDs,
-		ApproxError:      o.ApproxError,
-		Parallel:         o.Parallel,
-		MaxLatticeLevel:  o.Limits.MaxLatticeLevel,
-		Deadline:         deadline,
+		MaxLHS:            o.MaxLHS,
+		NoInterRelation:   o.IntraOnly,
+		PropagatePartial:  true,
+		KeepConstantFDs:   o.KeepConstantFDs,
+		ApproxError:       o.ApproxError,
+		Parallel:          o.Parallel,
+		MaxLatticeLevel:   o.Limits.MaxLatticeLevel,
+		MaxPartitionBytes: o.Limits.MaxPartitionBytes,
+		Deadline:          deadline,
 	}
 }
 

@@ -20,6 +20,12 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Metrics carries machine-readable scalars for the JSON report and
+	// the CI bench gate. By convention, keys starting with "speedup"
+	// are ratios measured within one run (fast vs naive on the same
+	// machine) and are what the regression gate compares; other keys
+	// (cache hits, allocation counts) are informational.
+	Metrics map[string]float64
 }
 
 // Fprint renders the table with aligned columns.
@@ -91,6 +97,7 @@ func All() []Experiment {
 		{ID: "e10", Title: "FD notions compared (Section 2.3)", Run: E10Notions},
 		{ID: "e11", Title: "Relational baselines: TANE vs Dep-Miner vs FUN", Run: E11Baselines},
 		{ID: "e12", Title: "Parallel discovery over independent subtrees", Run: E12Parallel},
+		{ID: "e13", Title: "Partition-engine fast path vs naive engine", Run: E13Partition},
 	}
 }
 

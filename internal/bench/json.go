@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ReportVersion is bumped when the JSON report shape changes
+// incompatibly, so the CI gate can reject stale baselines loudly
+// instead of comparing mismatched fields.
+const ReportVersion = 1
+
+// Report is the machine-readable output of an xfdbench -json run: the
+// same tables the text mode prints, plus per-experiment wall time and
+// the experiments' metric scalars. Committed as BENCH_partition.json
+// it doubles as the CI regression baseline (see Compare).
+type Report struct {
+	Version   int                `json:"version"`
+	Quick     bool               `json:"quick"`
+	GoVersion string             `json:"go_version"`
+	NumCPU    int                `json:"num_cpu"`
+	Results   []ExperimentResult `json:"results"`
+}
+
+// ExperimentResult is one experiment's table in JSON form.
+type ExperimentResult struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Seconds float64            `json:"seconds"`
+	Columns []string           `json:"columns"`
+	Rows    [][]string         `json:"rows"`
+	Notes   []string           `json:"notes,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run executes the experiments and collects a Report.
+func Run(exps []Experiment, quick bool) *Report {
+	rep := &Report{
+		Version:   ReportVersion,
+		Quick:     quick,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, e := range exps {
+		start := time.Now()
+		tbl := e.Run(quick)
+		rep.Results = append(rep.Results, ExperimentResult{
+			ID:      tbl.ID,
+			Title:   tbl.Title,
+			Seconds: time.Since(start).Seconds(),
+			Columns: tbl.Columns,
+			Rows:    tbl.Rows,
+			Notes:   tbl.Notes,
+			Metrics: tbl.Metrics,
+		})
+	}
+	return rep
+}
+
+// WriteJSON marshals the report, indented for diff-friendly commits.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a JSON report and validates its version.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parsing report: %w", err)
+	}
+	if r.Version != ReportVersion {
+		return nil, fmt.Errorf("bench: report version %d, tool expects %d (regenerate the baseline)", r.Version, ReportVersion)
+	}
+	return &r, nil
+}
+
+// Regression is one gate violation found by Compare.
+type Regression struct {
+	Experiment string
+	Metric     string
+	Baseline   float64
+	Current    float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s regressed: baseline %.3f, current %.3f", r.Experiment, r.Metric, r.Baseline, r.Current)
+}
+
+// Compare gates the current report against a committed baseline:
+// every "speedup*" metric present in both must not fall more than
+// threshold (a fraction, e.g. 0.25 for 25%) below its baseline value.
+// Only within-run ratios are compared — absolute wall times are
+// machine-dependent and deliberately ignored — so the gate is stable
+// across CI hardware. Experiments or metrics missing from either side
+// are skipped (adding an experiment must not fail the gate; removing
+// the gated metric entirely is caught by requiring at least one
+// comparison).
+func Compare(baseline, current *Report, threshold float64) ([]Regression, error) {
+	cur := make(map[string]map[string]float64)
+	for _, e := range current.Results {
+		cur[e.ID] = e.Metrics
+	}
+	var regs []Regression
+	compared := 0
+	for _, b := range baseline.Results {
+		cm := cur[b.ID]
+		if cm == nil {
+			continue
+		}
+		keys := make([]string, 0, len(b.Metrics))
+		for k := range b.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !strings.HasPrefix(k, "speedup") {
+				continue
+			}
+			cv, ok := cm[k]
+			if !ok {
+				continue
+			}
+			compared++
+			if bv := b.Metrics[k]; cv < bv*(1-threshold) {
+				regs = append(regs, Regression{Experiment: b.ID, Metric: k, Baseline: bv, Current: cv})
+			}
+		}
+	}
+	if compared == 0 {
+		return nil, fmt.Errorf("bench: no gated (speedup*) metrics shared between baseline and current report")
+	}
+	return regs, nil
+}

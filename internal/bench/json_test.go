@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleReport(speedup float64) *Report {
+	return &Report{
+		Version: ReportVersion,
+		Quick:   true,
+		Results: []ExperimentResult{{
+			ID:      "E13",
+			Title:   "demo",
+			Seconds: 0.5,
+			Columns: []string{"a"},
+			Rows:    [][]string{{"1"}},
+			Metrics: map[string]float64{
+				"speedup_e1_discovery": speedup,
+				"cache_hits_e1":        100,
+			},
+		}},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport(2.5).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results[0].Metrics["speedup_e1_discovery"] != 2.5 {
+		t.Fatalf("round trip lost metrics: %+v", got.Results[0])
+	}
+}
+
+func TestReadReportRejectsVersionMismatch(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader(`{"version": 999}`)); err == nil {
+		t.Fatal("want version mismatch error")
+	}
+	if _, err := ReadReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestCompareGatesSpeedupMetrics(t *testing.T) {
+	base := sampleReport(2.0)
+
+	// Within threshold: 2.0 -> 1.6 is exactly a 20% drop, allowed at 25%.
+	regs, err := Compare(base, sampleReport(1.6), 0.25)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("20%% drop should pass a 25%% gate: regs=%v err=%v", regs, err)
+	}
+
+	// Beyond threshold: 2.0 -> 1.4 is a 30% drop.
+	regs, err = Compare(base, sampleReport(1.4), 0.25)
+	if err != nil || len(regs) != 1 {
+		t.Fatalf("30%% drop should fail a 25%% gate: regs=%v err=%v", regs, err)
+	}
+	if !strings.Contains(regs[0].String(), "speedup_e1_discovery") {
+		t.Fatalf("regression should name the metric: %s", regs[0])
+	}
+
+	// Informational (non-speedup) metrics are never gated.
+	cur := sampleReport(2.0)
+	cur.Results[0].Metrics["cache_hits_e1"] = 1
+	if regs, err = Compare(base, cur, 0.25); err != nil || len(regs) != 0 {
+		t.Fatalf("cache_hits must not be gated: regs=%v err=%v", regs, err)
+	}
+
+	// No shared gated metrics is an error, not a silent pass.
+	empty := sampleReport(2.0)
+	empty.Results[0].ID = "E99"
+	if _, err = Compare(base, empty, 0.25); err == nil {
+		t.Fatal("disjoint experiments should error (gate would be vacuous)")
+	}
+}
+
+// TestE13SpeedupFloor pins the headline acceptance criterion: the
+// quick-mode E1-style discovery on the repeated-value dataset must be
+// ≥1.5× faster on the fast engine than the naive (pre-fast-path)
+// engine. The measured ratio is within-run and best-of-three, so it
+// is stable even on loaded single-core CI runners (observed ~3×).
+func TestE13SpeedupFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short mode")
+	}
+	tbl := E13Partition(true)
+	got := tbl.Metrics["speedup_e1_discovery"]
+	if got < 1.5 {
+		t.Fatalf("repeated-value quick discovery speedup %.2fx < 1.5x\n%s", got, tbl)
+	}
+	if tbl.Metrics["cache_hits_e1_discovery"] == 0 {
+		t.Fatal("fast engine reported no cache hits")
+	}
+}

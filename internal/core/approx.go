@@ -22,6 +22,11 @@ import (
 // group, all but the largest Π_{LHS∪rhs} subgroup must go.
 // allIDs are the group ids of Π_{LHS∪rhs}; stripped singletons are
 // their own subgroups of size one.
+//
+// This is the map-based variant the naive engine keeps as the
+// pre-fast-path baseline; the fast engine uses g3ErrorDense, which
+// exploits the density of group ids. The differential test pins both
+// to the same approximate-FD output.
 func g3Error(plhs *partition.Partition, allIDs []int32) int {
 	removals := 0
 	counts := make(map[int32]int)
@@ -41,6 +46,46 @@ func g3Error(plhs *partition.Partition, allIDs []int32) int {
 			}
 		}
 		removals += len(g) - max
+	}
+	return removals
+}
+
+// g3ErrorDense is g3Error on a dense counts buffer instead of a map:
+// group ids of Π_{LHS∪rhs} are dense in [0, |Π_{LHS∪rhs}|), so
+// subgroup sizes live in a slice indexed by id, reset by a second
+// sweep of the same rows. counts must have len ≥ the number of groups
+// behind allIDs and be all-zero; it is returned all-zero. O(‖Π_LHS‖)
+// per call with no per-group allocation — the approximate pass is the
+// hottest consumer of cached partitions, and this removes the map
+// hashing that dominated its profile.
+//
+// limit short-circuits the scan: removals only grow, and the caller
+// discards any edge over its error budget, so once the running total
+// exceeds limit the exact value no longer matters and a value > limit
+// is returned immediately (counts are reset group by group, so an
+// early return leaves the buffer zeroed). Most candidate edges are
+// far over budget, making this the common exit.
+func g3ErrorDense(plhs *partition.Partition, allIDs []int32, counts []int32, limit int) int {
+	removals := 0
+	for _, g := range plhs.Groups {
+		max := int32(1) // a stripped singleton subgroup always exists as a floor
+		for _, t := range g {
+			if id := allIDs[t]; id >= 0 {
+				counts[id]++
+				if counts[id] > max {
+					max = counts[id]
+				}
+			}
+		}
+		for _, t := range g {
+			if id := allIDs[t]; id >= 0 {
+				counts[id] = 0
+			}
+		}
+		removals += len(g) - int(max)
+		if removals > limit {
+			return removals
+		}
 	}
 	return removals
 }
@@ -67,15 +112,16 @@ func (lr *latticeRun) discoverApprox(maxErr float64) []FD {
 		exact[e] = true
 	}
 	var out []FD
+	var counts []int32 // g3ErrorDense buffer, grown to the largest group count
 	seen := make(map[edge]bool)
-	for a := range lr.parts {
+	for a := range lr.pc.parts {
 		if a == 0 {
 			continue
 		}
-		pa := lr.parts[a]
+		pa := lr.pc.parts[a]
 		for _, i := range a.Attrs() {
 			al := a.Without(i)
-			pal, ok := lr.parts[al]
+			pal, ok := lr.pc.parts[al]
 			if !ok {
 				continue
 			}
@@ -87,7 +133,15 @@ func (lr *latticeRun) discoverApprox(maxErr float64) []FD {
 			if pal.Error() == pa.Error() {
 				continue // exact (found via another traversal path)
 			}
-			removals := g3Error(pal, lr.groupIDs(a))
+			var removals int
+			if lr.opts.NaivePartitions {
+				removals = g3Error(pal, lr.groupIDs(a))
+			} else {
+				if len(pa.Groups) > len(counts) {
+					counts = make([]int32, len(pa.Groups))
+				}
+				removals = g3ErrorDense(pal, lr.groupIDs(a), counts, budget)
+			}
 			if removals <= budget {
 				fd := intraFD(lr.rel, e)
 				fd.Approximate = true

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"discoverxfd/internal/partition"
 	"discoverxfd/internal/relation"
 	"discoverxfd/internal/schema"
 )
@@ -184,6 +185,58 @@ func EvaluateContext(ctx context.Context, h *relation.Hierarchy, class schema.Pa
 		ev.Error = float64(removals) / float64(n)
 	}
 	return ev, nil
+}
+
+// evaluateIntraFast is the partition-backed equivalent of Evaluate for
+// intra-relation FDs: Π_LHS from the run's cache supplies the
+// LHS-equal groups directly (tuples with a missing LHS value carry
+// row-unique null codes, so they fall into stripped-out singletons —
+// the same vacuous-pair semantics the evaluator implements by
+// skipping them), and the per-group RHS counting below mirrors
+// Evaluate's exactly.
+func evaluateIntraFast(cache *partitionCache, origin *relation.Relation, lhsSet AttrSet, rhsAttr int) Evaluation {
+	rp := cache.store(origin)
+	sc := partition.GetScratch(origin.NRows())
+	defer partition.PutScratch(sc)
+	p := cache.partitionOf(rp, lhsSet, sc, false, nil)
+
+	ev := Evaluation{Holds: true, LHSIsKey: len(p.Groups) == 0}
+	removals := 0
+	rcol := origin.Cols[rhsAttr]
+	for _, g := range p.Groups {
+		counts := make(map[int64]int, len(g))
+		max := 1
+		agree := true
+		first := rcol[g[0]]
+		if relation.IsNull(first) {
+			agree = false
+		}
+		for i, t := range g {
+			code := rcol[t]
+			if i > 0 && (relation.IsNull(code) || code != first) {
+				agree = false
+			}
+			if relation.IsNull(code) {
+				continue
+			}
+			counts[code]++
+			if counts[code] > max {
+				max = counts[code]
+			}
+		}
+		removals += len(g) - max
+		if agree {
+			ev.WitnessGroups++
+			ev.Witnesses += len(g) - 1
+		} else {
+			ev.Holds = false
+			ev.Violations += len(g) - 1
+		}
+	}
+	if n := origin.NRows(); n > 0 {
+		ev.Error = float64(removals) / float64(n)
+	}
+	return ev
 }
 
 // ancestorTuple walks ups parent links from tuple t of origin.

@@ -142,6 +142,20 @@ type Stats struct {
 	NodesVisited int
 	// PartitionsComputed counts partition products performed.
 	PartitionsComputed int
+	// ParallelProducts counts partition products computed by the
+	// level-parallel precompute workers (a subset of
+	// PartitionsComputed); zero when Options.Parallel is off or levels
+	// were too small to parallelize.
+	ParallelProducts int
+	// PartitionCacheHits / PartitionCacheMisses count lookups in the
+	// run-wide partition cache; misses trigger a build or product.
+	// PartitionCacheEvictions counts multi-attribute partitions trimmed
+	// from retired relations to honor Options.MaxPartitionBytes, and
+	// PartitionCachePeakBytes is the cache's estimated high-water mark.
+	PartitionCacheHits      int
+	PartitionCacheMisses    int
+	PartitionCacheEvictions int
+	PartitionCachePeakBytes int64
 	// TargetsCreated counts partition targets created from failed
 	// intra-relation edges (Figure 10 creatept).
 	TargetsCreated int
@@ -233,6 +247,20 @@ type Options struct {
 	// error from Discover (joined in deterministic child order), not a
 	// process crash.
 	Parallel bool
+	// NaivePartitions disables the partition-engine fast path: column
+	// partitions are built by generic hashing instead of the interned
+	// dense-code counting build, no products are precomputed in
+	// parallel, and the run-wide cache keeps nothing beyond what the
+	// serial traversal needs. This is the pre-fast-path-equivalent
+	// engine, kept selectable for differential tests and as the
+	// benchmark baseline; results are identical either way.
+	NaivePartitions bool
+	// MaxPartitionBytes caps the estimated bytes of partitions retained
+	// by the run-wide cache across relations. The active relation's
+	// working set is never evicted mid-traversal; completed relations
+	// are trimmed to column partitions when over budget. Eviction
+	// affects speed only, never results. 0 means unlimited.
+	MaxPartitionBytes int64
 	// MaxLatticeLevel caps the attribute-set size explored in any
 	// relation's lattice. Unlike MaxLHS (a language restriction on the
 	// FDs sought), hitting this cap marks the result Truncated: levels

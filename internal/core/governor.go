@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -65,6 +66,22 @@ func (g *governor) expired() bool {
 		return true
 	}
 	return false
+}
+
+// productWorkers returns how many goroutines a parallel partition
+// product batch may use: the job count, capped at the machine's
+// parallelism. Subtree workers each run their own batches; the Go
+// scheduler multiplexes the short-lived product goroutines, and the
+// cap keeps any single batch from flooding it. Nil-safe like every
+// governor method (ungoverned tests run serial batches of one).
+func (g *governor) productWorkers(jobs int) int {
+	if g == nil {
+		return 1
+	}
+	if p := runtime.GOMAXPROCS(0); jobs > p {
+		return p
+	}
+	return jobs
 }
 
 // truncate records a budget exhaustion; the first reason wins.

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"discoverxfd/internal/partition"
@@ -44,14 +47,23 @@ type latticeRun struct {
 	// parent relation.
 	ni nullInfo
 
-	parts   map[AttrSet]*partition.Partition
-	gids    map[AttrSet][]int32
-	nullMap map[AttrSet][]bool
-	sc      *partition.Scratch
+	// cache is the run-shared partition cache; pc is this relation's
+	// store within it (acquired at the start of run, retired by the
+	// caller once the approximate pass is done with it too).
+	cache *partitionCache
+	pc    *relPartitions
+	sc    *partition.Scratch
 
 	fds  []edge
 	keys []AttrSet
 	out  relOutput
+}
+
+// close releases pooled resources; the latticeRun (and its partition
+// store) stay readable.
+func (lr *latticeRun) close() {
+	partition.PutScratch(lr.sc)
+	lr.sc = nil
 }
 
 // run executes the traversal. xfd selects DiscoverXFD behaviour
@@ -61,16 +73,16 @@ func (lr *latticeRun) run(xfd bool) {
 	rel := lr.rel
 	n := rel.NRows()
 	m := rel.NAttrs()
-	lr.parts = make(map[AttrSet]*partition.Partition, 4*m)
-	lr.gids = make(map[AttrSet][]int32)
-	lr.nullMap = make(map[AttrSet][]bool)
-	lr.sc = partition.NewScratch(n)
-	lr.parts[0] = partition.Single(n)
+	if lr.cache == nil {
+		lr.cache = newPartitionCache(lr.opts.MaxPartitionBytes)
+	}
+	lr.pc = lr.cache.store(rel)
+	lr.sc = partition.GetScratch(n)
 
 	intraStart := time.Now()
 	interBefore := lr.stats.InterTime
 	for i := 0; i < m; i++ {
-		lr.parts[AttrSet(0).Add(i)] = rel.ColumnPartition(i)
+		lr.getPartition(AttrSet(0).Add(i))
 	}
 
 	// Pure conversions of incoming targets (Figure 9 lines 8–10):
@@ -102,7 +114,7 @@ func (lr *latticeRun) run(xfd bool) {
 	// alone may identify the tuples of this class.
 	if xfd && rel.Parent != nil && !lr.opts.NoInterRelation {
 		ts := time.Now()
-		if pt := createKeyTarget(rel, 0, lr.parts[0], lr.ni, lr.opts, lr.stats); pt != nil {
+		if pt := createKeyTarget(rel, 0, lr.getPartition(0), lr.ni, lr.opts, lr.stats); pt != nil {
 			lr.out.outgoing = append(lr.out.outgoing, pt)
 		}
 		lr.stats.InterTime += time.Since(ts)
@@ -124,6 +136,7 @@ func (lr *latticeRun) run(xfd bool) {
 	for i := 0; i < m; i++ {
 		queue = append(queue, AttrSet(0).Add(i))
 	}
+	level := 1
 	for qi := 0; qi < len(queue); qi++ {
 		// One check per lattice node keeps cancellation latency
 		// bounded by a single node's partition work.
@@ -135,6 +148,17 @@ func (lr *latticeRun) run(xfd bool) {
 			break // keep the partial traversal output
 		}
 		a := queue[qi]
+		if sz := a.Size(); sz > level {
+			// The queue is level-ordered: reaching the first set of the
+			// next size means the previous level is fully processed, so
+			// every product this level needs is determined. Warm them
+			// in parallel when worthwhile.
+			level = sz
+			lr.precomputeLevel(queue[qi:], xfd)
+			if lr.err != nil {
+				break
+			}
+		}
 		lr.stats.NodesVisited++
 
 		ls := lr.candidateLHS(a, xfd)
@@ -307,27 +331,126 @@ func (lr *latticeRun) candidateLHS(a AttrSet, xfd bool) []AttrSet {
 	return out
 }
 
-// getPartition returns Π_A, computing it by stripped products of
-// cached sub-partitions on demand.
+// getPartition returns Π_A from the run-shared cache, computing it by
+// stripped products of cached sub-partitions on demand.
 func (lr *latticeRun) getPartition(a AttrSet) *partition.Partition {
-	if p, ok := lr.parts[a]; ok {
-		return p
+	return lr.cache.partitionOf(lr.pc, a, lr.sc, lr.opts.NaivePartitions, lr.stats)
+}
+
+// Parallel level precompute kicks in only when a level has enough
+// products over enough rows to amortize goroutine startup; below the
+// thresholds the serial lazy path wins.
+const (
+	parallelLevelMinNodes = 4
+	parallelLevelMinRows  = 256
+)
+
+// precomputeLevel computes the partitions of one lattice level's
+// pending nodes in parallel, seeding the cache the serial traversal
+// then hits. pending is the queue suffix starting at the level's
+// first node. Only nodes the serial traversal would materialize are
+// computed — a node with no candidate LHS is skipped before its
+// partition is ever built — so the cache ends up with exactly the
+// entries the serial run produces and discovery output (including the
+// approximate pass, which scans the cache) is bit-identical.
+func (lr *latticeRun) precomputeLevel(pending []AttrSet, xfd bool) {
+	if !lr.opts.Parallel || lr.opts.NaivePartitions {
+		return
 	}
-	b := a.MaxBit()
-	rest := a.Without(b)
-	p := lr.getPartition(rest).Product(lr.parts[AttrSet(0).Add(b)], lr.sc)
-	lr.parts[a] = p
-	lr.stats.PartitionsComputed++
-	return p
+	size := pending[0].Size()
+	end := 0
+	for end < len(pending) && pending[end].Size() == size {
+		end++
+	}
+	work := make([]AttrSet, 0, end)
+	for _, a := range pending[:end] {
+		if _, ok := lr.pc.parts[a]; ok {
+			continue
+		}
+		if len(lr.candidateLHS(a, xfd)) == 0 && size > 1 {
+			continue
+		}
+		work = append(work, a)
+	}
+	if len(work) < parallelLevelMinNodes || lr.rel.NRows() < parallelLevelMinRows {
+		return
+	}
+	// Resolve each product's operands serially first (almost always
+	// cache hits from the previous level); workers then run pure
+	// products with no shared state.
+	type job struct {
+		a            AttrSet
+		rest, single *partition.Partition
+	}
+	jobs := make([]job, 0, len(work))
+	for _, a := range work {
+		b := a.MaxBit()
+		jobs = append(jobs, job{a, lr.getPartition(a.Without(b)), lr.getPartition(AttrSet(0).Add(b))})
+	}
+	results := make([]*partition.Partition, len(jobs))
+	errs := make([]error, len(jobs))
+	var panicMu sync.Mutex
+	var panicErr error
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < lr.gov.productWorkers(len(jobs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A worker panic must surface as this run's error, not a
+			// process crash (same contract as subtree workers).
+			defer func() {
+				if p := recover(); p != nil {
+					panicMu.Lock()
+					if panicErr == nil {
+						panicErr = fmt.Errorf("core: panic in parallel product worker for relation %s: %v\n%s", lr.rel.Pivot, p, debug.Stack())
+					}
+					panicMu.Unlock()
+				}
+			}()
+			sc := partition.GetScratch(lr.rel.NRows())
+			defer partition.PutScratch(sc)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				if err := lr.gov.cancelled(); err != nil {
+					errs[i] = err
+					return
+				}
+				results[i] = jobs[i].rest.Product(jobs[i].single, sc)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, p := range results {
+		if errs[i] != nil {
+			// First failure in deterministic job order wins.
+			lr.err = errs[i]
+			return
+		}
+		if p == nil {
+			continue
+		}
+		lr.pc.parts[jobs[i].a] = p
+		lr.cache.add(lr.pc, p)
+		lr.cache.misses.Add(1)
+		lr.stats.PartitionsComputed++
+		lr.stats.ParallelProducts++
+	}
+	if lr.err == nil && panicErr != nil {
+		lr.err = panicErr
+	}
 }
 
 // groupIDs returns (and caches) the row→group lookup for Π_A.
 func (lr *latticeRun) groupIDs(a AttrSet) []int32 {
-	if g, ok := lr.gids[a]; ok {
+	if g, ok := lr.pc.gids[a]; ok {
 		return g
 	}
 	g := lr.getPartition(a).GroupIDs()
-	lr.gids[a] = g
+	lr.pc.gids[a] = g
 	return g
 }
 
@@ -335,7 +458,7 @@ func (lr *latticeRun) groupIDs(a AttrSet) []int32 {
 // attribute set a: true where any attribute of a is null. Used for
 // the vacuous satisfaction of degenerate target pairs.
 func (lr *latticeRun) nullsFor(a AttrSet) []bool {
-	if nl, ok := lr.nullMap[a]; ok {
+	if nl, ok := lr.pc.nulls[a]; ok {
 		return nl
 	}
 	nl := make([]bool, lr.rel.NRows())
@@ -347,7 +470,7 @@ func (lr *latticeRun) nullsFor(a AttrSet) []bool {
 			}
 		}
 	}
-	lr.nullMap[a] = nl
+	lr.pc.nulls[a] = nl
 	return nl
 }
 

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"discoverxfd/internal/partition"
+	"discoverxfd/internal/relation"
+)
+
+// partitionCache is the partition store shared by one discovery run.
+// It is keyed two ways: by relation, then by canonical attribute set
+// (the AttrSet bitset), and it outlives any single lattice traversal,
+// so partitions computed level by level are reused by the approximate
+// pass and by the post-traversal FD verification, across the whole
+// bottom-up relation-tree walk.
+//
+// Concurrency contract: each relation's lattice runs on a single
+// goroutine, and parallel subtree workers touch disjoint relations,
+// so a relation's store needs no internal locking — only the
+// relation→store map and the byte/hit counters are shared (mutex and
+// atomics respectively). The happens-before edge between a subtree
+// worker's writes and the parent's reads is the WaitGroup join in
+// discover.
+//
+// Memory contract: maxBytes (Options.MaxPartitionBytes) caps the
+// estimated bytes *retained* across relations. The active relation's
+// working set is never evicted mid-traversal (the level-wise search
+// needs its previous level; MaxLatticeLevel is the lever for bounding
+// that). Instead, when a relation's traversal finishes, retire trims
+// completed stores down to their column partitions — everything a
+// later phase needs again can be recomputed from those, so eviction
+// affects speed, never results.
+type partitionCache struct {
+	maxBytes int64
+
+	mu      sync.Mutex
+	rels    map[*relation.Relation]*relPartitions
+	retired []*relPartitions
+	bytes   atomic.Int64
+	peak    atomic.Int64
+
+	hits, misses, evictions atomic.Int64
+}
+
+// relPartitions holds one relation's cached partitions and derived
+// lookups. Accessed lock-free by the single goroutine traversing the
+// relation (see the concurrency contract above).
+type relPartitions struct {
+	rel   *relation.Relation
+	parts map[AttrSet]*partition.Partition
+	gids  map[AttrSet][]int32
+	nulls map[AttrSet][]bool
+	bytes int64
+}
+
+func newPartitionCache(maxBytes int64) *partitionCache {
+	return &partitionCache{maxBytes: maxBytes, rels: make(map[*relation.Relation]*relPartitions)}
+}
+
+// store returns (creating on first use) the relation's partition
+// store.
+func (c *partitionCache) store(rel *relation.Relation) *relPartitions {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rp := c.rels[rel]
+	if rp == nil {
+		m := rel.NAttrs()
+		rp = &relPartitions{
+			rel:   rel,
+			parts: make(map[AttrSet]*partition.Partition, 4*m),
+			gids:  make(map[AttrSet][]int32),
+			nulls: make(map[AttrSet][]bool),
+		}
+		c.rels[rel] = rp
+	}
+	return rp
+}
+
+// add accounts for a newly cached partition.
+func (c *partitionCache) add(rp *relPartitions, p *partition.Partition) {
+	n := p.MemBytes()
+	rp.bytes += n
+	total := c.bytes.Add(n)
+	for {
+		peak := c.peak.Load()
+		if total <= peak || c.peak.CompareAndSwap(peak, total) {
+			break
+		}
+	}
+}
+
+// retire marks a relation's traversal (and approximate pass, if any)
+// complete. If the cache is over budget, completed stores are trimmed
+// to their single-column partitions, oldest retirees first; derived
+// lookups (group ids, null maps) are dropped with them. The partition
+// needed later worst-case is rebuilt from the retained columns.
+func (c *partitionCache) retire(rp *relPartitions) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retired = append(c.retired, rp)
+	if c.maxBytes <= 0 {
+		return
+	}
+	for i := 0; c.bytes.Load() > c.maxBytes && i < len(c.retired); i++ {
+		c.trim(c.retired[i])
+	}
+}
+
+// trim drops a retired store's multi-attribute partitions and derived
+// lookups, keeping the column partitions (cheap, always reusable).
+// Caller holds c.mu.
+func (c *partitionCache) trim(rp *relPartitions) {
+	freed := int64(0)
+	evicted := int64(0)
+	for a, p := range rp.parts {
+		if a.Size() <= 1 {
+			continue
+		}
+		freed += p.MemBytes()
+		evicted++
+		delete(rp.parts, a)
+	}
+	if evicted > 0 {
+		rp.bytes -= freed
+		c.bytes.Add(-freed)
+		c.evictions.Add(evicted)
+	}
+	rp.gids = make(map[AttrSet][]int32)
+	rp.nulls = make(map[AttrSet][]bool)
+}
+
+// flushStats copies the cache counters into a Stats record.
+func (c *partitionCache) flushStats(st *Stats) {
+	st.PartitionCacheHits = int(c.hits.Load())
+	st.PartitionCacheMisses = int(c.misses.Load())
+	st.PartitionCacheEvictions = int(c.evictions.Load())
+	st.PartitionCachePeakBytes = c.peak.Load()
+}
+
+// partitionOf returns Π_A for the store's relation, computing missing
+// entries by stripped products of cached sub-partitions (the same
+// recurrence the lattice uses), charging computed partitions to the
+// cache. Column partitions (|A| = 1) use the relation's interned
+// dense codes unless naive forces the generic hashing build. st (if
+// non-nil) has PartitionsComputed bumped per product, preserving the
+// counter's pre-cache meaning.
+func (c *partitionCache) partitionOf(rp *relPartitions, a AttrSet, sc *partition.Scratch, naive bool, st *Stats) *partition.Partition {
+	if p, ok := rp.parts[a]; ok {
+		c.hits.Add(1)
+		return p
+	}
+	c.misses.Add(1)
+	var p *partition.Partition
+	switch {
+	case a == 0:
+		p = partition.Single(rp.rel.NRows())
+	case a.Size() == 1:
+		i := a.MaxBit()
+		if naive {
+			p = partition.FromCodes(rp.rel.Cols[i])
+		} else {
+			p = rp.rel.ColumnPartition(i)
+		}
+	default:
+		b := a.MaxBit()
+		p = c.partitionOf(rp, a.Without(b), sc, naive, st).
+			Product(c.partitionOf(rp, AttrSet(0).Add(b), sc, naive, st), sc)
+		if st != nil {
+			st.PartitionsComputed++
+		}
+	}
+	rp.parts[a] = p
+	c.add(rp, p)
+	return p
+}

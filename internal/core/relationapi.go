@@ -19,8 +19,12 @@ func DiscoverRelation(rel *relation.Relation, opts Options) ([]FD, []Key, Stats,
 	}
 	stats.Relations = 1
 	stats.Tuples = rel.NRows()
-	lr := &latticeRun{rel: rel, opts: &opts, stats: &stats}
+	cache := newPartitionCache(opts.MaxPartitionBytes)
+	lr := &latticeRun{rel: rel, opts: &opts, stats: &stats, cache: cache}
 	lr.run(false)
+	cache.retire(lr.pc)
+	lr.close()
+	cache.flushStats(&stats)
 
 	var fds []FD
 	for _, e := range lr.out.intraFDs {

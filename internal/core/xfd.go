@@ -17,6 +17,7 @@ func mergeStats(dst, src *Stats) {
 	dst.Tuples += src.Tuples
 	dst.NodesVisited += src.NodesVisited
 	dst.PartitionsComputed += src.PartitionsComputed
+	dst.ParallelProducts += src.ParallelProducts
 	dst.TargetsCreated += src.TargetsCreated
 	dst.TargetsPropagated += src.TargetsPropagated
 	dst.TargetsDropped += src.TargetsDropped
@@ -79,6 +80,10 @@ func discover(ctx context.Context, h *relation.Hierarchy, opts Options, xfd bool
 	if h.Truncated {
 		gov.truncate(h.TruncatedReason)
 	}
+	// One partition cache spans the whole run: the bottom-up traversal,
+	// the approximate pass, and the final FD verification all draw from
+	// it (see pcache.go for the concurrency and memory contracts).
+	cache := newPartitionCache(opts.MaxPartitionBytes)
 	res = &Result{}
 	depths := relationDepths(h)
 	anyNull := computeAnyNullRows(h)
@@ -177,7 +182,7 @@ func discover(ctx context.Context, h *relation.Hierarchy, opts Options, xfd bool
 		}
 		g.stats.Relations++
 		g.stats.Tuples += r.NRows()
-		lr := &latticeRun{rel: r, opts: &opts, stats: &g.stats, depths: depths, incoming: incoming, gov: gov}
+		lr := &latticeRun{rel: r, opts: &opts, stats: &g.stats, depths: depths, incoming: incoming, gov: gov, cache: cache}
 		if p := r.Parent; p != nil {
 			lr.ni = nullInfo{parentAnyNull: anyNull[p], aboveParent: p.Parent != nil && nullsAtOrAbove[p.Parent]}
 		}
@@ -201,6 +206,8 @@ func discover(ctx context.Context, h *relation.Hierarchy, opts Options, xfd bool
 		if opts.ApproxError > 0 {
 			g.approx = append(g.approx, lr.discoverApprox(opts.ApproxError)...)
 		}
+		cache.retire(lr.pc)
+		lr.close()
 		g.out = lr.out.outgoing
 		return g
 	}
@@ -229,7 +236,7 @@ func discover(ctx context.Context, h *relation.Hierarchy, opts Options, xfd bool
 		if err := gov.cancelled(); err != nil {
 			return nil, err
 		}
-		ev, err := Evaluate(h, fd.Class, fd.LHS, fd.RHS)
+		ev, err := verifyFD(cache, h, fd, opts.NaivePartitions)
 		if err != nil {
 			return nil, err
 		}
@@ -251,7 +258,38 @@ func discover(ctx context.Context, h *relation.Hierarchy, opts Options, xfd bool
 		sortFDs(res.ApproxFDs)
 	}
 	res.Stats.Truncated, res.Stats.TruncatedReason = gov.status()
+	cache.flushStats(&res.Stats)
 	return res, nil
+}
+
+// verifyFD checks one candidate FD for the final Definition 11 filter.
+// Intra-relation FDs reuse the run's partition cache (Π_LHS groups are
+// exactly the evaluator's non-null LHS-equal groups of size ≥ 2, since
+// nulls carry row-unique codes and stripped partitions drop
+// singletons); inter-relation FDs — and every FD when the naive
+// engine is selected — go through the independent evaluator.
+func verifyFD(cache *partitionCache, h *relation.Hierarchy, fd FD, naive bool) (Evaluation, error) {
+	if !naive && !fd.Inter {
+		origin := h.ByPivot(fd.Class)
+		if origin != nil {
+			lhsSet := AttrSet(0)
+			ok := true
+			for _, rp := range fd.LHS {
+				r, err := resolveRef(h, origin, rp)
+				if err != nil || r.ups != 0 {
+					ok = false
+					break
+				}
+				lhsSet = lhsSet.Add(r.attr)
+			}
+			if ok {
+				if r, err := resolveRef(h, origin, fd.RHS); err == nil && r.ups == 0 {
+					return evaluateIntraFast(cache, origin, lhsSet, r.attr), nil
+				}
+			}
+		}
+	}
+	return Evaluate(h, fd.Class, fd.LHS, fd.RHS)
 }
 
 // minimizeApprox removes approximate FDs implied by an exact FD or by

@@ -11,7 +11,7 @@
 // in non-singleton groups minus the number of such groups).
 package partition
 
-import "sort"
+import "slices"
 
 // Partition is a striped attribute partition: only groups with two or
 // more tuples are stored. Tuples are identified by their row index in
@@ -58,7 +58,9 @@ func sortGroups(groups [][]int32) {
 	// comparison sort beyond, to avoid quadratic behaviour on
 	// partitions with thousands of groups.
 	if len(groups) > 32 {
-		sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+		// Smallest rows are unique across groups, so the unstable sort
+		// is deterministic; SortFunc avoids sort.Slice's reflection.
+		slices.SortFunc(groups, func(a, b []int32) int { return int(a[0]) - int(b[0]) })
 		return
 	}
 	for i := 1; i < len(groups); i++ {

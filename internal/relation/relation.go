@@ -107,6 +107,12 @@ type Relation struct {
 	// Cols[a][t] is the code of attribute a in tuple t. Codes < 0 are
 	// nulls (unique per tuple).
 	Cols [][]int64
+	// ColBound holds, per attribute, the exclusive upper bound of the
+	// column's interned codes: non-null codes are dense in
+	// [1, ColBound[a]). A bound of 0 (or a nil slice, for hand-built
+	// relations) means the column is not dense-coded and partition
+	// builds fall back to the generic hashing path.
+	ColBound []int64
 	// Keys holds the pivot node's pre-order key per tuple (the @key
 	// column).
 	Keys []int
@@ -138,8 +144,13 @@ func (r *Relation) AttrIndex(rel schema.RelPath) int {
 // reporting).
 func (r *Relation) Node(t int) *datatree.Node { return r.nodes[t] }
 
-// ColumnPartition builds the striped partition of a single column.
+// ColumnPartition builds the striped partition of a single column,
+// using the dense counting path when the column's codes were interned
+// (ColBound known) and the generic hashing path otherwise.
 func (r *Relation) ColumnPartition(attr int) *partition.Partition {
+	if attr < len(r.ColBound) {
+		return partition.FromDense(r.Cols[attr], r.ColBound[attr])
+	}
 	return partition.FromCodes(r.Cols[attr])
 }
 
@@ -439,10 +450,14 @@ func populateTuples(r *Relation, bb *buildBudget) error {
 }
 
 // populateColumns encodes the Leaf and Complex attribute columns of
-// the relation. SetValue columns are filled later by fillSetColumns.
+// the relation, interning values into dense per-column codes (one
+// shared string table per relation). SetValue columns are filled
+// later by fillSetColumns.
 func populateColumns(ctx context.Context, r *Relation, enc *datatree.Encoder) error {
 	n := r.NRows()
 	r.Cols = make([][]int64, len(r.Attrs))
+	r.ColBound = make([]int64, len(r.Attrs))
+	in := newInterner(len(r.Attrs))
 	for ai, a := range r.Attrs {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("relation: build cancelled: %w", err)
@@ -452,7 +467,6 @@ func populateColumns(ctx context.Context, r *Relation, enc *datatree.Encoder) er
 		if a.Kind == SetValue {
 			continue
 		}
-		dict := make(map[string]int64)
 		for ti, pivot := range r.nodes {
 			node := descend(pivot, a.Rel)
 			switch {
@@ -465,14 +479,16 @@ func populateColumns(ctx context.Context, r *Relation, enc *datatree.Encoder) er
 					col[ti] = nullCode(ti)
 					continue
 				}
-				v := node.Value
-				code, ok := dict[v]
-				if !ok {
-					code = int64(len(dict) + 1)
-					dict[v] = code
-				}
-				col[ti] = code
+				col[ti] = in.code(ai, node.Value)
 			}
+		}
+		if a.Kind == Complex {
+			// Encoder codes are dense across the document but sparse
+			// within one column; remap per column so partition builds
+			// stay on the counting path.
+			r.ColBound[ai] = densify(col)
+		} else {
+			r.ColBound[ai] = in.bound(ai)
 		}
 	}
 	return nil
@@ -504,6 +520,9 @@ func fillSetColumns(h *Hierarchy, r *Relation, enc *datatree.Encoder, ordered bo
 			} else {
 				col[ti] = int64(enc.MultisetCode(members[ti]))
 			}
+		}
+		if ai < len(r.ColBound) {
+			r.ColBound[ai] = densify(col)
 		}
 	}
 }

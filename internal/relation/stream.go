@@ -183,6 +183,23 @@ func (b *Builder) Finish() (*Hierarchy, error) {
 			}
 		}
 	}
+
+	// Finalize dense code bounds so partition builds take the
+	// counting path: leaf columns are dense by construction (dictCode
+	// assigns 1..len(dict)), encoder-coded columns are remapped.
+	for _, r := range b.h.Relations {
+		r.ColBound = make([]int64, len(r.Attrs))
+		for ai, a := range r.Attrs {
+			if ai >= len(r.Cols) || r.Cols[ai] == nil {
+				continue
+			}
+			if a.Kind == Leaf {
+				r.ColBound[ai] = int64(len(b.dicts[r][ai]) + 1)
+			} else {
+				r.ColBound[ai] = densify(r.Cols[ai])
+			}
+		}
+	}
 	return b.h, nil
 }
 

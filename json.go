@@ -33,6 +33,11 @@ type jsonResult struct {
 		Tuples             int    `json:"tuples"`
 		LatticeNodes       int    `json:"latticeNodes"`
 		PartitionsComputed int    `json:"partitionsComputed"`
+		ParallelProducts   int    `json:"parallelProducts,omitempty"`
+		CacheHits          int    `json:"partitionCacheHits"`
+		CacheMisses        int    `json:"partitionCacheMisses"`
+		CacheEvictions     int    `json:"partitionCacheEvictions,omitempty"`
+		CachePeakBytes     int64  `json:"partitionCachePeakBytes"`
 		TargetsCreated     int    `json:"targetsCreated"`
 		TargetsPropagated  int    `json:"targetsPropagated"`
 		TargetsDropped     int    `json:"targetsDropped"`
@@ -86,6 +91,11 @@ func WriteJSON(w io.Writer, res *Result) error {
 	jr.Stats.Tuples = res.Stats.Tuples
 	jr.Stats.LatticeNodes = res.Stats.NodesVisited
 	jr.Stats.PartitionsComputed = res.Stats.PartitionsComputed
+	jr.Stats.ParallelProducts = res.Stats.ParallelProducts
+	jr.Stats.CacheHits = res.Stats.PartitionCacheHits
+	jr.Stats.CacheMisses = res.Stats.PartitionCacheMisses
+	jr.Stats.CacheEvictions = res.Stats.PartitionCacheEvictions
+	jr.Stats.CachePeakBytes = res.Stats.PartitionCachePeakBytes
 	jr.Stats.TargetsCreated = res.Stats.TargetsCreated
 	jr.Stats.TargetsPropagated = res.Stats.TargetsPropagated
 	jr.Stats.TargetsDropped = res.Stats.TargetsDropped

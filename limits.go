@@ -50,6 +50,15 @@ type Limits struct {
 	// and the partial Result is returned with Stats.Truncated set.
 	// 0 means no budget.
 	Deadline time.Duration
+	// MaxPartitionBytes caps the estimated memory the run-wide
+	// partition cache retains across tuple classes. Unlike the budgets
+	// above it never truncates results: a relation whose traversal has
+	// finished is trimmed back to its cheap single-column partitions,
+	// and anything needed again is recomputed from those — over-budget
+	// runs get slower, not lossier. The class currently being traversed
+	// is never trimmed (MaxLatticeLevel is the lever for bounding a
+	// single class's working set). 0 means unlimited.
+	MaxPartitionBytes int64
 }
 
 // parseLimits maps the parse-layer fields onto the datatree limits,

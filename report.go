@@ -53,6 +53,13 @@ func WriteReport(w io.Writer, res *Result) error {
 	st := res.Stats
 	fmt.Fprintf(ew, "\nRun: %d relation(s), %d tuple(s), %d lattice node(s), %d partition product(s)\n",
 		st.Relations, st.Tuples, st.NodesVisited, st.PartitionsComputed)
+	fmt.Fprintf(ew, "     partition cache: %d hit(s), %d miss(es), %d eviction(s), peak ~%s",
+		st.PartitionCacheHits, st.PartitionCacheMisses, st.PartitionCacheEvictions,
+		fmtBytes(st.PartitionCachePeakBytes))
+	if st.ParallelProducts > 0 {
+		fmt.Fprintf(ew, "; %d parallel product(s)", st.ParallelProducts)
+	}
+	fmt.Fprintln(ew)
 	fmt.Fprintf(ew, "     targets created %d, propagated %d, dropped %d; intra %v, inter %v\n",
 		st.TargetsCreated, st.TargetsPropagated, st.TargetsDropped,
 		st.IntraTime.Round(timeUnit(st.IntraTime)), st.InterTime.Round(timeUnit(st.InterTime)))
@@ -89,6 +96,18 @@ func (e *errw) Write(p []byte) (int, error) {
 	n, err := e.w.Write(p)
 	e.err = err
 	return n, err
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // timeUnit picks a rounding granularity proportional to the
