@@ -18,11 +18,14 @@
 // Exit status is 0 on success (including a partial result), 1 on a
 // runtime error (unreadable file, malformed XML, exceeded parse
 // limit), and 2 on a usage error (bad flags, missing argument,
-// -stream without -schema).
+// -stream without -schema, or input whose shape contradicts the
+// schema — an empty document or a mismatched root, classified via
+// errors.Is/errors.As on the library's sentinel errors).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -173,7 +176,14 @@ func runStream(path, schemaPath string, jsonOut bool, opts *discoverxfd.Options)
 	}
 }
 
+// fatal prints the error and exits, classifying it through any %w
+// wrapping on the call path: input whose shape contradicts the schema
+// is a usage error (exit 2), everything else a runtime error (exit 1).
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "discoverxfd: %v\n", err)
+	var rootErr *discoverxfd.RootMismatchError
+	if errors.As(err, &rootErr) || errors.Is(err, discoverxfd.ErrEmptyTree) {
+		os.Exit(2)
+	}
 	os.Exit(1)
 }

@@ -14,10 +14,15 @@
 //	{../contact/name, ./ISBN} -> ./price w.r.t. C(/warehouse/state/store/book)
 //	{./contact} KEY of C(/warehouse/state/store)
 //
-// Exit status is 0 when every constraint holds, 1 otherwise.
+// Exit status is 0 when every constraint holds, 1 when a constraint
+// is violated or a runtime error occurs, and 2 on a usage error (bad
+// flags, -stream without -schema, or input whose shape contradicts
+// the schema — classified via errors.Is/errors.As on the library's
+// sentinel errors).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -63,7 +68,9 @@ func main() {
 	var h *discoverxfd.Hierarchy
 	if *stream {
 		if s == nil {
-			fatal(fmt.Errorf("-stream requires -schema"))
+			fmt.Fprintln(os.Stderr, "xfdcheck: -stream requires -schema")
+			flag.Usage()
+			os.Exit(2)
 		}
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
@@ -111,7 +118,14 @@ func main() {
 	}
 }
 
+// fatal prints the error and exits, classifying it through any %w
+// wrapping on the call path: malformed input (wrong root, empty
+// document) exits 2 like other usage errors, everything else exits 1.
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "xfdcheck: %v\n", err)
+	var rootErr *discoverxfd.RootMismatchError
+	if errors.As(err, &rootErr) || errors.Is(err, discoverxfd.ErrEmptyTree) {
+		os.Exit(2)
+	}
 	os.Exit(1)
 }

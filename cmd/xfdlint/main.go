@@ -1,0 +1,270 @@
+// Command xfdlint runs the engine's invariant analyzers
+// (govdiscipline, partimmut, ctxplumb, detorder — see
+// internal/analysis) over the module. It works two ways:
+//
+// Standalone, from anywhere inside the module:
+//
+//	go run ./cmd/xfdlint [import-path-substring ...]
+//
+// As a vet tool, speaking the cmd/go vet protocol (-V=full, -flags,
+// and per-package vet.cfg invocations), so the whole suite rides the
+// go command's package loading, caching, and diagnostics plumbing:
+//
+//	go build -o "$(go env GOPATH)/bin/xfdlint" ./cmd/xfdlint
+//	go vet -vettool="$(go env GOPATH)/bin/xfdlint" ./...
+//
+// or, without managing the binary by hand:
+//
+//	go vet -vettool=$(go run ./cmd/xfdlint -print-path) ./...
+//
+// where -print-path builds a cached copy of the tool and prints its
+// location.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"discoverxfd/internal/analysis"
+)
+
+func main() {
+	versionFlag := flag.String("V", "", "print version (go vet protocol; use -V=full)")
+	flagsFlag := flag.Bool("flags", false, "print the tool's flags as JSON (go vet protocol)")
+	printPath := flag.Bool("print-path", false, "build a cached copy of xfdlint and print its path")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: xfdlint [import-path-substring ...]\n   or: go vet -vettool=$(go run ./cmd/xfdlint -print-path) ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		printVersion()
+	case *flagsFlag:
+		// No analyzer-selection flags yet: the suite always runs whole.
+		fmt.Println("[]")
+	case *printPath:
+		if err := buildAndPrintPath(); err != nil {
+			fatal(err)
+		}
+	case flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg"):
+		code, err := runVetUnit(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		os.Exit(code)
+	default:
+		code, err := runStandalone(flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+		os.Exit(code)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xfdlint:", err)
+	os.Exit(1)
+}
+
+// printVersion implements `xfdlint -V=full`. cmd/go requires the
+// output shape `<name> version <id>` and uses the whole line as the
+// tool's cache ID, so the ID must change whenever the binary does:
+// hash the executable.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil))[:16]
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("xfdlint version v1-%s\n", id)
+}
+
+// buildAndPrintPath builds the tool into the user cache and prints
+// the binary's path, so `go vet -vettool=$(go run ./cmd/xfdlint
+// -print-path)` works even though `go run` deletes its own temporary
+// binary.
+func buildAndPrintPath() error {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		return err
+	}
+	cacheDir, err := os.UserCacheDir()
+	if err != nil {
+		cacheDir = os.TempDir()
+	}
+	out := filepath.Join(cacheDir, "xfdlint", "xfdlint")
+	if runtime.GOOS == "windows" {
+		out += ".exe"
+	}
+	if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+		return err
+	}
+	cmd := exec.Command("go", "build", "-o", out, "./cmd/xfdlint")
+	cmd.Dir = root
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("building xfdlint: %w", err)
+	}
+	fmt.Println(out)
+	return nil
+}
+
+// runStandalone loads the whole module and reports findings,
+// optionally filtered to packages whose import path contains any of
+// the given substrings. Exit code 1 means findings.
+func runStandalone(filters []string) (int, error) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := analysis.LoadModulePackages(root)
+	if err != nil {
+		return 0, err
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		if !matchesFilter(pkg.ImportPath, filters) {
+			continue
+		}
+		for _, f := range pkg.Analyze(analysis.All()) {
+			fmt.Fprintln(os.Stderr, f)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "xfdlint: %d finding(s)\n", found)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func matchesFilter(path string, filters []string) bool {
+	if len(filters) == 0 {
+		return true
+	}
+	for _, f := range filters {
+		if strings.Contains(path, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// vetConfig mirrors the JSON the go command writes for each package
+// it asks a vet tool to check (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit checks one package as directed by a vet.cfg file. The
+// returned code is the process exit status: nonzero tells go vet the
+// package failed.
+func runVetUnit(cfgPath string) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// The go command asks for dependencies first so tools can
+	// propagate facts through .vetx files. This suite's invariants are
+	// package-local, so dependency units — and any package outside the
+	// module — only need an (empty) vetx written.
+	inModule := cfg.ImportPath == analysis.ModulePrefix ||
+		strings.HasPrefix(cfg.ImportPath, analysis.ModulePrefix+"/")
+	if cfg.VetxOnly || !inModule {
+		return 0, writeVetx(cfg)
+	}
+
+	fset := token.NewFileSet()
+	files, err := analysis.ParseFiles(fset, "", cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx(cfg)
+		}
+		return 0, err
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{Importer: imp}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := analysis.NewInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx(cfg)
+		}
+		return 0, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	findings := analysis.Run(analysis.All(), fset, files, tpkg, info)
+	if err := writeVetx(cfg); err != nil {
+		return 0, err
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// writeVetx writes the (empty) facts file the go command caches for
+// this package.
+func writeVetx(cfg vetConfig) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+}

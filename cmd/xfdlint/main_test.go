@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"discoverxfd/internal/analysis"
+)
+
+// buildTool compiles xfdlint once per test binary into a temp dir.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "xfdlint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/xfdlint")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building xfdlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVetProtocol checks the cmd/go handshake: -V=full must print
+// `xfdlint version <id>` and -flags must print a JSON flag list.
+func TestVetProtocol(t *testing.T) {
+	bin := buildTool(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) != 3 || fields[0] != "xfdlint" || fields[1] != "version" || fields[2] == "devel" {
+		t.Fatalf("-V=full output %q does not satisfy the vet tool handshake", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Fatalf("-flags output %q, want []", out)
+	}
+}
+
+// TestGoVetCleanAndCatches runs the real `go vet -vettool` pipeline
+// twice: the repository itself must come back clean, and a seeded
+// violation must fail the vet run with a govdiscipline diagnostic.
+func TestGoVetCleanAndCatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go vet over the module")
+	}
+	bin := buildTool(t)
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vet := func(pkg string) (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, pkg)
+		cmd.Dir = root
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		err := cmd.Run()
+		return buf.String(), err
+	}
+
+	if out, err := vet("./..."); err != nil {
+		t.Fatalf("go vet -vettool on a clean tree failed: %v\n%s", err, out)
+	}
+
+	seed := filepath.Join(root, "internal", "core", "zz_seeded_violation.go")
+	src := "package core\n\nfunc seededViolation() {\n\tgo seededViolation()\n}\n"
+	if err := os.WriteFile(seed, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(seed)
+	out, err := vet("./internal/core/")
+	if err == nil {
+		t.Fatalf("go vet -vettool missed the seeded violation:\n%s", out)
+	}
+	if !strings.Contains(out, "bare go statement") || !strings.Contains(out, "govdiscipline") {
+		t.Fatalf("seeded violation produced unexpected output:\n%s", out)
+	}
+}
+
+// TestStandaloneMode runs the binary without arguments from inside
+// the module and expects a clean exit.
+func TestStandaloneMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	bin := buildTool(t)
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin)
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("standalone xfdlint failed: %v\n%s", err, out)
+	}
+}

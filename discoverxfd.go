@@ -77,6 +77,19 @@ type (
 	// Hierarchy is the hierarchical representation of a document (one
 	// relation per essential tuple class).
 	Hierarchy = relation.Hierarchy
+	// RootMismatchError reports input whose root label does not match
+	// the schema root; classify with errors.As.
+	RootMismatchError = relation.RootMismatchError
+)
+
+// Re-exported sentinel errors, for classification with errors.Is
+// through any wrapping the call path adds.
+var (
+	// ErrEmptyTree is returned when a document has no root node.
+	ErrEmptyTree = relation.ErrEmptyTree
+	// ErrBuilderFinished is returned by streaming-builder methods
+	// invoked after the hierarchy has been finalized.
+	ErrBuilderFinished = relation.ErrBuilderFinished
 )
 
 // Options configures Discover.
@@ -238,6 +251,12 @@ func buildHierarchyAt(ctx context.Context, doc *Document, s *Schema, opts *Optio
 		}
 		s = inferred
 	} else if err := datatree.Conform(doc, s); err != nil {
+		// Surface a mismatched root as the typed sentinel so callers
+		// (and the CLI exit-code classification) can errors.As it;
+		// conformance reports it first, with an untyped error.
+		if doc != nil && doc.Root != nil && doc.Root.Label != s.Root {
+			return nil, &relation.RootMismatchError{What: "tree", Root: doc.Root.Label, SchemaRoot: s.Root}
+		}
 		return nil, err
 	}
 	return relation.BuildContext(ctx, doc, s, opts.relationOptions(deadline))

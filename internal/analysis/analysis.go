@@ -1,0 +1,263 @@
+// Package analysis is xfdlint: a self-contained static-analysis
+// suite that machine-checks the engine's cross-cutting invariants —
+// governor discipline (no ungoverned goroutines), partition
+// immutability (the soundness condition for run-wide partition
+// sharing), context plumbing (no silently detached cancellation), and
+// deterministic ordering on output paths (the static counterpart of
+// the byte-identical-output guarantee).
+//
+// The framework is modeled on golang.org/x/tools/go/analysis but is
+// dependency-free: it builds with the standard library alone, so the
+// suite works offline and pins nothing beyond the toolchain. Each
+// invariant is an *Analyzer with a Run function over a type-checked
+// package (a *Pass). Diagnostics can be suppressed at a violation
+// site with a justified directive comment:
+//
+//	//lint:<directive> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory: a bare directive does not suppress, so every exception
+// in the tree carries its own written justification.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ModulePrefix gates which packages the suite analyzes: the module's
+// own import paths. Dependencies fed to the vet tool by `go vet` are
+// left alone.
+const ModulePrefix = "discoverxfd"
+
+// An Analyzer checks one invariant over a package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and documentation.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Directive is the //lint:<directive> word that suppresses this
+	// analyzer's diagnostics at a site (with a mandatory reason).
+	Directive string
+	// Run reports this analyzer's diagnostics for one package.
+	Run func(*Pass)
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Path is the package's import path (the types.Package path, kept
+	// separate so tests can override it).
+	Path string
+
+	findings *[]Finding
+	suppress map[string]map[int]suppression
+}
+
+// A Finding is one reported diagnostic, positioned and attributed.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// suppression is one parsed //lint: directive.
+type suppression struct {
+	directive string
+	reason    string
+}
+
+// Reportf records a diagnostic at pos unless a justified
+// //lint:<directive> comment covers the position. A directive without
+// a reason never suppresses: the original diagnostic is reported with
+// a note demanding the justification.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if s, ok := p.suppressionAt(position); ok {
+		if strings.TrimSpace(s.reason) != "" {
+			return
+		}
+		*p.findings = append(*p.findings, Finding{
+			Analyzer: p.Analyzer.Name,
+			Pos:      position,
+			Message:  fmt.Sprintf(format, args...) + fmt.Sprintf(" (//lint:%s requires a written reason)", p.Analyzer.Directive),
+		})
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressionAt looks for this analyzer's directive on the diagnostic
+// line or the line directly above it.
+func (p *Pass) suppressionAt(pos token.Position) (suppression, bool) {
+	lines := p.suppress[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		if s, ok := lines[l]; ok && s.directive == p.Analyzer.Directive {
+			return s, true
+		}
+	}
+	return suppression{}, false
+}
+
+// IsTestFile reports whether the file the node belongs to is a Go
+// test file. The invariants are production-code contracts; tests are
+// free to spawn raw goroutines or poke at partitions.
+func (p *Pass) IsTestFile(n ast.Node) bool {
+	return strings.HasSuffix(p.Fset.Position(n.Pos()).Filename, "_test.go")
+}
+
+// Filename returns the base name of the file containing the node.
+func (p *Pass) Filename(n ast.Node) string {
+	name := p.Fset.Position(n.Pos()).Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// collectSuppressions indexes every //lint: directive by file and
+// line. Directives ride ordinary comments, so both a trailing comment
+// on the offending line and a full-line comment above it work.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]suppression {
+	out := make(map[string]map[int]suppression)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				word, reason, _ := strings.Cut(text, " ")
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]suppression)
+					out[pos.Filename] = lines
+				}
+				lines[pos.Line] = suppression{directive: word, reason: reason}
+			}
+		}
+	}
+	return out
+}
+
+// All returns the xfdlint analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{GovDiscipline, PartImmut, CtxPlumb, DetOrder}
+}
+
+// Run applies the analyzers to one type-checked package and returns
+// the surviving findings in source order. Packages outside the module
+// are skipped wholesale.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Finding {
+	path := pkg.Path()
+	if path != ModulePrefix && !strings.HasPrefix(path, ModulePrefix+"/") {
+		return nil
+	}
+	var findings []Finding
+	suppress := collectSuppressions(fset, files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			Path:     path,
+			findings: &findings,
+			suppress: suppress,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// inspectStack walks the file like ast.Inspect but hands the visitor
+// the stack of ancestor nodes (outermost first, excluding n itself).
+func inspectStack(f *ast.File, visit func(stack []ast.Node, n ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := visit(stack, n)
+		if keep {
+			// ast.Inspect emits the matching nil callback only after
+			// descending, i.e. only when the visitor returned true.
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// on the stack, or nil.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// namedType unwraps pointers and aliases down to a named type, or nil.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamed reports whether t (possibly behind pointers) is the named
+// type pkgSuffix.name, matching the package by import-path suffix so
+// fixture packages under testdata satisfy the same predicate as the
+// real tree.
+func isNamed(t types.Type, pkgSuffix, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Name() != name {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
+}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture runs one fixture package against the given analyzers with
+// the `// want` harness.
+func fixture(t *testing.T, importPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	RunFixture(t, "testdata", importPath, analyzers)
+}
+
+func TestGovDisciplineFixture(t *testing.T) {
+	// The full suite runs here: the other analyzers must stay silent
+	// on a fixture that only violates governor discipline.
+	fixture(t, "discoverxfd/govfix", All()...)
+}
+
+func TestCtxPlumbFixture(t *testing.T) {
+	fixture(t, "discoverxfd/ctxfix", All()...)
+}
+
+func TestCtxPlumbSkipsPackageMain(t *testing.T) {
+	fixture(t, "discoverxfd/ctxmain", CtxPlumb)
+}
+
+func TestPartImmutPartitionFixture(t *testing.T) {
+	fixture(t, "discoverxfd/internal/partition", PartImmut)
+}
+
+func TestCoreFixture(t *testing.T) {
+	fixture(t, "discoverxfd/internal/core", PartImmut, DetOrder)
+}
+
+func TestDetOrderBenchFixture(t *testing.T) {
+	fixture(t, "discoverxfd/internal/bench", DetOrder)
+}
+
+func TestDetOrderFilenameScope(t *testing.T) {
+	fixture(t, "discoverxfd", DetOrder)
+}
+
+// TestRepoInvariants is the suite's own dogfood run: every analyzer
+// over every package of this module must come back clean (violations
+// are either fixed or carry a justified //lint: suppression).
+func TestRepoInvariants(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModulePackages(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("expected the full module, loaded only %d packages", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Analyze(All()) {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// checkSource type-checks a single in-memory file under the given
+// import path and runs the full suite over it.
+func checkSource(t *testing.T, path, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	conf := types.Config{}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(All(), fset, []*ast.File{f}, pkg, info)
+}
+
+// TestRunSkipsForeignPackages checks the module gate: packages
+// outside ModulePrefix are not analyzed at all.
+func TestRunSkipsForeignPackages(t *testing.T) {
+	const src = "package p\n\nfunc f() { go f() }\n"
+	if got := checkSource(t, "othermod/p", src); len(got) != 0 {
+		t.Fatalf("foreign package produced findings: %v", got)
+	}
+	// Positive control: the same source inside the module is flagged.
+	if got := checkSource(t, ModulePrefix+"/p", src); len(got) != 1 {
+		t.Fatalf("module package findings = %v, want exactly one", got)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Analyzer: "govdiscipline",
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 2},
+		Message:  "bare go statement",
+	}
+	want := "x.go:3:2: bare go statement [govdiscipline]"
+	if f.String() != want {
+		t.Fatalf("String() = %q, want %q", f.String(), want)
+	}
+}
+
+func TestMapImporterUnknown(t *testing.T) {
+	m := mapImporter{}
+	if _, err := m.Import("nosuch/pkg"); err == nil {
+		t.Fatal("expected error for unknown import")
+	}
+}
+
+func TestModuleRootNotFound(t *testing.T) {
+	if _, err := ModuleRoot("/"); err == nil {
+		t.Fatal("expected error above filesystem root")
+	}
+}
+
+func TestLoadFixtureMissingPackage(t *testing.T) {
+	if _, err := LoadFixturePackage("testdata", "discoverxfd/nosuch"); err == nil {
+		t.Fatal("expected error for missing fixture package")
+	}
+}
+
+func TestUnquotePattern(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`a \" quote`, `a " quote`},
+		{`a \\ backslash`, `a \ backslash`},
+		{`keep \d class`, `keep \d class`},
+	}
+	for _, c := range cases {
+		got, err := unquotePattern(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("unquotePattern(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+	if _, err := unquotePattern(`trailing \`); err == nil {
+		t.Error("expected error for trailing backslash")
+	}
+}
+
+// failRecorder captures harness errors so the harness itself can be
+// tested for both unmatched-expectation and unexpected-finding paths.
+type failRecorder struct{ msgs []string }
+
+func (r *failRecorder) Errorf(format string, args ...any) {
+	r.msgs = append(r.msgs, strings.TrimSpace(fmt.Sprintf(format, args...)))
+}
+
+func TestHarnessReportsMismatches(t *testing.T) {
+	var r failRecorder
+	// Running the govfix fixture with zero analyzers leaves every
+	// `want` expectation unmatched.
+	RunFixture(&r, "testdata", "discoverxfd/govfix", nil)
+	if len(r.msgs) == 0 {
+		t.Fatal("expected unmatched-expectation errors")
+	}
+	for _, m := range r.msgs {
+		if !strings.Contains(m, "no finding matched") {
+			t.Fatalf("unexpected harness error: %s", m)
+		}
+	}
+
+	// And a fixture with no want comments run against an analyzer that
+	// fires reports the finding as unexpected.
+	r = failRecorder{}
+	RunFixture(&r, "testdata", "discoverxfd/ctxmain", []*Analyzer{GovDiscipline}) // ctxmain has no spawns: clean
+	if len(r.msgs) != 0 {
+		t.Fatalf("clean fixture produced: %v", r.msgs)
+	}
+
+	r = failRecorder{}
+	RunFixture(&r, "testdata", "discoverxfd/mismatch", []*Analyzer{GovDiscipline})
+	if len(r.msgs) != 1 || !strings.Contains(r.msgs[0], "unexpected finding") {
+		t.Fatalf("mismatch fixture errors = %v, want one unexpected-finding error", r.msgs)
+	}
+
+	// A missing fixture package surfaces as a loading error.
+	r = failRecorder{}
+	RunFixture(&r, "testdata", "discoverxfd/nosuch", nil)
+	if len(r.msgs) != 1 || !strings.Contains(r.msgs[0], "loading fixture") {
+		t.Fatalf("missing fixture errors = %v, want one loading error", r.msgs)
+	}
+}
+
+func TestCollectExpectationsErrors(t *testing.T) {
+	parse := func(src string) *Package {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "m.go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Package{Fset: fset, Files: []*ast.File{f}}
+	}
+	if _, err := collectExpectations(parse("package m\n\n// want banana\n")); err == nil {
+		t.Error("expected malformed-want error")
+	}
+	if _, err := collectExpectations(parse("package m\n\n// want \"(\"\n")); err == nil {
+		t.Error("expected bad-pattern error")
+	}
+}
+
+func TestLoadModulePackagesOutsideModule(t *testing.T) {
+	if _, err := LoadModulePackages(t.TempDir()); err == nil {
+		t.Fatal("expected error outside a module")
+	}
+}
+
+// writeFixture lays down a one-file GOPATH fixture and returns its
+// gopath root.
+func writeFixture(t *testing.T, importPath, src string) string {
+	t.Helper()
+	gopath := t.TempDir()
+	dir := filepath.Join(gopath, "src", importPath)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return gopath
+}
+
+func TestLoadFixtureSyntaxError(t *testing.T) {
+	gopath := writeFixture(t, "bad", "package bad\nfunc {\n")
+	if _, err := LoadFixturePackage(gopath, "bad"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestLoadFixtureTypeError(t *testing.T) {
+	gopath := writeFixture(t, "q", "package q\n\nvar x int = \"s\"\n")
+	if _, err := LoadFixturePackage(gopath, "q"); err == nil {
+		t.Fatal("expected type-check error")
+	}
+}

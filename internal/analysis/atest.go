@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// TB is the subset of testing.TB the fixture harness needs, so this
+// file can live outside _test.go (cmd/xfdlint's self-test mode reuses
+// it) without importing the testing package.
+type TB interface {
+	Errorf(format string, args ...any)
+}
+
+// wantRe extracts `// want "regexp"` expectations, in the
+// golang.org/x/tools analysistest style. Multiple quoted patterns on
+// one comment declare multiple expected diagnostics on that line.
+var wantRe = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+var wantPatRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` pattern awaiting a matching finding.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// RunFixture loads the fixture package from the GOPATH-style tree at
+// gopath, runs the analyzers, and checks the findings against the
+// fixture's `// want "regexp"` comments: every expectation must be
+// matched by a finding on its line, and every finding must match an
+// expectation.
+func RunFixture(t TB, gopath, importPath string, analyzers []*Analyzer) {
+	pkg, err := LoadFixturePackage(gopath, importPath)
+	if err != nil {
+		t.Errorf("loading fixture %s: %v", importPath, err)
+		return
+	}
+	expects, err := collectExpectations(pkg)
+	if err != nil {
+		t.Errorf("fixture %s: %v", importPath, err)
+		return
+	}
+	findings := pkg.Analyze(analyzers)
+	for i := range findings {
+		f := &findings[i]
+		exp := matchExpectation(expects, f)
+		if exp == nil {
+			t.Errorf("%s: unexpected finding: %s [%s]", f.Pos, f.Message, f.Analyzer)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no finding matched `want %q`", e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectExpectations parses the `// want` comments of every fixture
+// file.
+func collectExpectations(pkg *Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						return nil, fmt.Errorf("%s: malformed want comment: %s",
+							pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pm := range wantPatRe.FindAllStringSubmatch(m[1], -1) {
+					pat, err := unquotePattern(pm[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s: %w", pos, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern: %w", pos, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// unquotePattern undoes the \" and \\ escapes allowed inside a quoted
+// want pattern.
+func unquotePattern(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("trailing backslash in want pattern %q", s)
+		}
+		switch s[i] {
+		case '"', '\\':
+			b.WriteByte(s[i])
+		default:
+			// Preserve other escapes (\d, \(, ...) for the regexp engine.
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// matchExpectation finds the first unmatched expectation on the
+// finding's line whose pattern matches, marks it matched, and returns
+// it (nil if none).
+func matchExpectation(expects []*expectation, f *Finding) *expectation {
+	for _, e := range expects {
+		if e.matched || e.file != f.Pos.Filename || e.line != f.Pos.Line {
+			continue
+		}
+		if e.re.MatchString(f.Message) {
+			e.matched = true
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetOrder is the static counterpart of the engine's byte-identical
+// output guarantee (locked in by TestDiscoveryDeterministic and
+// friends): on output-producing paths, iteration order must never be
+// a Go map's. It flags `range` statements over map types in the
+// packages that feed reports, JSON, and benchmark tables, unless one
+// of three things makes the order provably irrelevant:
+//
+//   - the loop body is commutative — it only accumulates into
+//     order-insensitive sinks (integer +=/-=/++/--, map-index
+//     assignment, delete), so any visit order yields the same state;
+//
+//   - the collected values are sorted afterwards in the same function
+//     (a sort.*/slices.Sort* call after the range begins) — the
+//     canonical collect-then-sort idiom;
+//
+//   - a `//lint:detorder <reason>` suppression explains why the order
+//     cannot reach the output.
+var DetOrder = &Analyzer{
+	Name:      "detorder",
+	Directive: "detorder",
+	Doc:       "flag map iteration on output paths without a subsequent sort",
+	Run:       runDetOrder,
+}
+
+// detOrderScope reports whether the file participates in an output
+// path: the root package's report/JSON renderers, the core engine,
+// and the benchmark harness.
+func detOrderScope(path, filename string) bool {
+	if strings.HasSuffix(path, "internal/core") || strings.HasSuffix(path, "internal/bench") {
+		return true
+	}
+	return filename == "report.go" || filename == "json.go"
+}
+
+func runDetOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) || !detOrderScope(pass.Path, pass.Filename(f)) {
+			continue
+		}
+		inspectStack(f, func(stack []ast.Node, n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.commutativeBody(rng.Body) {
+				return true
+			}
+			if fn := enclosingFunc(stack); fn != nil && sortedAfter(pass, fn, rng.Pos()) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "map iteration on an output path without a subsequent sort: iterate sorted keys (or sort what you collect) so results stay byte-identical across runs")
+			return true
+		})
+	}
+}
+
+// commutativeBody reports whether every statement in the loop body is
+// order-insensitive: integer accumulation (string += concatenation is
+// order-sensitive and does not qualify), map-index assignment, delete,
+// such statements nested under if/blocks, or loop control. Plain
+// `x = v` latches are NOT accepted — a latch that really is
+// order-insensitive takes a //lint:detorder suppression saying why.
+func (p *Pass) commutativeBody(body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		if !p.commutativeStmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pass) commutativeStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		return p.isIntegerExpr(s.X)
+	case *ast.AssignStmt:
+		if s.Tok == token.ADD_ASSIGN || s.Tok == token.SUB_ASSIGN {
+			return len(s.Lhs) == 1 && p.isIntegerExpr(s.Lhs[0])
+		}
+		if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+			// m[k] = v is order-insensitive when keys are distinct per
+			// iteration (the common tally/index-building shape).
+			for _, lhs := range s.Lhs {
+				if _, ok := lhs.(*ast.IndexExpr); !ok {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "delete"
+	case *ast.IfStmt:
+		if s.Else != nil && !p.commutativeStmt(s.Else) {
+			return false
+		}
+		return p.commutativeBody(s.Body)
+	case *ast.BlockStmt:
+		return p.commutativeBody(s)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	default:
+		return false
+	}
+}
+
+// isIntegerExpr reports whether the expression has an integer type
+// (the only type whose += / -- accumulation is order-insensitive).
+func (p *Pass) isIntegerExpr(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sortedAfter reports whether the enclosing function calls a sorting
+// routine at or after pos — the collect-then-sort idiom that restores
+// a canonical order before the data can escape.
+func sortedAfter(pass *Pass, fn ast.Node, pos token.Pos) bool {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if isSortCall(pass, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall reports whether the call is into package sort or a
+// slices.Sort* function.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pkg.Imported().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(sel.Sel.Name, "Sort")
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GovDiscipline enforces the parallelism contract from PR 1: every
+// goroutine the engine starts must be joined and panic-safe, which in
+// this tree means it flows through the workerGroup spawn point in
+// internal/core/governor.go. A bare `go` statement anywhere else can
+// leak a worker past the run that started it (defeating cancellation)
+// or let a worker panic kill the whole process. Raw sync.WaitGroup
+// declarations are flagged for the same reason: they are the
+// fan-out's root, and hand-rolled Add/Done pairings are exactly what
+// workerGroup exists to replace.
+//
+// Suppress a sanctioned spawn with `//lint:governed <reason>` — the
+// governor's own spawn point carries the annotation (and the reason)
+// rather than a path allowlist, so the exception is visible in the
+// code it excuses.
+var GovDiscipline = &Analyzer{
+	Name:      "govdiscipline",
+	Directive: "governed",
+	Doc:       "flag goroutine spawns and sync.WaitGroup fan-out outside the governor's panic-safe workerGroup",
+	Run:       runGovDiscipline,
+}
+
+func runGovDiscipline(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "bare go statement: spawn workers through the governor's workerGroup so they are joined and panic-safe")
+			case *ast.Ident:
+				if obj, ok := pass.Info.Defs[n]; ok && obj != nil && isWaitGroupVar(obj) {
+					pass.Reportf(n.Pos(), "sync.WaitGroup declared outside the governor's workerGroup: use (*workerGroup).Go/Wait for joined, panic-safe fan-out")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isWaitGroupVar reports whether the defined object is a variable or
+// struct field of type sync.WaitGroup (possibly behind a pointer).
+func isWaitGroupVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return isNamed(v.Type(), "sync", "WaitGroup")
+}

@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Analyze runs the analyzers over the package.
+func (p *Package) Analyze(analyzers []*Analyzer) []Finding {
+	return Run(analyzers, p.Fset, p.Files, p.Types, p.Info)
+}
+
+// NewInfo allocates the types.Info maps the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// LoadModulePackages loads and type-checks every package of the
+// module rooted at dir, plus the standard-library closure needed to
+// resolve their imports, using `go list -deps -json ./...` (which is
+// fully offline for a dependency-free module). It returns the
+// module's own packages in import-path order.
+func LoadModulePackages(dir string) ([]*Package, error) {
+	cmd := exec.Command("go", "list", "-deps", "-json", "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list in %s: %w\n%s", dir, err, errb.String())
+	}
+
+	var listed []listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	typed := make(map[string]*types.Package)
+	imp := mapImporter(typed)
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	var pkgs []*Package
+	// -deps emits dependencies before dependents, so a single ordered
+	// sweep type-checks each package after everything it imports.
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			typed["unsafe"] = types.Unsafe
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files, err := ParseFiles(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		info := NewInfo()
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", lp.ImportPath, err)
+		}
+		typed[lp.ImportPath] = tpkg
+		if !lp.Standard {
+			pkgs = append(pkgs, &Package{
+				ImportPath: lp.ImportPath,
+				Fset:       fset,
+				Files:      files,
+				Types:      tpkg,
+				Info:       info,
+			})
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// mapImporter resolves imports from an already-type-checked map.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("analysis: import %q not loaded", path)
+}
+
+// ParseFiles parses the named files (joined to dir when relative),
+// with comments, into fset.
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// fixtureLoader type-checks GOPATH-style fixture trees (the
+// analysistest layout: <gopath>/src/<importpath>/*.go), resolving
+// standard-library imports from GOROOT source with the usual build
+// constraints applied.
+type fixtureLoader struct {
+	ctxt  build.Context
+	fset  *token.FileSet
+	typed map[string]*types.Package
+	infos map[string]*types.Info
+	files map[string][]*ast.File
+	conf  types.Config
+}
+
+func newFixtureLoader(gopath string) *fixtureLoader {
+	ctxt := build.Default
+	ctxt.GOPATH = gopath
+	ctxt.CgoEnabled = false
+	l := &fixtureLoader{
+		ctxt:  ctxt,
+		fset:  token.NewFileSet(),
+		typed: make(map[string]*types.Package),
+		infos: make(map[string]*types.Info),
+		files: make(map[string][]*ast.File),
+	}
+	l.conf = types.Config{Importer: l, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	return l
+}
+
+// Import implements types.Importer recursively over source.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	return l.load(path, false)
+}
+
+// load type-checks one package; includeTests additionally parses the
+// package's in-package _test.go files (used for the root fixture
+// only, so the analyzers' test-file exemptions are exercisable).
+func (l *fixtureLoader) load(path string, includeTests bool) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.typed[path]; ok {
+		return p, nil
+	}
+	dir, names, err := l.locate(path, includeTests)
+	if err != nil {
+		return nil, err
+	}
+	files, err := ParseFiles(l.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	info := NewInfo()
+	// Break import cycles defensively: mark in-progress before
+	// recursing (well-formed fixtures have none, but a clear error
+	// beats a stack overflow).
+	l.typed[path] = nil
+	tpkg, err := l.conf.Check(path, l.fset, files, info)
+	if err != nil {
+		delete(l.typed, path)
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	l.typed[path] = tpkg
+	l.infos[path] = info
+	l.files[path] = files
+	return tpkg, nil
+}
+
+// locate resolves an import path to a directory — fixture GOPATH
+// first, then GOROOT — and lists its buildable Go files, applying the
+// usual build constraints via Context.MatchFile. The directories are
+// probed directly rather than through build.Context.Import, which in
+// module mode delegates to the go command and ignores the fixture
+// GOPATH entirely.
+func (l *fixtureLoader) locate(path string, includeTests bool) (string, []string, error) {
+	dir := filepath.Join(l.ctxt.GOPATH, "src", filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		dir = filepath.Join(l.ctxt.GOROOT, "src", filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			return "", nil, fmt.Errorf("analysis: package %s not found under %s or GOROOT", path, l.ctxt.GOPATH)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", nil, fmt.Errorf("analysis: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !includeTests {
+			continue
+		}
+		if ok, err := l.ctxt.MatchFile(dir, name); err != nil {
+			return "", nil, fmt.Errorf("analysis: %w", err)
+		} else if ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", nil, fmt.Errorf("analysis: no buildable Go files for %s in %s", path, dir)
+	}
+	sort.Strings(names)
+	return dir, names, nil
+}
+
+// LoadFixturePackage loads one package from a GOPATH-style fixture
+// tree rooted at gopath (i.e. sources under gopath/src/importPath).
+func LoadFixturePackage(gopath, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(gopath)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	l := newFixtureLoader(abs)
+	tpkg, err := l.load(importPath, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: importPath,
+		Fset:       l.fset,
+		Files:      l.files[importPath],
+		Types:      tpkg,
+		Info:       l.infos[importPath],
+	}, nil
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod, so tests can
+// locate the repository root regardless of the package they run in.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,88 @@
+// Package ctxfix exercises the ctxplumb analyzer: fresh root
+// contexts are only allowed in the ...Context compatibility-shim
+// shape, and declared ctx parameters must actually be plumbed down.
+package ctxfix
+
+import "context"
+
+// Discover is the sanctioned shim shape: no ctx parameter, and the
+// fresh root goes straight into the ...Context sibling.
+func Discover() error {
+	return DiscoverContext(context.Background())
+}
+
+func DiscoverContext(ctx context.Context) error {
+	return run(ctx)
+}
+
+func run(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// detached already receives a ctx; minting a fresh root here severs
+// the cancellation chain.
+func detached(ctx context.Context) error {
+	_ = run(ctx)
+	return run(context.Background()) // want "already receives a context"
+}
+
+func freshRoot() error {
+	return run(context.Background()) // want "outside a ...Context compatibility shim"
+}
+
+func todoRoot() error {
+	return run(context.TODO()) // want "outside a ...Context compatibility shim"
+}
+
+func dropped(ctx context.Context) int { // want "context parameter ctx is never used"
+	return 1
+}
+
+func blank(_ context.Context) int { // want "context parameter dropped"
+	return 2
+}
+
+// empty bodies (stubs satisfying an interface) are exempt.
+func stub(ctx context.Context) {}
+
+var handler = func(ctx context.Context) int { // want "context parameter ctx is never used"
+	return 3
+}
+
+func suppressed() error {
+	//lint:ctxplumb fixture models a documented background janitor with its own root
+	return run(context.Background())
+}
+
+type client struct{}
+
+func (client) RunContext(ctx context.Context) error { return run(ctx) }
+
+// method-call shims count too: the callee name still ends in Context.
+func methodShim(c client) error {
+	return c.RunContext(context.Background())
+}
+
+// function literals are held to the same rules as declarations.
+var litDetached = func(ctx context.Context) error {
+	_ = run(ctx)
+	return run(context.Background()) // want "already receives a context"
+}
+
+var litShim = func() error {
+	return DiscoverContext(context.Background())
+}
+
+// Background on a non-context type is not a root context.
+type fakeCtx struct{}
+
+func (fakeCtx) Background() int { return 0 }
+
+func notContext(f fakeCtx) int {
+	return f.Background()
+}

@@ -1,0 +1,10 @@
+// Package main is exempt from ctxplumb: a binary's entry point owns
+// the root context legitimately.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

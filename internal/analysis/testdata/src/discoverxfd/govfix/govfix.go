@@ -1,0 +1,54 @@
+// Package govfix exercises the govdiscipline analyzer: bare go
+// statements and raw sync.WaitGroup fan-out are flagged; the
+// suppression directive works only with a written reason.
+package govfix
+
+import "sync"
+
+func spawn() {
+	go work() // want "bare go statement"
+}
+
+func fanout() {
+	var wg sync.WaitGroup // want "sync.WaitGroup declared outside the governor's workerGroup"
+	wg.Add(1)
+	go func() { // want "bare go statement"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+type pool struct {
+	wg sync.WaitGroup // want "sync.WaitGroup declared outside the governor's workerGroup"
+}
+
+func (p *pool) run() {
+	p.wg.Add(1)
+	go work() // want "bare go statement"
+}
+
+func sanctioned() {
+	//lint:governed this fixture models the governor's own spawn point
+	go work()
+}
+
+func sanctionedInline() {
+	go work() //lint:governed trailing-comment form of the same sanctioned spawn
+}
+
+func bareDirective() {
+	//lint:governed
+	go work() // want "requires a written reason"
+}
+
+// mutexen and other sync types are fine: only WaitGroup roots a
+// fan-out.
+func locked() {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	work()
+}
+
+func work() {}

@@ -1,0 +1,16 @@
+package govfix
+
+// Test files are exempt: tests may spawn raw goroutines and use
+// WaitGroups freely.
+
+import "sync"
+
+func testHelper() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,11 @@
+package xfd
+
+// helper.go is outside detorder's scope (not report.go/json.go and
+// not an internal/core or internal/bench package): map iteration on a
+// non-output path is left alone.
+func pickAny(m map[string]int) (string, int) {
+	for k, v := range m {
+		return k, v
+	}
+	return "", 0
+}

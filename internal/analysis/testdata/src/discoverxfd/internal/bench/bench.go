@@ -1,0 +1,137 @@
+// Package bench exercises the detorder heuristics on an output-path
+// package (import path suffix internal/bench).
+package bench
+
+import (
+	"fmt"
+	"slices"
+)
+
+// emit leaks map order straight into output.
+func emit(m map[string]int) {
+	for k, v := range m { // want "map iteration on an output path"
+		fmt.Println(k, v)
+	}
+}
+
+// tally is commutative: integer accumulation only.
+func tally(m map[string]int) (int, int) {
+	total, n := 0, 0
+	for _, v := range m {
+		total += v
+		n++
+	}
+	return total, n
+}
+
+// concat is NOT commutative: string += is order-sensitive.
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m { // want "map iteration on an output path"
+		s += k
+	}
+	return s
+}
+
+// invert is commutative: map-index assignment with distinct keys.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string)
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// prune is commutative: delete and continue under an if.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+			continue
+		}
+		m[k] = v - 1
+	}
+}
+
+// sortedKeys is the collect-then-sort idiom, via slices.Sort.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// latch is order-insensitive in fact but not provably so to the
+// analyzer: the suppression carries the argument.
+func latch(m map[string]int) bool {
+	found := false
+	//lint:detorder latching a constant boolean is order-insensitive
+	for _, v := range m {
+		if v < 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+// bareLatch shows a suppression without a reason failing to suppress.
+func bareLatch(m map[string]int) bool {
+	found := false
+	//lint:detorder
+	for _, v := range m { // want "requires a written reason"
+		if v < 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+// branchy is commutative on both if/else arms, nested blocks
+// included.
+func branchy(m map[string]int) (int, int) {
+	pos, neg := 0, 0
+	for _, v := range m {
+		if v >= 0 {
+			pos += v
+		} else {
+			{
+				neg -= v
+			}
+		}
+	}
+	return pos, neg
+}
+
+// a slices call that isn't Sort* does not launder the order.
+func nonSortAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration on an output path"
+		keys = append(keys, k)
+	}
+	_ = slices.Index(keys, "x")
+	return keys
+}
+
+type sorter struct{}
+
+func (sorter) Sort() {}
+
+// nor does a method that merely happens to be named Sort.
+func methodSortAfter(m map[string]int) []string {
+	var s sorter
+	var keys []string
+	for k := range m { // want "map iteration on an output path"
+		keys = append(keys, k)
+	}
+	s.Sort()
+	return keys
+}
+
+// slices are ordered; ranging over them is always fine.
+func emitSlice(ks []string) {
+	for _, k := range ks {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"sort"
+
+	"discoverxfd/internal/partition"
+)
+
+// record writes cache state outside pcache.go.
+func record(c *partitionCache) {
+	c.hits++ // want "write to partitionCache.hits outside its declaring file"
+}
+
+func stash(rp *relPartitions, a string, p *partition.Partition) {
+	rp.parts[a] = p // want "write to relPartitions.parts outside its declaring file"
+}
+
+// mutate writes a Partition field outside the partition package — no
+// constructor shape can excuse it here.
+func mutate(p *partition.Partition) {
+	p.NRows = 1 // want "write to Partition.NRows"
+}
+
+func suppressedStash(rp *relPartitions, a string, p *partition.Partition) {
+	//lint:partimmut fixture models a migration shim documented in pcache.go
+	rp.parts[a] = p
+}
+
+// reads of cache state are fine anywhere.
+func hitRate(c *partitionCache) int {
+	return c.hits
+}
+
+// emitSorted is the canonical collect-then-sort shape detorder
+// accepts inside internal/core.
+func emitSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// emitUnsorted leaks map order into its result.
+func emitUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration on an output path"
+		keys = append(keys, k)
+	}
+	return keys
+}

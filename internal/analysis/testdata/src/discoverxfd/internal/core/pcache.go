@@ -1,0 +1,30 @@
+// Package core exercises the partimmut cache-locality rule (cache
+// state may only be written in its declaring file) and, because its
+// import path ends in internal/core, the detorder output-path rule.
+package core
+
+import "discoverxfd/internal/partition"
+
+// partitionCache mirrors the real run-wide cache accounting.
+type partitionCache struct {
+	hits  int
+	bytes int64
+}
+
+// relPartitions mirrors the per-relation cached-partition table.
+type relPartitions struct {
+	parts map[string]*partition.Partition
+	cache *partitionCache
+}
+
+// add is sanctioned: it writes cache state in the declaring file.
+func (c *partitionCache) add(n int64) {
+	c.hits++
+	c.bytes += n
+}
+
+// install is the sanctioned publication point for a partition.
+func (rp *relPartitions) install(a string, p *partition.Partition) {
+	rp.parts[a] = p
+	rp.cache.add(1)
+}

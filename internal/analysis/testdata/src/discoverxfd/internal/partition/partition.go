@@ -1,0 +1,61 @@
+// Package partition exercises the partimmut analyzer inside the
+// partition package itself: constructors (functions whose results
+// include a Partition) may write fields freely; anything else is a
+// post-publication mutation of a shared, cached value.
+package partition
+
+// Partition mirrors the real stripped-partition representation.
+type Partition struct {
+	Groups [][]int32
+	NRows  int
+}
+
+// FromGroups is a sanctioned constructor: it returns the Partition it
+// builds, so its field writes happen before publication.
+func FromGroups(groups [][]int32, n int) *Partition {
+	p := &Partition{}
+	p.Groups = groups
+	p.NRows = n
+	return p
+}
+
+// shrink also has constructor shape (a Partition in its results).
+func (p *Partition) shrink() *Partition {
+	p.Groups = p.Groups[:1]
+	return p
+}
+
+// reset mutates after construction: no Partition in the results.
+func (p *Partition) reset() {
+	p.NRows = 0 // want "write to Partition.NRows"
+}
+
+func poke(p *Partition) {
+	p.Groups[0][0] = 7 // want "write to Partition.Groups"
+	p.NRows++          // want "write to Partition.NRows"
+}
+
+func clobber(dst *Partition, src Partition) {
+	*dst = src // want "whole-struct overwrite of a shared Partition"
+}
+
+func scrub(p *Partition) {
+	//lint:partimmut fixture models a documented pre-publication fixup on an unshared copy
+	p.NRows = 0
+}
+
+// function literals follow the same constructor rule.
+var fill = func(p *Partition) {
+	p.NRows = 3 // want "write to Partition.NRows"
+}
+
+var build = func(groups [][]int32) *Partition {
+	p := &Partition{}
+	p.Groups = groups
+	return p
+}
+
+// reads are always fine.
+func size(p *Partition) int {
+	return p.NRows + len(p.Groups)
+}

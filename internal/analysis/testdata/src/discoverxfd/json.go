@@ -1,0 +1,9 @@
+package xfd
+
+func jsonKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration on an output path"
+		keys = append(keys, k)
+	}
+	return keys
+}

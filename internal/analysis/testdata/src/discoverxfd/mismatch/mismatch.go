@@ -1,0 +1,8 @@
+// Package mismatch exists only for the harness's own negative test:
+// it contains a violation with no want comment, so running it through
+// the harness must produce an unexpected-finding error.
+package mismatch
+
+func spawn() {
+	go spawn()
+}

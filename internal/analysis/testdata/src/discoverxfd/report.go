@@ -1,0 +1,12 @@
+// Package xfd's report.go and json.go are output renderers: detorder
+// is in scope here by filename even though the package is not under
+// internal/core or internal/bench.
+package xfd
+
+import "fmt"
+
+func renderCounts(m map[string]int) {
+	for k, v := range m { // want "map iteration on an output path"
+		fmt.Println(k, v)
+	}
+}

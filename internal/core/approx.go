@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"discoverxfd/internal/partition"
 )
 
@@ -31,9 +33,7 @@ func g3Error(plhs *partition.Partition, allIDs []int32) int {
 	removals := 0
 	counts := make(map[int32]int)
 	for _, g := range plhs.Groups {
-		for k := range counts {
-			delete(counts, k)
-		}
+		clear(counts)
 		max := 1 // a stripped singleton subgroup always exists as a floor
 		for _, t := range g {
 			id := allIDs[t]
@@ -114,7 +114,16 @@ func (lr *latticeRun) discoverApprox(maxErr float64) []FD {
 	var out []FD
 	var counts []int32 // g3ErrorDense buffer, grown to the largest group count
 	seen := make(map[edge]bool)
+	// Walk the cached attribute sets in canonical order: the edges are
+	// deduplicated by `seen`, so iteration order decides which FDs this
+	// relation emits first — map order here would leak into the
+	// pre-sort Result assembly and the golden reports.
+	cached := make([]AttrSet, 0, len(lr.pc.parts))
 	for a := range lr.pc.parts {
+		cached = append(cached, a)
+	}
+	slices.Sort(cached)
+	for _, a := range cached {
 		if a == 0 {
 			continue
 		}

@@ -35,6 +35,45 @@ func TestDiscoveryDeterministic(t *testing.T) {
 	}
 }
 
+// TestApproxOrderDeterministic locks in the canonical emission order
+// of the approximate pass: discoverApprox walks the partition cache
+// in sorted attribute-set order, so the rendered output (including
+// the ApproxFDs section) must be byte-identical across every knob
+// that could plausibly reorder it — worker count, cache eviction
+// pressure, and the naive baseline engine.
+func TestApproxOrderDeterministic(t *testing.T) {
+	ds := xmlgen.PSD(xmlgen.DefaultPSD())
+	h, err := relation.Build(ds.Tree, ds.Schema, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Options{
+		{PropagatePartial: true, ApproxError: 0.05},
+		{PropagatePartial: true, ApproxError: 0.05, Parallel: true},
+		{PropagatePartial: true, ApproxError: 0.05, MaxPartitionBytes: 1 << 12},
+		{PropagatePartial: true, ApproxError: 0.05, Parallel: true, MaxPartitionBytes: 1 << 12},
+		{PropagatePartial: true, ApproxError: 0.05, NaivePartitions: true},
+	}
+	var first string
+	for i, opts := range cases {
+		res, err := Discover(h, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.ApproxFDs) == 0 {
+			t.Fatalf("case %d: expected approximate FDs from the PSD dataset", i)
+		}
+		out := render(res)
+		if i == 0 {
+			first = out
+			continue
+		}
+		if out != first {
+			t.Fatalf("case %d (%+v) differs:\n--- first ---\n%s\n--- now ---\n%s", i, opts, first, out)
+		}
+	}
+}
+
 // TestRebuildDeterministic checks that rebuilding the hierarchy from
 // the same document yields the same discovery output (encoder interning
 // order must not leak).

@@ -145,6 +145,7 @@ func EvaluateContext(ctx context.Context, h *relation.Hierarchy, class schema.Pa
 	ev := Evaluation{Holds: true, LHSIsKey: true}
 	removals := 0
 	rcol := origin.Cols[rref.attr]
+	//lint:detorder per-group tallies only += ints and latch booleans, so group order cannot reach the Evaluation output
 	for _, g := range groups {
 		if len(g) < 2 {
 			continue

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -31,6 +32,7 @@ type governor struct {
 
 func newGovernor(ctx context.Context, opts *Options) *governor {
 	if ctx == nil {
+		//lint:ctxplumb a nil ctx marks a legacy ungoverned entry point; Background is its documented never-cancelled default
 		ctx = context.Background()
 	}
 	return &governor{ctx: ctx, deadline: opts.Deadline}
@@ -82,6 +84,59 @@ func (g *governor) productWorkers(jobs int) int {
 		return p
 	}
 	return jobs
+}
+
+// workerGroup launches the engine's parallel workers. It is the only
+// place in the library allowed to start goroutines: every worker it
+// spawns is joined by Wait, and a panic inside a worker is converted
+// into an ordinary error carrying the worker's stack, so a bug in one
+// worker surfaces as the run's error instead of crashing the process.
+// The xfdlint govdiscipline analyzer enforces that bare `go`
+// statements and raw sync.WaitGroup fan-out stay out of the rest of
+// the engine (see docs/INTERNALS.md §10).
+type workerGroup struct {
+	//lint:governed workerGroup is the engine-wide spawn point; its WaitGroup is joined by Wait and guarded by the panic barrier in Go.
+	wg sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// Go runs fn on a new goroutine. A panic in fn is converted into an
+// error naming what (e.g. "parallel product worker for relation R")
+// and handed to catch; a nil catch retains the first such error for
+// Wait to return. fn must do its own cancellation checks — the group
+// guarantees only the join and the panic barrier.
+func (g *workerGroup) Go(what string, catch func(error), fn func()) {
+	g.wg.Add(1)
+	//lint:governed this is the one sanctioned spawn: Wait joins the goroutine and the deferred recover below turns its panics into errors.
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			if p := recover(); p != nil {
+				err := fmt.Errorf("core: panic in %s: %v\n%s", what, p, debug.Stack())
+				if catch != nil {
+					catch(err)
+					return
+				}
+				g.mu.Lock()
+				if g.err == nil {
+					g.err = err
+				}
+				g.mu.Unlock()
+			}
+		}()
+		fn()
+	}()
+}
+
+// Wait joins every spawned worker and returns the first panic error
+// recorded by a nil-catch Go, if any.
+func (g *workerGroup) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
 }
 
 // truncate records a budget exhaustion; the first reason wins.

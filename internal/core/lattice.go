@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime/debug"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -389,25 +387,13 @@ func (lr *latticeRun) precomputeLevel(pending []AttrSet, xfd bool) {
 	}
 	results := make([]*partition.Partition, len(jobs))
 	errs := make([]error, len(jobs))
-	var panicMu sync.Mutex
-	var panicErr error
 	var next atomic.Int64
-	var wg sync.WaitGroup
+	// A worker panic must surface as this run's error, not a process
+	// crash (same contract as subtree workers); workerGroup provides
+	// the barrier.
+	var grp workerGroup
 	for w := 0; w < lr.gov.productWorkers(len(jobs)); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// A worker panic must surface as this run's error, not a
-			// process crash (same contract as subtree workers).
-			defer func() {
-				if p := recover(); p != nil {
-					panicMu.Lock()
-					if panicErr == nil {
-						panicErr = fmt.Errorf("core: panic in parallel product worker for relation %s: %v\n%s", lr.rel.Pivot, p, debug.Stack())
-					}
-					panicMu.Unlock()
-				}
-			}()
+		grp.Go(fmt.Sprintf("parallel product worker for relation %s", lr.rel.Pivot), nil, func() {
 			sc := partition.GetScratch(lr.rel.NRows())
 			defer partition.PutScratch(sc)
 			for {
@@ -421,9 +407,9 @@ func (lr *latticeRun) precomputeLevel(pending []AttrSet, xfd bool) {
 				}
 				results[i] = jobs[i].rest.Product(jobs[i].single, sc)
 			}
-		}()
+		})
 	}
-	wg.Wait()
+	panicErr := grp.Wait()
 	for i, p := range results {
 		if errs[i] != nil {
 			// First failure in deterministic job order wins.
@@ -433,9 +419,7 @@ func (lr *latticeRun) precomputeLevel(pending []AttrSet, xfd bool) {
 		if p == nil {
 			continue
 		}
-		lr.pc.parts[jobs[i].a] = p
-		lr.cache.add(lr.pc, p)
-		lr.cache.misses.Add(1)
+		lr.cache.install(lr.pc, jobs[i].a, p)
 		lr.stats.PartitionsComputed++
 		lr.stats.ParallelProducts++
 	}
@@ -446,32 +430,25 @@ func (lr *latticeRun) precomputeLevel(pending []AttrSet, xfd bool) {
 
 // groupIDs returns (and caches) the row→group lookup for Π_A.
 func (lr *latticeRun) groupIDs(a AttrSet) []int32 {
-	if g, ok := lr.pc.gids[a]; ok {
-		return g
-	}
-	g := lr.getPartition(a).GroupIDs()
-	lr.pc.gids[a] = g
-	return g
+	return lr.pc.gidsOf(a, func() []int32 { return lr.getPartition(a).GroupIDs() })
 }
 
 // nullsFor returns (and caches) the per-row missing-value lookup for
 // attribute set a: true where any attribute of a is null. Used for
 // the vacuous satisfaction of degenerate target pairs.
 func (lr *latticeRun) nullsFor(a AttrSet) []bool {
-	if nl, ok := lr.pc.nulls[a]; ok {
-		return nl
-	}
-	nl := make([]bool, lr.rel.NRows())
-	for _, i := range a.Attrs() {
-		col := lr.rel.Cols[i]
-		for row, code := range col {
-			if relation.IsNull(code) {
-				nl[row] = true
+	return lr.pc.nullsOf(a, func() []bool {
+		nl := make([]bool, lr.rel.NRows())
+		for _, i := range a.Attrs() {
+			col := lr.rel.Cols[i]
+			for row, code := range col {
+				if relation.IsNull(code) {
+					nl[row] = true
+				}
 			}
 		}
-	}
-	lr.pc.nulls[a] = nl
-	return nl
+		return nl
+	})
 }
 
 // supersetOfKey reports whether a contains a discovered key (pruning

@@ -130,6 +130,40 @@ func (c *partitionCache) trim(rp *relPartitions) {
 	rp.nulls = make(map[AttrSet][]bool)
 }
 
+// install caches a partition computed outside partitionOf — the
+// parallel level precompute — preserving partitionOf's counter
+// semantics (each installed partition is one cache miss). Like every
+// store mutation it runs on the relation's single traversal
+// goroutine; the xfdlint partimmut analyzer keeps cache writes
+// confined to this file.
+func (c *partitionCache) install(rp *relPartitions, a AttrSet, p *partition.Partition) {
+	rp.parts[a] = p
+	c.add(rp, p)
+	c.misses.Add(1)
+}
+
+// gidsOf returns the cached row→group lookup for Π_A, running compute
+// on first use.
+func (rp *relPartitions) gidsOf(a AttrSet, compute func() []int32) []int32 {
+	if g, ok := rp.gids[a]; ok {
+		return g
+	}
+	g := compute()
+	rp.gids[a] = g
+	return g
+}
+
+// nullsOf is gidsOf for the per-row missing-value lookup of an
+// attribute set.
+func (rp *relPartitions) nullsOf(a AttrSet, compute func() []bool) []bool {
+	if nl, ok := rp.nulls[a]; ok {
+		return nl
+	}
+	nl := compute()
+	rp.nulls[a] = nl
+	return nl
+}
+
 // flushStats copies the cache counters into a Stats record.
 func (c *partitionCache) flushStats(st *Stats) {
 	st.PartitionCacheHits = int(c.hits.Load())

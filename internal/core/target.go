@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"discoverxfd/internal/partition"
@@ -175,11 +176,19 @@ func createTarget(rel *relation.Relation, lhs AttrSet, rhs int,
 			continue // no violation within this group
 		}
 		// Distinct parents per bucket; a parent spanning two buckets
-		// yields a degenerate pair.
+		// yields a degenerate pair. Buckets are visited in ascending id
+		// order: a spanning parent is attributed to the first bucket
+		// that reaches it, so map order here would change which
+		// cross-bucket pairs are enumerated below.
+		bucketIDs := make([]int32, 0, len(buckets))
+		for b := range buckets {
+			bucketIDs = append(bucketIDs, b)
+		}
+		slices.Sort(bucketIDs)
 		bucketParents := make(map[int32][]int32)
 		parentBucket := make(map[int32]int32)
-		for b, ts := range buckets {
-			for _, t := range ts {
+		for _, b := range bucketIDs {
+			for _, t := range buckets[b] {
 				p := parents[t]
 				if pb, ok := parentBucket[p]; ok {
 					if pb != b {
@@ -200,7 +209,11 @@ func createTarget(rel *relation.Relation, lhs AttrSet, rhs int,
 		// (T² − Σ|P_i|²)/2.
 		bps := make([][]int32, 0, len(bucketParents))
 		total, sq := 0, 0
-		for _, ps := range bucketParents {
+		for _, b := range bucketIDs {
+			ps, ok := bucketParents[b]
+			if !ok {
+				continue
+			}
 			bps = append(bps, ps)
 			total += len(ps)
 			sq += len(ps) * len(ps)

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sort"
-	"sync"
 
 	"discoverxfd/internal/relation"
 	"discoverxfd/internal/schema"
@@ -64,8 +63,9 @@ func discover(ctx context.Context, h *relation.Hierarchy, opts Options, xfd bool
 	// Last-resort containment: any panic that escapes the traversal —
 	// from the serial path or from result assembly — surfaces as an
 	// error to the caller instead of killing the process. Parallel
-	// workers additionally recover per goroutine below, which is what
-	// keeps a worker panic from unwinding past wg.Wait.
+	// workers additionally recover per goroutine (workerGroup's panic
+	// barrier), which is what keeps a worker panic from unwinding past
+	// the group's join.
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, fmt.Errorf("core: panic during discovery: %v\n%s", p, debug.Stack())
@@ -132,24 +132,16 @@ func discover(ctx context.Context, h *relation.Hierarchy, opts Options, xfd bool
 		}
 		if opts.Parallel && len(r.Children) > 1 {
 			results := make([]gathered, len(r.Children))
-			var wg sync.WaitGroup
+			// A worker panic must not unwind past its goroutine's stack
+			// (that would kill the process); workerGroup turns it into
+			// this subtree's error, joining the others in child order.
+			var grp workerGroup
 			for i, c := range r.Children {
-				wg.Add(1)
-				go func(i int, c *relation.Relation) {
-					defer wg.Done()
-					// A worker panic must not unwind past this
-					// goroutine's stack (that would kill the process);
-					// it becomes this subtree's error and joins the
-					// others in child order.
-					defer func() {
-						if p := recover(); p != nil {
-							results[i] = gathered{err: fmt.Errorf("core: panic in parallel discovery worker for subtree %s: %v\n%s", c.Pivot, p, debug.Stack())}
-						}
-					}()
-					results[i] = visit(c)
-				}(i, c)
+				grp.Go(fmt.Sprintf("parallel discovery worker for subtree %s", c.Pivot),
+					func(err error) { results[i] = gathered{err: err} },
+					func() { results[i] = visit(c) })
 			}
-			wg.Wait()
+			grp.Wait()
 			for i := range results {
 				merge(&g, &results[i])
 			}
@@ -426,6 +418,7 @@ func minimizeFDs(fds []FD) []FD {
 		byGoal[keyOf(f)] = append(byGoal[keyOf(f)], i)
 	}
 	keep := make([]bool, len(fds))
+	//lint:detorder groups write disjoint keep indices and out iterates fds in slice order, so group visit order cannot reach the output
 	for _, idxs := range byGoal {
 		for _, i := range idxs {
 			keep[i] = true
@@ -463,6 +456,7 @@ func minimizeKeys(keys []Key) []Key {
 		byClass[k.Class] = append(byClass[k.Class], i)
 	}
 	keep := make([]bool, len(keys))
+	//lint:detorder groups write disjoint keep indices and out iterates keys in slice order, so group visit order cannot reach the output
 	for _, idxs := range byClass {
 		for _, i := range idxs {
 			keep[i] = true

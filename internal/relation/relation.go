@@ -306,10 +306,10 @@ func Build(t *datatree.Tree, s *schema.Schema, opts Options) (*Hierarchy, error)
 // and returns a structurally consistent hierarchy with Truncated set.
 func BuildContext(ctx context.Context, t *datatree.Tree, s *schema.Schema, opts Options) (*Hierarchy, error) {
 	if t == nil || t.Root == nil {
-		return nil, fmt.Errorf("relation: empty tree")
+		return nil, ErrEmptyTree
 	}
 	if t.Root.Label != s.Root {
-		return nil, fmt.Errorf("relation: tree root %q does not match schema root %q", t.Root.Label, s.Root)
+		return nil, &RootMismatchError{What: "tree", Root: t.Root.Label, SchemaRoot: s.Root}
 	}
 
 	h, err := layoutHierarchy(s, opts)

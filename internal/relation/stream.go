@@ -92,7 +92,7 @@ func NewBuilderContext(ctx context.Context, s *schema.Schema, opts Options) (*Bu
 // a truncated hierarchy.
 func (b *Builder) AddRootChild(n *datatree.Node) error {
 	if b.finished {
-		return fmt.Errorf("relation: builder already finished")
+		return ErrBuilderFinished
 	}
 	if err := b.budget.ctx.Err(); err != nil {
 		return fmt.Errorf("relation: build cancelled: %w", err)
@@ -126,7 +126,7 @@ func (b *Builder) AddRootChild(n *datatree.Node) error {
 // the hierarchy.
 func (b *Builder) Finish() (*Hierarchy, error) {
 	if b.finished {
-		return nil, fmt.Errorf("relation: builder already finished")
+		return nil, ErrBuilderFinished
 	}
 	b.finished = true
 	root := b.h.Root
@@ -308,7 +308,7 @@ func BuildStreamContext(ctx context.Context, r io.Reader, s *schema.Schema, opts
 		return nil, err
 	}
 	if rootLabel != s.Root {
-		return nil, fmt.Errorf("relation: document root %q does not match schema root %q", rootLabel, s.Root)
+		return nil, &RootMismatchError{What: "document", Root: rootLabel, SchemaRoot: s.Root}
 	}
 	return b.Finish()
 }
