@@ -74,16 +74,17 @@ func main() {
 			Deadline:  *timeout,
 		},
 	}
+	eng := discoverxfd.NewEngine(opts)
 	if *stream {
 		if *schemaPath == "" {
 			fmt.Fprintf(os.Stderr, "discoverxfd: -stream requires -schema (inference needs the whole document)\n")
 			os.Exit(2)
 		}
-		runStream(flag.Arg(0), *schemaPath, *jsonOut, opts)
+		runStream(eng, flag.Arg(0), *schemaPath, *jsonOut)
 		return
 	}
 
-	doc, err := discoverxfd.LoadDocumentFileContext(context.Background(), flag.Arg(0), opts)
+	doc, err := eng.LoadDocumentFile(context.Background(), flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
@@ -108,11 +109,11 @@ func main() {
 		return
 	}
 
-	h, err := discoverxfd.BuildHierarchy(doc, s, opts)
+	h, err := eng.BuildHierarchy(context.Background(), doc, s)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := discoverxfd.DiscoverHierarchy(h, opts)
+	res, err := eng.DiscoverHierarchy(context.Background(), h)
 	if err != nil {
 		fatal(err)
 	}
@@ -146,7 +147,7 @@ func main() {
 
 // runStream discovers over a streamed document: constant memory in
 // the document size, at the cost of node-level reporting.
-func runStream(path, schemaPath string, jsonOut bool, opts *discoverxfd.Options) {
+func runStream(eng *discoverxfd.Engine, path, schemaPath string, jsonOut bool) {
 	text, err := os.ReadFile(schemaPath)
 	if err != nil {
 		fatal(err)
@@ -160,7 +161,7 @@ func runStream(path, schemaPath string, jsonOut bool, opts *discoverxfd.Options)
 		fatal(err)
 	}
 	defer f.Close()
-	res, err := discoverxfd.DiscoverStream(f, s, opts)
+	res, err := eng.DiscoverStream(context.Background(), f, s)
 	if err != nil {
 		fatal(err)
 	}

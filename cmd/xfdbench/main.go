@@ -1,7 +1,7 @@
 // Command xfdbench runs the experiment harness reconstructing the
 // paper's evaluation (see DESIGN.md and EXPERIMENTS.md). With no
 // arguments it runs every experiment; otherwise it runs the named
-// ones (e1..e13). -json emits the machine-readable report consumed by
+// ones (e1..e14). -json emits the machine-readable report consumed by
 // the CI bench gate (cmd/benchgate) instead of the text tables.
 //
 // Usage:

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -65,6 +66,7 @@ func main() {
 			fatal(err)
 		}
 	}
+	eng := discoverxfd.NewEngine(nil)
 	var h *discoverxfd.Hierarchy
 	if *stream {
 		if s == nil {
@@ -77,21 +79,21 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		h, err = discoverxfd.BuildHierarchyStream(f, s, nil)
+		h, err = eng.BuildHierarchyStream(context.Background(), f, s)
 		if err != nil {
 			fatal(err)
 		}
 	} else {
-		doc, err := discoverxfd.LoadDocumentFile(flag.Arg(0))
+		doc, err := eng.LoadDocumentFile(context.Background(), flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
-		h, err = discoverxfd.BuildHierarchy(doc, s, nil)
+		h, err = eng.BuildHierarchy(context.Background(), doc, s)
 		if err != nil {
 			fatal(err)
 		}
 	}
-	results, err := discoverxfd.CheckConstraints(h, cs)
+	results, err := eng.CheckConstraints(context.Background(), h, cs)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,6 +1,7 @@
 package discoverxfd
 
 import (
+	"context"
 	"fmt"
 
 	"discoverxfd/internal/core"
@@ -56,36 +57,11 @@ func (r CheckResult) String() string {
 // constraints your data must satisfy and fail CI when an update
 // breaks one.
 func CheckConstraints(h *Hierarchy, cs []Constraint) ([]CheckResult, error) {
-	out := make([]CheckResult, 0, len(cs))
-	for _, c := range cs {
-		rhs := c.FD.RHS
-		if c.IsKey {
-			rel := h.ByPivot(c.FD.Class)
-			if rel == nil {
-				return nil, fmt.Errorf("discoverxfd: unknown tuple class %s in %s", c.FD.Class, c)
-			}
-			if rel.NAttrs() == 0 {
-				return nil, fmt.Errorf("discoverxfd: class %s has no attributes to key", c.FD.Class)
-			}
-			rhs = rel.Attrs[0].Rel
-		}
-		ev, err := Evaluate(h, c.FD.Class, c.FD.LHS, rhs)
-		if err != nil {
-			return nil, fmt.Errorf("discoverxfd: checking %s: %w", c, err)
-		}
-		r := CheckResult{Constraint: c}
-		if c.IsKey {
-			r.Holds = ev.LHSIsKey
-			r.Violations = ev.Witnesses + ev.Violations
-		} else {
-			r.Holds = ev.Holds
-			r.Violations = ev.Violations
-			r.Witnesses = ev.Witnesses
-			if !ev.Holds {
-				r.G3Error = ev.Error
-			}
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return CheckConstraintsContext(context.Background(), h, cs)
+}
+
+// CheckConstraintsContext is CheckConstraints with cancellation,
+// checked per constraint.
+func CheckConstraintsContext(ctx context.Context, h *Hierarchy, cs []Constraint) ([]CheckResult, error) {
+	return NewEngine(nil).CheckConstraints(ctx, h, cs)
 }

@@ -36,7 +36,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"os"
 	"time"
 
 	"discoverxfd/internal/core"
@@ -173,7 +172,7 @@ func LoadDocument(r io.Reader) (*Document, error) {
 // Documents exceeding a parse limit fail fast with a "datatree:"
 // error — a deep-nesting or entity-bloat bomb never exhausts memory.
 func LoadDocumentContext(ctx context.Context, r io.Reader, opts *Options) (*Document, error) {
-	return datatree.ParseXMLContext(ctx, r, opts.limits().parseLimits())
+	return NewEngine(opts).LoadDocument(ctx, r)
 }
 
 // LoadDocumentFile parses an XML document from a file.
@@ -184,16 +183,7 @@ func LoadDocumentFile(path string) (*Document, error) {
 // LoadDocumentFileContext is LoadDocumentFile with parse limits and
 // cancellation (see LoadDocumentContext).
 func LoadDocumentFileContext(ctx context.Context, path string, opts *Options) (*Document, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	doc, err := datatree.ParseXMLContext(ctx, f, opts.limits().parseLimits())
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return doc, nil
+	return NewEngine(opts).LoadDocumentFile(ctx, path)
 }
 
 // ParseDocument parses an XML document from a string.
@@ -238,7 +228,7 @@ func BuildHierarchy(doc *Document, s *Schema, opts *Options) (*Hierarchy, error)
 // exhausting Limits.MaxTuples or Limits.Deadline stops ingestion
 // early and returns a consistent hierarchy marked truncated.
 func BuildHierarchyContext(ctx context.Context, doc *Document, s *Schema, opts *Options) (*Hierarchy, error) {
-	return buildHierarchyAt(ctx, doc, s, opts, opts.limits().deadlineFrom(time.Now()))
+	return NewEngine(opts).BuildHierarchy(ctx, doc, s)
 }
 
 // buildHierarchyAt carries the absolute deadline computed at whichever
@@ -277,7 +267,7 @@ func BuildHierarchyStream(r io.Reader, s *Schema, opts *Options) (*Hierarchy, er
 // cancellation and resource budgets (see BuildHierarchyContext; parse
 // limits apply to the stream as it is read).
 func BuildHierarchyStreamContext(ctx context.Context, r io.Reader, s *Schema, opts *Options) (*Hierarchy, error) {
-	return buildHierarchyStreamAt(ctx, r, s, opts, opts.limits().deadlineFrom(time.Now()))
+	return NewEngine(opts).BuildHierarchyStream(ctx, r, s)
 }
 
 func buildHierarchyStreamAt(ctx context.Context, r io.Reader, s *Schema, opts *Options, deadline time.Time) (*Hierarchy, error) {
@@ -297,12 +287,7 @@ func DiscoverStream(r io.Reader, s *Schema, opts *Options) (*Result, error) {
 // resource budgets. The Limits.Deadline budget covers the whole call:
 // streaming ingestion and discovery share it.
 func DiscoverStreamContext(ctx context.Context, r io.Reader, s *Schema, opts *Options) (*Result, error) {
-	deadline := opts.limits().deadlineFrom(time.Now())
-	h, err := buildHierarchyStreamAt(ctx, r, s, opts, deadline)
-	if err != nil {
-		return nil, err
-	}
-	return discoverHierarchyAt(ctx, h, opts, deadline)
+	return NewEngine(opts).DiscoverStream(ctx, r, s)
 }
 
 // Discover runs DiscoverXFD on the document: it finds all minimal
@@ -320,12 +305,7 @@ func Discover(doc *Document, s *Schema, opts *Options) (*Result, error) {
 // set. The Limits.Deadline budget covers hierarchy construction and
 // discovery together.
 func DiscoverContext(ctx context.Context, doc *Document, s *Schema, opts *Options) (*Result, error) {
-	deadline := opts.limits().deadlineFrom(time.Now())
-	h, err := buildHierarchyAt(ctx, doc, s, opts, deadline)
-	if err != nil {
-		return nil, err
-	}
-	return discoverHierarchyAt(ctx, h, opts, deadline)
+	return NewEngine(opts).Discover(ctx, doc, s)
 }
 
 // DiscoverHierarchy runs DiscoverXFD on a prebuilt hierarchy.
@@ -336,15 +316,7 @@ func DiscoverHierarchy(h *Hierarchy, opts *Options) (*Result, error) {
 // DiscoverHierarchyContext is DiscoverHierarchy with cancellation and
 // resource budgets (see DiscoverContext).
 func DiscoverHierarchyContext(ctx context.Context, h *Hierarchy, opts *Options) (*Result, error) {
-	return discoverHierarchyAt(ctx, h, opts, opts.limits().deadlineFrom(time.Now()))
-}
-
-func discoverHierarchyAt(ctx context.Context, h *Hierarchy, opts *Options, deadline time.Time) (*Result, error) {
-	co := opts.coreOptions(deadline)
-	if co.NoInterRelation {
-		return core.DiscoverIntraContext(ctx, h, co)
-	}
-	return core.DiscoverContext(ctx, h, co)
+	return NewEngine(opts).DiscoverHierarchy(ctx, h)
 }
 
 // Evaluate checks a single XML FD ⟨class, lhs, rhs⟩ directly against
@@ -352,11 +324,11 @@ func discoverHierarchyAt(ctx context.Context, h *Hierarchy, opts *Options, deadl
 // satisfaction), whether its LHS is a key, and how many redundant
 // values it witnesses.
 func Evaluate(h *Hierarchy, class Path, lhs []RelPath, rhs RelPath) (Evaluation, error) {
-	return core.Evaluate(h, class, lhs, rhs)
+	return EvaluateContext(context.Background(), h, class, lhs, rhs)
 }
 
 // EvaluateContext is Evaluate with cancellation, checked periodically
 // over the class's tuples.
 func EvaluateContext(ctx context.Context, h *Hierarchy, class Path, lhs []RelPath, rhs RelPath) (Evaluation, error) {
-	return core.EvaluateContext(ctx, h, class, lhs, rhs)
+	return NewEngine(nil).Evaluate(ctx, h, class, lhs, rhs)
 }

@@ -1,0 +1,175 @@
+package discoverxfd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"discoverxfd/internal/core"
+	"discoverxfd/internal/datatree"
+)
+
+// Engine is the reusable discovery engine behind every entrypoint in
+// this package: construct it once from an Options value and call its
+// methods from as many goroutines as you like. Each call runs an
+// isolated staged pipeline (plan → traverse → minimize → verify →
+// assemble; see internal/core), so concurrent calls never observe
+// each other's state. What an Engine does share across calls is a
+// warm layer of immutable partitions per hierarchy: repeated
+// discovery over the same *Hierarchy value reuses partitions computed
+// by earlier runs instead of rebuilding them (benchmark E14 measures
+// the effect), which is why long-lived services should hold one
+// Engine rather than calling the package-level wrappers in a loop.
+//
+// Every package-level Discover*/Build*/Evaluate*/Check* function is a
+// thin wrapper that constructs a one-shot Engine, so the two styles
+// always compute identical results; only reuse differs.
+//
+// Wall-clock budgets are per call: Options.Limits.Deadline is
+// relative, and each method converts it to an absolute deadline when
+// the call starts.
+type Engine struct {
+	opts Options
+	core *core.Engine
+}
+
+// NewEngine returns an Engine running every call with the given
+// options; nil means defaults. The options are copied — later
+// mutation of *opts does not affect the engine.
+func NewEngine(opts *Options) *Engine {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	return &Engine{opts: o, core: core.NewEngine(o.coreOptions(time.Time{}))}
+}
+
+// Options returns a copy of the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Discover runs DiscoverXFD on the document: it finds all minimal
+// interesting XML FDs and Keys and derives the redundancies the FDs
+// indicate (see the package-level DiscoverContext for the
+// cancellation and truncation contract). If s is nil the schema is
+// inferred from the data. The Limits.Deadline budget covers hierarchy
+// construction and discovery together.
+func (e *Engine) Discover(ctx context.Context, doc *Document, s *Schema) (*Result, error) {
+	deadline := e.opts.Limits.deadlineFrom(time.Now())
+	h, err := buildHierarchyAt(ctx, doc, s, &e.opts, deadline)
+	if err != nil {
+		return nil, err
+	}
+	return e.discoverAt(ctx, h, deadline)
+}
+
+// DiscoverHierarchy runs DiscoverXFD on a prebuilt hierarchy.
+// Repeated calls with the same *Hierarchy reuse the engine's warm
+// partitions — this is the engine-reuse fast path.
+func (e *Engine) DiscoverHierarchy(ctx context.Context, h *Hierarchy) (*Result, error) {
+	return e.discoverAt(ctx, h, e.opts.Limits.deadlineFrom(time.Now()))
+}
+
+// DiscoverStream runs DiscoverXFD over an XML stream without
+// materializing the document (see the package-level
+// BuildHierarchyStream for the streaming contract; the schema is
+// required).
+func (e *Engine) DiscoverStream(ctx context.Context, r io.Reader, s *Schema) (*Result, error) {
+	deadline := e.opts.Limits.deadlineFrom(time.Now())
+	h, err := buildHierarchyStreamAt(ctx, r, s, &e.opts, deadline)
+	if err != nil {
+		return nil, err
+	}
+	return e.discoverAt(ctx, h, deadline)
+}
+
+// discoverAt routes one governed run into the core engine with the
+// call's absolute deadline.
+func (e *Engine) discoverAt(ctx context.Context, h *Hierarchy, deadline time.Time) (*Result, error) {
+	if e.opts.IntraOnly {
+		return e.core.DiscoverIntraAt(ctx, h, deadline)
+	}
+	return e.core.DiscoverAt(ctx, h, deadline)
+}
+
+// LoadDocument parses an XML document from r under the engine's parse
+// limits (Limits.MaxDepth, Limits.MaxNodes), checking ctx
+// periodically.
+func (e *Engine) LoadDocument(ctx context.Context, r io.Reader) (*Document, error) {
+	return datatree.ParseXMLContext(ctx, r, e.opts.Limits.parseLimits())
+}
+
+// LoadDocumentFile parses an XML document from a file under the
+// engine's parse limits.
+func (e *Engine) LoadDocumentFile(ctx context.Context, path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	doc, err := e.LoadDocument(ctx, f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// BuildHierarchy constructs the hierarchical representation of the
+// document under the engine's options (see the package-level
+// BuildHierarchyContext for the truncation contract).
+func (e *Engine) BuildHierarchy(ctx context.Context, doc *Document, s *Schema) (*Hierarchy, error) {
+	return buildHierarchyAt(ctx, doc, s, &e.opts, e.opts.Limits.deadlineFrom(time.Now()))
+}
+
+// BuildHierarchyStream constructs the hierarchical representation
+// directly from an XML stream (see the package-level
+// BuildHierarchyStreamContext; the schema is required).
+func (e *Engine) BuildHierarchyStream(ctx context.Context, r io.Reader, s *Schema) (*Hierarchy, error) {
+	return buildHierarchyStreamAt(ctx, r, s, &e.opts, e.opts.Limits.deadlineFrom(time.Now()))
+}
+
+// Evaluate checks a single XML FD ⟨class, lhs, rhs⟩ directly against
+// a hierarchy, independent of discovery.
+func (e *Engine) Evaluate(ctx context.Context, h *Hierarchy, class Path, lhs []RelPath, rhs RelPath) (Evaluation, error) {
+	return e.core.Evaluate(ctx, h, class, lhs, rhs)
+}
+
+// CheckConstraints evaluates each parsed constraint against the
+// hierarchy, independent of discovery — the regression-testing
+// workflow: pin the constraints your data must satisfy and fail CI
+// when an update breaks one.
+func (e *Engine) CheckConstraints(ctx context.Context, h *Hierarchy, cs []Constraint) ([]CheckResult, error) {
+	out := make([]CheckResult, 0, len(cs))
+	for _, c := range cs {
+		rhs := c.FD.RHS
+		if c.IsKey {
+			rel := h.ByPivot(c.FD.Class)
+			if rel == nil {
+				return nil, fmt.Errorf("discoverxfd: unknown tuple class %s in %s", c.FD.Class, c)
+			}
+			if rel.NAttrs() == 0 {
+				return nil, fmt.Errorf("discoverxfd: class %s has no attributes to key", c.FD.Class)
+			}
+			rhs = rel.Attrs[0].Rel
+		}
+		ev, err := e.Evaluate(ctx, h, c.FD.Class, c.FD.LHS, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("discoverxfd: checking %s: %w", c, err)
+		}
+		r := CheckResult{Constraint: c}
+		if c.IsKey {
+			r.Holds = ev.LHSIsKey
+			r.Violations = ev.Witnesses + ev.Violations
+		} else {
+			r.Holds = ev.Holds
+			r.Violations = ev.Violations
+			r.Witnesses = ev.Witnesses
+			if !ev.Holds {
+				r.G3Error = ev.Error
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package discoverxfd_test
+
+import (
+	"testing"
+
+	"discoverxfd"
+)
+
+// The fuzz targets guard the three text parsers a hostile input
+// reaches first: the constraint notation (single FD, constraint file)
+// and the nested-relational schema notation. Each asserts the parser
+// never panics and that successful parses are canonical: rendering a
+// parsed value and reparsing it reproduces the value exactly, so the
+// printed notation is always machine-readable again. CI runs each
+// target briefly (-fuzz smoke step); the seed corpus covers every
+// syntactic form the grammars accept.
+
+func FuzzParseFD(f *testing.F) {
+	f.Add("{./ISBN} -> ./title w.r.t. C(/warehouse/state/store/book)")
+	f.Add("{../contact/name, ./ISBN} -> ./price w.r.t. C(/warehouse/state/store/book)")
+	f.Add("{} -> ./title w.r.t. C(/dblp/article)")
+	f.Add("{.} -> ../name w.r.t. C(/mondial/country/city)")
+	f.Add("{../../name} -> ./population w.r.t. C(/mondial/country/province/city)")
+	f.Add("{./ISBN} KEY of C(/warehouse/state/store/book)")
+	f.Add("x")
+	f.Fuzz(func(t *testing.T, s string) {
+		fd, err := discoverxfd.ParseFD(s)
+		if err != nil {
+			return
+		}
+		again, err := discoverxfd.ParseFD(fd.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", fd.String(), s, err)
+		}
+		if again.String() != fd.String() {
+			t.Fatalf("round-trip not canonical for %q: %q vs %q", s, fd.String(), again.String())
+		}
+	})
+}
+
+func FuzzParseConstraints(f *testing.F) {
+	f.Add("{./ISBN} -> ./title w.r.t. C(/warehouse/state/store/book)\n{./contact} KEY of C(/warehouse/state/store)")
+	f.Add("# comment\n\n{./a} KEY of C(/r/x)\n")
+	f.Add("{./a, ./b} -> ./c w.r.t. C(/r/x)")
+	f.Add("not a constraint")
+	f.Fuzz(func(t *testing.T, text string) {
+		cs, err := discoverxfd.ParseConstraints(text)
+		if err != nil {
+			return
+		}
+		for _, c := range cs {
+			again, err := discoverxfd.ParseConstraint(c.String())
+			if err != nil {
+				t.Fatalf("reparse of %q (from %q): %v", c.String(), text, err)
+			}
+			if again.String() != c.String() {
+				t.Fatalf("round-trip not canonical in %q: %q vs %q", text, c.String(), again.String())
+			}
+		}
+	})
+}
+
+func FuzzParseSchema(f *testing.F) {
+	f.Add("warehouse: Rcd\n  state: SetOf Rcd\n    name: str\n")
+	f.Add("dblp: Rcd\n  article: SetOf Rcd\n    key: str\n    author: SetOf str\n    year: int\n")
+	f.Add("r: Rcd\n  x: float\n")
+	f.Add("r: Rcd")
+	f.Add(": :")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := discoverxfd.ParseSchema(text)
+		if err != nil {
+			return
+		}
+		printed := s.String()
+		again, err := discoverxfd.ParseSchema(printed)
+		if err != nil {
+			t.Fatalf("reparse of printed schema failed (from %q):\n%s\n%v", text, printed, err)
+		}
+		if again.String() != printed {
+			t.Fatalf("schema print not canonical for %q:\n%s\nvs\n%s", text, printed, again.String())
+		}
+	})
+}

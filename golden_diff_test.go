@@ -1,0 +1,100 @@
+package discoverxfd_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"discoverxfd"
+	"discoverxfd/internal/xmlgen"
+)
+
+// -update regenerates the golden Result JSON fixtures under
+// testdata/golden from the current engine. The committed fixtures were
+// produced by the pre-Engine monolithic discover() path; the
+// differential test below pins the staged Run/Engine pipeline to
+// byte-identical output.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden fixtures")
+
+// goldenCases pairs every generated example corpus document with the
+// option sets whose Result JSON is pinned. Stats wall-clock fields are
+// zeroed before encoding (the only non-deterministic Result fields);
+// everything else — FDs, keys, redundancy witnesses, lattice and
+// cache counters — must reproduce exactly.
+func goldenCases() []struct {
+	slug string
+	ds   xmlgen.Dataset
+	opts *discoverxfd.Options
+} {
+	return []struct {
+		slug string
+		ds   xmlgen.Dataset
+		opts *discoverxfd.Options
+	}{
+		{"warehouse", xmlgen.Warehouse(xmlgen.DefaultWarehouse()), nil},
+		{"warehouse_approx", xmlgen.Warehouse(xmlgen.DefaultWarehouse()), &discoverxfd.Options{ApproxError: 0.05}},
+		{"warehouse_parallel", xmlgen.Warehouse(xmlgen.DefaultWarehouse()), &discoverxfd.Options{Parallel: true}},
+		{"warehouse_intra", xmlgen.Warehouse(xmlgen.DefaultWarehouse()), &discoverxfd.Options{IntraOnly: true}},
+		{"dblp", xmlgen.DBLP(xmlgen.DefaultDBLP()), nil},
+		{"auction", xmlgen.Auction(xmlgen.DefaultAuction()), nil},
+		{"mondial", xmlgen.Mondial(xmlgen.DefaultMondial()), nil},
+		{"mondial_nosets", xmlgen.Mondial(xmlgen.DefaultMondial()), &discoverxfd.Options{NoSetElements: true}},
+		{"catalog", xmlgen.Catalog(xmlgen.DefaultCatalog()), nil},
+		{"psd", xmlgen.PSD(xmlgen.DefaultPSD()), nil},
+	}
+}
+
+// TestResultJSONGolden is the refactor's differential harness: the
+// public Discover path over the example corpus must emit byte-identical
+// Result JSON to the committed pre-refactor fixtures.
+func TestResultJSONGolden(t *testing.T) {
+	for _, c := range goldenCases() {
+		t.Run(c.slug, func(t *testing.T) {
+			res, err := discoverxfd.Discover(c.ds.Tree, c.ds.Schema, c.opts)
+			if err != nil {
+				t.Fatalf("%s: %v", c.ds.Name, err)
+			}
+			res.Stats.IntraTime, res.Stats.InterTime = 0, 0
+			var buf bytes.Buffer
+			if err := discoverxfd.WriteJSON(&buf, res); err != nil {
+				t.Fatalf("%s: %v", c.ds.Name, err)
+			}
+			path := filepath.Join("testdata", "golden", c.slug+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s: Result JSON differs from golden %s\n%s", c.ds.Name, path, diffHint(want, buf.Bytes()))
+			}
+		})
+	}
+}
+
+// diffHint locates the first differing line for a readable failure.
+func diffHint(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("length differs: golden %d lines, got %d lines", len(wl), len(gl))
+}

@@ -12,12 +12,16 @@ import (
 // library packages only (package main — the CLIs and examples — owns
 // its root context legitimately), skipping test files:
 //
-//   - No context.Background()/context.TODO() in library code. The one
-//     sanctioned shape is the compatibility shim: a function with no
-//     ctx parameter handing Background to its ...Context sibling
-//     (e.g. Discover → DiscoverContext(context.Background(), ...)).
-//     A function that already receives a ctx and still calls
-//     Background has silently detached from the cancellation chain.
+//   - No context.Background()/context.TODO() in library code. The
+//     sanctioned shapes are the compatibility shims: a function with
+//     no ctx parameter handing Background straight to its ...Context
+//     sibling (e.g. Discover → DiscoverContext(context.Background(),
+//     ...)) or to a method on an Engine value (e.g. CheckConstraints →
+//     NewEngine(nil).CheckConstraints(context.Background(), ...)) —
+//     engine methods take ctx as their first parameter by convention,
+//     so they are the ...Context variants of the engine API. A
+//     function that already receives a ctx and still calls Background
+//     has silently detached from the cancellation chain.
 //
 //   - No dropped ctx parameters: a function that declares a
 //     context.Context parameter must use it (and must not name it
@@ -69,9 +73,10 @@ func (p *Pass) checkRootContext(stack []ast.Node, call *ast.CallExpr) {
 		return
 	}
 	// Shim shape: the fresh root is handed straight to a ...Context
-	// sibling by a context-less wrapper.
+	// sibling — or to an Engine method, the cancellable engine API —
+	// by a context-less wrapper.
 	if len(stack) > 0 {
-		if outer, ok := stack[len(stack)-1].(*ast.CallExpr); ok && calleeEndsWithContext(outer) {
+		if outer, ok := stack[len(stack)-1].(*ast.CallExpr); ok && (calleeEndsWithContext(outer) || p.calleeIsEngineMethod(outer)) {
 			for _, arg := range outer.Args {
 				if arg == ast.Expr(call) {
 					return
@@ -110,6 +115,28 @@ func calleeEndsWithContext(call *ast.CallExpr) bool {
 		return strings.HasSuffix(fun.Sel.Name, "Context")
 	}
 	return false
+}
+
+// calleeIsEngineMethod reports whether the called function is a method
+// on a type named Engine. Engine methods take ctx as their first
+// parameter (they are the engine API's ...Context variants), so a
+// context-less wrapper handing Background straight to one is the same
+// sanctioned shim shape as a ...Context sibling call.
+func (p *Pass) calleeIsEngineMethod(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Engine"
 }
 
 // funcHasCtxParam reports whether the function declares a

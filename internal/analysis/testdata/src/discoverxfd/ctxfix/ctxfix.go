@@ -86,3 +86,38 @@ func (fakeCtx) Background() int { return 0 }
 func notContext(f fakeCtx) int {
 	return f.Background()
 }
+
+// Engine models the reusable engine API: methods take ctx first, so a
+// context-less wrapper handing Background straight to one is the
+// sanctioned shim shape even though the method name has no Context
+// suffix.
+type Engine struct{}
+
+func NewEngine() *Engine { return &Engine{} }
+
+func (e *Engine) Discover(ctx context.Context) error { return run(ctx) }
+
+func engineShim() error {
+	return NewEngine().Discover(context.Background())
+}
+
+var litEngineShim = func(e *Engine) error {
+	return e.Discover(context.Background())
+}
+
+// A function that already receives a ctx must pass it to the engine,
+// not detach.
+func engineDetached(ctx context.Context, e *Engine) error {
+	_ = run(ctx)
+	return e.Discover(context.Background()) // want "already receives a context"
+}
+
+// Engine-method leniency keys on the receiver type name: a method on
+// any other type is not a shim.
+type worker struct{}
+
+func (worker) Discover(ctx context.Context) error { return run(ctx) }
+
+func notEngineShim(w worker) error {
+	return w.Discover(context.Background()) // want "outside a ...Context compatibility shim"
+}

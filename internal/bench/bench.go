@@ -98,6 +98,7 @@ func All() []Experiment {
 		{ID: "e11", Title: "Relational baselines: TANE vs Dep-Miner vs FUN", Run: E11Baselines},
 		{ID: "e12", Title: "Parallel discovery over independent subtrees", Run: E12Parallel},
 		{ID: "e13", Title: "Partition-engine fast path vs naive engine", Run: E13Partition},
+		{ID: "e14", Title: "Engine reuse: warm repeated discovery vs cold one-shot", Run: E14EngineReuse},
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this
+// build. Timing-floor tests skip under it: instrumentation slows the
+// two engines unevenly, so within-run ratios stop being meaningful.
+const raceEnabled = false

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"discoverxfd/internal/partition"
+	"discoverxfd/internal/relation"
+	"discoverxfd/internal/schema"
+)
+
+// Engine is a reusable discovery engine: construct it once from an
+// Options value and call Discover / DiscoverIntra / Evaluate from as
+// many goroutines as you like. Each call builds its own Run (governor,
+// partition cache, stats — see run.go), so concurrent calls are fully
+// isolated; the only state an Engine shares across runs is a warm
+// layer of immutable partitions, keyed by hierarchy, that repeated
+// runs over the same document reuse instead of recomputing (the E14
+// engine-reuse benchmark measures the effect).
+//
+// Sharing contract: partitions are immutable after construction (the
+// partimmut analyzer enforces this), so handing the same *Partition to
+// several runs is safe. The warm layer is invalidated at run scope —
+// a finishing run replaces its hierarchy's entry wholesale with the
+// partitions its own cache retained (already trimmed to the run's
+// MaxPartitionBytes budget), and the oldest hierarchies are evicted
+// beyond a small cap. Runs under Options.NaivePartitions never seed
+// from nor publish to the warm layer: the naive engine is the
+// differential baseline and must stay bit-for-bit cold.
+type Engine struct {
+	opts Options
+
+	mu   sync.Mutex
+	warm []*warmHierarchy
+}
+
+// warmHierarchy is the retained partition set of one hierarchy. The
+// parts maps are built fresh by snapshot and never mutated afterwards,
+// so concurrent seeding runs may read them without the Engine lock.
+type warmHierarchy struct {
+	h     *relation.Hierarchy
+	parts map[*relation.Relation]map[AttrSet]*partition.Partition
+}
+
+// engineWarmHierarchies caps how many hierarchies' partitions an
+// Engine retains; beyond it the least recently run hierarchy is
+// dropped.
+const engineWarmHierarchies = 4
+
+// NewEngine returns an Engine that runs every call with the given
+// options. The zero Options value is valid (it is DiscoverFD-style
+// discovery without partial propagation); callers porting from the
+// legacy Discover wrappers keep passing the same Options.
+func NewEngine(opts Options) *Engine {
+	return &Engine{opts: opts}
+}
+
+// Options returns a copy of the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Discover runs the DiscoverXFD pipeline over the hierarchy (see
+// DiscoverContext for the cancellation and truncation contract).
+func (e *Engine) Discover(ctx context.Context, h *relation.Hierarchy) (*Result, error) {
+	return e.discover(ctx, h, e.opts, !e.opts.NoInterRelation)
+}
+
+// DiscoverAt is Discover with a per-call wall-clock deadline,
+// overriding the engine's configured Options.Deadline. The public
+// layer computes the absolute instant from its relative Limits budget
+// at each call boundary.
+func (e *Engine) DiscoverAt(ctx context.Context, h *relation.Hierarchy, deadline time.Time) (*Result, error) {
+	opts := e.opts
+	opts.Deadline = deadline
+	return e.discover(ctx, h, opts, !opts.NoInterRelation)
+}
+
+// DiscoverIntra runs DiscoverFD (Figure 8) independently on each
+// essential relation: only intra-relation FDs and Keys are found,
+// whatever the engine's NoInterRelation setting.
+func (e *Engine) DiscoverIntra(ctx context.Context, h *relation.Hierarchy) (*Result, error) {
+	opts := e.opts
+	opts.NoInterRelation = true
+	return e.discover(ctx, h, opts, false)
+}
+
+// DiscoverIntraAt is DiscoverIntra with a per-call deadline (see
+// DiscoverAt).
+func (e *Engine) DiscoverIntraAt(ctx context.Context, h *relation.Hierarchy, deadline time.Time) (*Result, error) {
+	opts := e.opts
+	opts.NoInterRelation = true
+	opts.Deadline = deadline
+	return e.discover(ctx, h, opts, false)
+}
+
+// Evaluate checks a single XML FD directly against a hierarchy,
+// independent of discovery (see EvaluateContext).
+func (e *Engine) Evaluate(ctx context.Context, h *relation.Hierarchy, class schema.Path, lhs []schema.RelPath, rhs schema.RelPath) (Evaluation, error) {
+	return EvaluateContext(ctx, h, class, lhs, rhs)
+}
+
+// discover executes one run through the staged pipeline, wrapped in
+// the engine's warm-partition layer. A nil receiver is valid and
+// simply runs cold (no sharing), which is what the legacy one-shot
+// wrappers use.
+func (e *Engine) discover(ctx context.Context, h *relation.Hierarchy, opts Options, xfd bool) (*Result, error) {
+	run := newRun(ctx, h, opts, xfd)
+	share := e != nil && !opts.NaivePartitions
+	if share {
+		if warm := e.warmFor(h); warm != nil {
+			run.cache.seed(warm)
+		}
+	}
+	res, err := run.execute()
+	if share && err == nil {
+		e.publish(h, run.cache.snapshot())
+	}
+	return res, err
+}
+
+// warmFor returns the retained partition maps for h, or nil. The
+// returned maps are immutable (see warmHierarchy); only the slice
+// bookkeeping needs the lock.
+func (e *Engine) warmFor(h *relation.Hierarchy) map[*relation.Relation]map[AttrSet]*partition.Partition {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, w := range e.warm {
+		if w.h == h {
+			return w.parts
+		}
+	}
+	return nil
+}
+
+// publish installs a finished run's partition snapshot as the warm
+// entry for h, replacing any previous entry (run-scoped
+// invalidation) and evicting the oldest hierarchy beyond the cap.
+func (e *Engine) publish(h *relation.Hierarchy, parts map[*relation.Relation]map[AttrSet]*partition.Partition) {
+	if len(parts) == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	kept := e.warm[:0]
+	for _, w := range e.warm {
+		if w.h != h {
+			kept = append(kept, w)
+		}
+	}
+	e.warm = append(kept, &warmHierarchy{h: h, parts: parts})
+	if len(e.warm) > engineWarmHierarchies {
+		e.warm = append(e.warm[:0], e.warm[len(e.warm)-engineWarmHierarchies:]...)
+	}
+}

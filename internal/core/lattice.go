@@ -31,7 +31,7 @@ type latticeRun struct {
 	rel      *relation.Relation
 	opts     *Options
 	stats    *Stats
-	depths   map[*relation.Relation]int
+	depths   []int // hierarchy depth per relation, indexed by Relation.Index
 	incoming []*target
 
 	// gov is the run's resource governor (nil in ungoverned tests):

@@ -79,8 +79,12 @@ func (c *partitionCache) store(rel *relation.Relation) *relPartitions {
 
 // add accounts for a newly cached partition.
 func (c *partitionCache) add(rp *relPartitions, p *partition.Partition) {
-	n := p.MemBytes()
-	rp.bytes += n
+	rp.bytes += p.MemBytes()
+	c.charge(p.MemBytes())
+}
+
+// charge adds n to the cache-wide byte total, tracking the peak.
+func (c *partitionCache) charge(n int64) {
 	total := c.bytes.Add(n)
 	for {
 		peak := c.peak.Load()
@@ -88,6 +92,57 @@ func (c *partitionCache) add(rp *relPartitions, p *partition.Partition) {
 			break
 		}
 	}
+}
+
+// seed pre-populates the cache from an Engine's warm layer: immutable
+// partitions a previous run over the same hierarchy retained. Each
+// relation's store starts as a fresh copy of its warm map (the warm
+// maps are shared across concurrent runs and never written), and the
+// seeded bytes are charged to this run's budget so retire still trims
+// them under a tight MaxPartitionBytes. Seeded entries bump neither
+// hit nor miss counters; subsequent lookups count as plain hits.
+func (c *partitionCache) seed(warm map[*relation.Relation]map[AttrSet]*partition.Partition) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:detorder seeding only fills per-relation lookup maps; relation visit order cannot reach any output
+	for rel, parts := range warm {
+		rp := &relPartitions{
+			rel:   rel,
+			parts: make(map[AttrSet]*partition.Partition, len(parts)+rel.NAttrs()),
+			gids:  make(map[AttrSet][]int32),
+			nulls: make(map[AttrSet][]bool),
+		}
+		//lint:detorder map-to-map copy is order-insensitive
+		for a, p := range parts {
+			rp.parts[a] = p
+			rp.bytes += p.MemBytes()
+		}
+		c.charge(rp.bytes)
+		c.rels[rel] = rp
+	}
+}
+
+// snapshot returns a copy of every relation store's partitions for the
+// Engine's warm layer. The returned maps are fresh (this run never
+// touches them again) and partitions are immutable after construction,
+// so the Engine may hand the snapshot to later runs unsynchronized.
+func (c *partitionCache) snapshot() map[*relation.Relation]map[AttrSet]*partition.Partition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[*relation.Relation]map[AttrSet]*partition.Partition, len(c.rels))
+	//lint:detorder map-to-map copy is order-insensitive
+	for rel, rp := range c.rels {
+		if len(rp.parts) == 0 {
+			continue
+		}
+		parts := make(map[AttrSet]*partition.Partition, len(rp.parts))
+		//lint:detorder map-to-map copy is order-insensitive
+		for a, p := range rp.parts {
+			parts[a] = p
+		}
+		out[rel] = parts
+	}
+	return out
 }
 
 // retire marks a relation's traversal (and approximate pass, if any)

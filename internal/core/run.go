@@ -1,0 +1,305 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+
+	"discoverxfd/internal/relation"
+)
+
+// Run owns every piece of cross-cutting per-run state of one
+// discovery run: the resource governor (context + wall-clock budget),
+// the run-wide partition cache, the Stats record being accumulated,
+// and the relation-indexed depth and null-row tables the traversal
+// and the partition targets consult. One Run is created per
+// Engine.Discover call (or per legacy Discover* wrapper), used on
+// however many goroutines the governed traversal spawns, and
+// discarded; nothing in it is shared across runs except the immutable
+// partitions the owning Engine chooses to carry over.
+//
+// A run executes as a fixed pipeline of named stages (see execute):
+//
+//	plan      width checks, depth/null precomputation
+//	traverse  post-order subtree visit (serial or governed-parallel)
+//	minimize  FD/key minimization and superkey filtering
+//	verify    partition-based FD verification (Definition 11 filter)
+//	assemble  deterministic Result and redundancy ordering
+type Run struct {
+	h    *relation.Hierarchy
+	opts Options
+	xfd  bool
+
+	gov   *governor
+	cache *partitionCache
+
+	// Plan products, all indexed by relation.Relation.Index (plain
+	// slices, not pointer-keyed maps: cheaper to build, and iteration
+	// order is trivially deterministic).
+	depths         []int    // hierarchy depth of each relation
+	anyNull        [][]bool // per relation, per row: any column missing
+	nullsAtOrAbove []bool   // per relation: missing values here or in any ancestor
+
+	res *Result
+}
+
+// newRun assembles the per-run state. ctx may be nil (legacy
+// ungoverned entry points); the governor normalizes it.
+func newRun(ctx context.Context, h *relation.Hierarchy, opts Options, xfd bool) *Run {
+	return &Run{
+		h:     h,
+		opts:  opts,
+		xfd:   xfd,
+		gov:   newGovernor(ctx, &opts),
+		cache: newPartitionCache(opts.MaxPartitionBytes),
+		res:   &Result{},
+	}
+}
+
+// execute drives the pipeline. Any panic that escapes a stage — from
+// the serial traversal or from result assembly — surfaces as an error
+// to the caller instead of killing the process. Parallel workers
+// additionally recover per goroutine (workerGroup's panic barrier),
+// which is what keeps a worker panic from unwinding past the group's
+// join.
+func (run *Run) execute() (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("core: panic during discovery: %v\n%s", p, debug.Stack())
+		}
+	}()
+	if err := run.plan(); err != nil {
+		return nil, err
+	}
+	top := run.traverse(run.h.Root)
+	if top.err != nil {
+		return nil, top.err
+	}
+	run.res.Stats = top.stats
+	fds := run.minimize(&top)
+	if err := run.verify(fds); err != nil {
+		return nil, err
+	}
+	run.assemble(top.approx)
+	return run.res, nil
+}
+
+// plan validates the input and precomputes the relation-indexed
+// tables every later stage reads: the 64-attribute width check, the
+// Index invariant the slices depend on, per-relation hierarchy
+// depths, and the null-row tables that decide whether degenerate
+// target pairs can be satisfied vacuously. Input truncation carries
+// over into the governor so the Result reports it.
+func (run *Run) plan() error {
+	h := run.h
+	for i, r := range h.Relations {
+		if err := checkWidth(r); err != nil {
+			return err
+		}
+		if r.Index != i {
+			return fmt.Errorf("core: hierarchy relation %s has index %d at position %d; hierarchies must come from relation.Build", r.Pivot, r.Index, i)
+		}
+	}
+	if h.Truncated {
+		run.gov.truncate(h.TruncatedReason)
+	}
+
+	run.depths = relationDepths(h)
+
+	run.anyNull = make([][]bool, len(h.Relations))
+	run.nullsAtOrAbove = make([]bool, len(h.Relations))
+	for _, r := range h.Relations {
+		rows := make([]bool, r.NRows())
+		here := false
+		for _, col := range r.Cols {
+			for row, code := range col {
+				if relation.IsNull(code) {
+					rows[row] = true
+					here = true
+				}
+			}
+		}
+		run.anyNull[r.Index] = rows
+		up := r.Parent != nil && run.nullsAtOrAbove[r.Parent.Index]
+		run.nullsAtOrAbove[r.Index] = up || here
+	}
+	return nil
+}
+
+// relationDepths returns each relation's depth in the hierarchy tree
+// (root 0), indexed by Relation.Index.
+func relationDepths(h *relation.Hierarchy) []int {
+	depths := make([]int, len(h.Relations))
+	var walk func(r *relation.Relation, depth int)
+	walk = func(r *relation.Relation, depth int) {
+		depths[r.Index] = depth
+		for _, c := range r.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(h.Root, 0)
+	return depths
+}
+
+// gathered collects what one subtree's traversal produced.
+type gathered struct {
+	fds    []FD
+	keys   []Key
+	approx []FD
+	stats  Stats
+	out    []*target
+	err    error // first error in deterministic child order
+}
+
+func (g *gathered) merge(o *gathered) {
+	g.fds = append(g.fds, o.fds...)
+	g.keys = append(g.keys, o.keys...)
+	g.approx = append(g.approx, o.approx...)
+	g.out = append(g.out, o.out...)
+	mergeStats(&g.stats, &o.stats)
+	if g.err == nil {
+		g.err = o.err
+	}
+}
+
+// traverse is the post-order traversal stage: children before
+// parents, so targets flow upward (Figure 9 lines 5–6). Each call
+// gathers its subtree's results locally, which makes the parallel
+// mode a pure fan-out: sibling subtrees share nothing until their
+// parent merges them, in child order, so output is independent of
+// scheduling.
+func (run *Run) traverse(r *relation.Relation) gathered {
+	var g gathered
+	if err := run.gov.cancelled(); err != nil {
+		g.err = err
+		return g
+	}
+	if run.opts.Parallel && len(r.Children) > 1 {
+		results := make([]gathered, len(r.Children))
+		// A worker panic must not unwind past its goroutine's stack
+		// (that would kill the process); workerGroup turns it into
+		// this subtree's error, joining the others in child order.
+		var grp workerGroup
+		for i, c := range r.Children {
+			grp.Go(fmt.Sprintf("parallel discovery worker for subtree %s", c.Pivot),
+				func(err error) { results[i] = gathered{err: err} },
+				func() { results[i] = run.traverse(c) })
+		}
+		grp.Wait()
+		for i := range results {
+			g.merge(&results[i])
+		}
+	} else {
+		for _, c := range r.Children {
+			cg := run.traverse(c)
+			g.merge(&cg)
+			if g.err != nil {
+				break
+			}
+		}
+	}
+	if g.err != nil {
+		return g
+	}
+	incoming := g.out
+	g.out = nil
+	if !r.Essential {
+		// The synthetic root relation has a single tuple; no FD
+		// over it is meaningful and no target can reach it.
+		return g
+	}
+	if run.gov.expired() {
+		// Out of wall-clock budget: keep what the subtree found,
+		// skip this relation's lattice (graceful degradation).
+		return g
+	}
+	if run.opts.RelationHook != nil {
+		run.opts.RelationHook(r.Pivot)
+	}
+	g.stats.Relations++
+	g.stats.Tuples += r.NRows()
+	lr := &latticeRun{rel: r, opts: &run.opts, stats: &g.stats, depths: run.depths, incoming: incoming, gov: run.gov, cache: run.cache}
+	if p := r.Parent; p != nil {
+		lr.ni = nullInfo{parentAnyNull: run.anyNull[p.Index], aboveParent: p.Parent != nil && run.nullsAtOrAbove[p.Parent.Index]}
+	}
+	lr.run(run.xfd)
+	if lr.err != nil {
+		g.err = lr.err
+		return g
+	}
+
+	for _, e := range lr.out.intraFDs {
+		if e.lhs == 0 && !run.opts.KeepConstantFDs {
+			continue
+		}
+		g.fds = append(g.fds, intraFD(r, e))
+	}
+	for _, k := range lr.out.intraKeys {
+		g.keys = append(g.keys, intraKey(r, k))
+	}
+	g.fds = append(g.fds, lr.out.interFDs...)
+	g.keys = append(g.keys, lr.out.interKeys...)
+	if run.opts.ApproxError > 0 {
+		g.approx = append(g.approx, lr.discoverApprox(run.opts.ApproxError)...)
+	}
+	run.cache.retire(lr.pc)
+	lr.close()
+	g.out = lr.out.outgoing
+	return g
+}
+
+// minimize reduces the traversal's raw FD and key streams to minimal
+// form: duplicate and superset-LHS FDs go, keys are minimized and
+// sorted into the Result, and FDs whose LHS contains a discovered key
+// are dropped (a superkey LHS indicates no redundancy). The surviving
+// candidates are returned for verification.
+func (run *Run) minimize(top *gathered) []FD {
+	fds := minimizeFDs(top.fds)
+	run.res.Keys = minimizeKeys(top.keys)
+	fds = dropSuperkeyLHS(fds, run.res.Keys)
+	sortKeys(run.res.Keys)
+	return fds
+}
+
+// verify applies the Definition 11 filter: an FD indicates a
+// redundancy iff its LHS is not a key of the class. Lattice key
+// pruning and the superkey filter in minimize remove almost all such
+// FDs; the final check against the independent evaluator (which also
+// provides the witness counts) guarantees the invariant exactly.
+// Intra-relation FDs reuse the run's partition cache (see verifyFD).
+func (run *Run) verify(fds []FD) error {
+	for _, fd := range fds {
+		if err := run.gov.cancelled(); err != nil {
+			return err
+		}
+		ev, err := verifyFD(run.cache, run.h, fd, run.opts.NaivePartitions)
+		if err != nil {
+			return err
+		}
+		if ev.LHSIsKey {
+			continue
+		}
+		run.res.FDs = append(run.res.FDs, fd)
+		run.res.Redundancies = append(run.res.Redundancies, Redundancy{
+			FD:              fd,
+			RedundantValues: ev.Witnesses,
+			Groups:          ev.WitnessGroups,
+		})
+	}
+	return nil
+}
+
+// assemble puts the Result into its deterministic output order, folds
+// the approximate pass in (minimal, not implied by an exact FD), and
+// stamps the truncation status and cache counters.
+func (run *Run) assemble(rawApprox []FD) {
+	res := run.res
+	sortFDs(res.FDs)
+	sortRedundancies(res.Redundancies)
+	if len(rawApprox) > 0 {
+		res.ApproxFDs = minimizeApprox(rawApprox, res.FDs)
+		sortFDs(res.ApproxFDs)
+	}
+	res.Stats.Truncated, res.Stats.TruncatedReason = run.gov.status()
+	run.cache.flushStats(&res.Stats)
+}

@@ -383,7 +383,7 @@ func (t *target) remaining(gids []int32, nulls []bool) int {
 // fdAt materializes the inter-relation FD obtained by absorbing
 // attribute set a of relation rel into the target's LHS, with all
 // paths relativized to the origin pivot.
-func (t *target) fdAt(rel *relation.Relation, a AttrSet, depths map[*relation.Relation]int) FD {
+func (t *target) fdAt(rel *relation.Relation, a AttrSet, depths []int) FD {
 	lhs := t.lhsRels(depths)
 	lhs = append(lhs, relPathsFor(rel, a, t.origin, depths)...)
 	sortRels(lhs)
@@ -391,14 +391,14 @@ func (t *target) fdAt(rel *relation.Relation, a AttrSet, depths map[*relation.Re
 }
 
 // keyAt materializes the inter-relation Key analogously.
-func (t *target) keyAt(rel *relation.Relation, a AttrSet, depths map[*relation.Relation]int) Key {
+func (t *target) keyAt(rel *relation.Relation, a AttrSet, depths []int) Key {
 	lhs := t.lhsRels(depths)
 	lhs = append(lhs, relPathsFor(rel, a, t.origin, depths)...)
 	sortRels(lhs)
 	return Key{Class: t.origin.Pivot, LHS: lhs, Inter: true}
 }
 
-func (t *target) lhsRels(depths map[*relation.Relation]int) []schema.RelPath {
+func (t *target) lhsRels(depths []int) []schema.RelPath {
 	lhs := relPathsFor(t.origin, t.lhs0, t.origin, depths)
 	for _, part := range t.parts {
 		lhs = append(lhs, relPathsFor(part.rel, part.attrs, t.origin, depths)...)
@@ -408,9 +408,10 @@ func (t *target) lhsRels(depths map[*relation.Relation]int) []schema.RelPath {
 
 // relPathsFor expresses attributes of relation rel relative to the
 // pivot of the origin relation, e.g. attribute ./contact/name of
-// R_store becomes ../contact/name for origin class C_book.
-func relPathsFor(rel *relation.Relation, a AttrSet, origin *relation.Relation, depths map[*relation.Relation]int) []schema.RelPath {
-	ups := depths[origin] - depths[rel]
+// R_store becomes ../contact/name for origin class C_book. depths is
+// the run's Relation.Index-indexed depth table (see Run.plan).
+func relPathsFor(rel *relation.Relation, a AttrSet, origin *relation.Relation, depths []int) []schema.RelPath {
+	ups := depths[origin.Index] - depths[rel.Index]
 	out := make([]schema.RelPath, 0, a.Size())
 	for _, i := range a.Attrs() {
 		out = append(out, liftRelPath(rel.Attrs[i].Rel, ups))

@@ -2,8 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
-	"runtime/debug"
 	"sort"
 
 	"discoverxfd/internal/relation"
@@ -30,6 +28,10 @@ func mergeStats(dst, src *Stats) {
 // the relation tree that discovers all minimal interesting
 // intra-relation and inter-relation XML FDs and Keys, and derives the
 // data redundancies they indicate (Definition 11).
+//
+// Discover and the other package-level wrappers below run one cold
+// Run each; callers issuing repeated runs (or concurrent ones) should
+// construct an Engine instead and reuse it.
 func Discover(h *relation.Hierarchy, opts Options) (*Result, error) {
 	return DiscoverContext(context.Background(), h, opts)
 }
@@ -41,7 +43,7 @@ func Discover(h *relation.Hierarchy, opts Options) (*Result, error) {
 // degrades gracefully: the partial Result found so far is returned
 // with Stats.Truncated set.
 func DiscoverContext(ctx context.Context, h *relation.Hierarchy, opts Options) (*Result, error) {
-	return discover(ctx, h, opts, true)
+	return NewEngine(opts).Discover(ctx, h)
 }
 
 // DiscoverIntra runs DiscoverFD (Figure 8) independently on each
@@ -55,203 +57,7 @@ func DiscoverIntra(h *relation.Hierarchy, opts Options) (*Result, error) {
 // DiscoverIntraContext is DiscoverIntra with cancellation (see
 // DiscoverContext).
 func DiscoverIntraContext(ctx context.Context, h *relation.Hierarchy, opts Options) (*Result, error) {
-	opts.NoInterRelation = true
-	return discover(ctx, h, opts, false)
-}
-
-func discover(ctx context.Context, h *relation.Hierarchy, opts Options, xfd bool) (res *Result, err error) {
-	// Last-resort containment: any panic that escapes the traversal —
-	// from the serial path or from result assembly — surfaces as an
-	// error to the caller instead of killing the process. Parallel
-	// workers additionally recover per goroutine (workerGroup's panic
-	// barrier), which is what keeps a worker panic from unwinding past
-	// the group's join.
-	defer func() {
-		if p := recover(); p != nil {
-			res, err = nil, fmt.Errorf("core: panic during discovery: %v\n%s", p, debug.Stack())
-		}
-	}()
-	for _, r := range h.Relations {
-		if err := checkWidth(r); err != nil {
-			return nil, err
-		}
-	}
-	gov := newGovernor(ctx, &opts)
-	if h.Truncated {
-		gov.truncate(h.TruncatedReason)
-	}
-	// One partition cache spans the whole run: the bottom-up traversal,
-	// the approximate pass, and the final FD verification all draw from
-	// it (see pcache.go for the concurrency and memory contracts).
-	cache := newPartitionCache(opts.MaxPartitionBytes)
-	res = &Result{}
-	depths := relationDepths(h)
-	anyNull := computeAnyNullRows(h)
-	nullsAtOrAbove := make(map[*relation.Relation]bool, len(h.Relations))
-	for _, r := range h.Relations {
-		up := r.Parent != nil && nullsAtOrAbove[r.Parent]
-		here := false
-		for _, b := range anyNull[r] {
-			if b {
-				here = true
-				break
-			}
-		}
-		nullsAtOrAbove[r] = up || here
-	}
-
-	// Post-order traversal: children before parents, so targets flow
-	// upward (Figure 9 lines 5–6). Each call gathers its subtree's
-	// results locally, which makes the parallel mode a pure fan-out:
-	// sibling subtrees share nothing until their parent merges them,
-	// in child order, so output is independent of scheduling.
-	type gathered struct {
-		fds    []FD
-		keys   []Key
-		approx []FD
-		stats  Stats
-		out    []*target
-		err    error // first error in deterministic child order
-	}
-	merge := func(g *gathered, o *gathered) {
-		g.fds = append(g.fds, o.fds...)
-		g.keys = append(g.keys, o.keys...)
-		g.approx = append(g.approx, o.approx...)
-		g.out = append(g.out, o.out...)
-		mergeStats(&g.stats, &o.stats)
-		if g.err == nil {
-			g.err = o.err
-		}
-	}
-	var visit func(r *relation.Relation) gathered
-	visit = func(r *relation.Relation) gathered {
-		var g gathered
-		if err := gov.cancelled(); err != nil {
-			g.err = err
-			return g
-		}
-		if opts.Parallel && len(r.Children) > 1 {
-			results := make([]gathered, len(r.Children))
-			// A worker panic must not unwind past its goroutine's stack
-			// (that would kill the process); workerGroup turns it into
-			// this subtree's error, joining the others in child order.
-			var grp workerGroup
-			for i, c := range r.Children {
-				grp.Go(fmt.Sprintf("parallel discovery worker for subtree %s", c.Pivot),
-					func(err error) { results[i] = gathered{err: err} },
-					func() { results[i] = visit(c) })
-			}
-			grp.Wait()
-			for i := range results {
-				merge(&g, &results[i])
-			}
-		} else {
-			for _, c := range r.Children {
-				cg := visit(c)
-				merge(&g, &cg)
-				if g.err != nil {
-					break
-				}
-			}
-		}
-		if g.err != nil {
-			return g
-		}
-		incoming := g.out
-		g.out = nil
-		if !r.Essential {
-			// The synthetic root relation has a single tuple; no FD
-			// over it is meaningful and no target can reach it.
-			return g
-		}
-		if gov.expired() {
-			// Out of wall-clock budget: keep what the subtree found,
-			// skip this relation's lattice (graceful degradation).
-			return g
-		}
-		if opts.RelationHook != nil {
-			opts.RelationHook(r.Pivot)
-		}
-		g.stats.Relations++
-		g.stats.Tuples += r.NRows()
-		lr := &latticeRun{rel: r, opts: &opts, stats: &g.stats, depths: depths, incoming: incoming, gov: gov, cache: cache}
-		if p := r.Parent; p != nil {
-			lr.ni = nullInfo{parentAnyNull: anyNull[p], aboveParent: p.Parent != nil && nullsAtOrAbove[p.Parent]}
-		}
-		lr.run(xfd)
-		if lr.err != nil {
-			g.err = lr.err
-			return g
-		}
-
-		for _, e := range lr.out.intraFDs {
-			if e.lhs == 0 && !opts.KeepConstantFDs {
-				continue
-			}
-			g.fds = append(g.fds, intraFD(r, e))
-		}
-		for _, k := range lr.out.intraKeys {
-			g.keys = append(g.keys, intraKey(r, k))
-		}
-		g.fds = append(g.fds, lr.out.interFDs...)
-		g.keys = append(g.keys, lr.out.interKeys...)
-		if opts.ApproxError > 0 {
-			g.approx = append(g.approx, lr.discoverApprox(opts.ApproxError)...)
-		}
-		cache.retire(lr.pc)
-		lr.close()
-		g.out = lr.out.outgoing
-		return g
-	}
-	top := visit(h.Root)
-	if top.err != nil {
-		return nil, top.err
-	}
-	res.Stats = top.stats
-	rawFDs := top.fds
-	rawKeys := top.keys
-	rawApprox := top.approx
-
-	fds := minimizeFDs(rawFDs)
-	res.Keys = minimizeKeys(rawKeys)
-	fds = dropSuperkeyLHS(fds, res.Keys)
-	sortKeys(res.Keys)
-
-	// Definition 11: an FD indicates a redundancy iff its LHS is not
-	// a key of the class. Lattice key pruning and the superkey filter
-	// above remove almost all such FDs; a final check against the
-	// independent evaluator (which also provides the witness counts)
-	// guarantees the invariant exactly.
-	res.FDs = res.FDs[:0]
-	res.Redundancies = res.Redundancies[:0]
-	for _, fd := range fds {
-		if err := gov.cancelled(); err != nil {
-			return nil, err
-		}
-		ev, err := verifyFD(cache, h, fd, opts.NaivePartitions)
-		if err != nil {
-			return nil, err
-		}
-		if ev.LHSIsKey {
-			continue
-		}
-		res.FDs = append(res.FDs, fd)
-		res.Redundancies = append(res.Redundancies, Redundancy{
-			FD:              fd,
-			RedundantValues: ev.Witnesses,
-			Groups:          ev.WitnessGroups,
-		})
-	}
-	sortFDs(res.FDs)
-	sortRedundancies(res.Redundancies)
-
-	if len(rawApprox) > 0 {
-		res.ApproxFDs = minimizeApprox(rawApprox, res.FDs)
-		sortFDs(res.ApproxFDs)
-	}
-	res.Stats.Truncated, res.Stats.TruncatedReason = gov.status()
-	cache.flushStats(&res.Stats)
-	return res, nil
+	return NewEngine(opts).DiscoverIntra(ctx, h)
 }
 
 // verifyFD checks one candidate FD for the final Definition 11 filter.
@@ -371,40 +177,6 @@ func intraKey(r *relation.Relation, k AttrSet) Key {
 	}
 	sortRels(lhs)
 	return Key{Class: r.Pivot, LHS: lhs}
-}
-
-// computeAnyNullRows reports, per relation and row, whether any
-// column is missing there. Degenerate (same-ancestor) target pairs
-// can only be satisfied vacuously by such a missing value, so rows
-// without any let the algorithm use the paper's fast
-// collapse-to-NULL path.
-func computeAnyNullRows(h *relation.Hierarchy) map[*relation.Relation][]bool {
-	out := make(map[*relation.Relation][]bool, len(h.Relations))
-	for _, r := range h.Relations {
-		rows := make([]bool, r.NRows())
-		for _, col := range r.Cols {
-			for row, code := range col {
-				if relation.IsNull(code) {
-					rows[row] = true
-				}
-			}
-		}
-		out[r] = rows
-	}
-	return out
-}
-
-func relationDepths(h *relation.Hierarchy) map[*relation.Relation]int {
-	d := make(map[*relation.Relation]int, len(h.Relations))
-	var rec func(r *relation.Relation, depth int)
-	rec = func(r *relation.Relation, depth int) {
-		d[r] = depth
-		for _, c := range r.Children {
-			rec(c, depth+1)
-		}
-	}
-	rec(h.Root, 0)
-	return d
 }
 
 // minimizeFDs removes duplicates and FDs whose LHS strictly contains

@@ -90,6 +90,14 @@ func (a Attr) Name() string {
 type Relation struct {
 	// Pivot is the pivot path of the tuple class.
 	Pivot schema.Path
+	// Index is the relation's position in Hierarchy.Relations (root
+	// first, top-down), assigned once at layout time. Per-run engine
+	// state (depth tables, null-row indexes) is kept in plain slices
+	// indexed by it, avoiding pointer-keyed maps whose iteration order
+	// the determinism analyzers would otherwise have to reason about.
+	// Relations built outside a Hierarchy (single-relation baselines,
+	// hand-assembled tests) leave it 0.
+	Index int
 	// Essential reports whether the tuple class is essential (pivot
 	// is a repeatable path). The synthetic root relation is the only
 	// non-essential one; it anchors top-level set elements.
@@ -409,6 +417,9 @@ func layoutHierarchy(s *schema.Schema, opts Options) (*Hierarchy, error) {
 		return nil, err
 	}
 	layout(h.Root, rootEl)
+	for i, r := range h.Relations {
+		r.Index = i
+	}
 	return h, nil
 }
 
