@@ -15,6 +15,13 @@
 // -timeout and -maxtuples degrade gracefully — the run stops early
 // and the report is marked PARTIAL RESULT.
 //
+// Observability flags: -trace=<file> writes the run's trace as JSONL
+// events (stage spans, per-relation spans, lattice-level progress,
+// target lifecycle, governor decisions — see docs/INTERNALS.md §12),
+// -v logs run/stage/relation progress to stderr, -vv adds throttled
+// per-level and per-target detail, and -metrics prints the engine's
+// counter snapshot as JSON on stderr after the run.
+//
 // Exit status is 0 on success (including a partial result), 1 on a
 // runtime error (unreadable file, malformed XML, exceeded parse
 // limit), and 2 on a usage error (bad flags, missing argument,
@@ -31,7 +38,12 @@ import (
 	"os"
 
 	"discoverxfd"
+	"discoverxfd/internal/cliutil"
 )
+
+// tracing is the run's tracer stack; fatal flushes it before exiting
+// so a failed run still leaves a valid (truncated) trace file.
+var tracing *cliutil.Tracing
 
 func main() {
 	schemaPath := flag.String("schema", "", "schema file in nested-relational notation (default: infer from data)")
@@ -50,6 +62,10 @@ func main() {
 	maxNodes := flag.Int("maxnodes", 0, "reject documents with more than this many data nodes (0 = unlimited)")
 	maxDepth := flag.Int("maxdepth", 0, "reject documents nested deeper than this many elements (0 = parser default)")
 	maxTuples := flag.Int("maxtuples", 0, "ingest at most this many tuples, truncating the result (0 = unlimited)")
+	tracePath := flag.String("trace", "", "write the run's trace events to this file as JSONL")
+	verbose := flag.Bool("v", false, "log run/stage/relation progress to stderr")
+	veryVerbose := flag.Bool("vv", false, "like -v plus throttled per-level and per-target detail")
+	metrics := flag.Bool("metrics", false, "print the engine's metrics snapshot as JSON on stderr after the run")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: discoverxfd [flags] file.xml\n\n")
 		flag.PrintDefaults()
@@ -59,6 +75,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	tr, err := cliutil.Open(*tracePath, *verbose, *veryVerbose)
+	if err != nil {
+		fatal(err)
+	}
+	tracing = tr
 	opts := &discoverxfd.Options{
 		MaxLHS:          *maxLHS,
 		IntraOnly:       *intraOnly,
@@ -73,8 +94,10 @@ func main() {
 			MaxTuples: *maxTuples,
 			Deadline:  *timeout,
 		},
+		Trace: tracing.Tracer(),
 	}
 	eng := discoverxfd.NewEngine(opts)
+	defer finish(eng, *metrics)
 	if *stream {
 		if *schemaPath == "" {
 			fmt.Fprintf(os.Stderr, "discoverxfd: -stream requires -schema (inference needs the whole document)\n")
@@ -177,11 +200,32 @@ func runStream(eng *discoverxfd.Engine, path, schemaPath string, jsonOut bool) {
 	}
 }
 
+// finish flushes the trace file and, under -metrics, prints the
+// engine's counter snapshot on stderr. Deferred in main so every
+// normal exit path (report, -json, -stream, -printschema) runs it.
+func finish(eng *discoverxfd.Engine, metrics bool) {
+	if err := tracing.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "discoverxfd: %v\n", err)
+		os.Exit(1)
+	}
+	if metrics {
+		if err := cliutil.WriteMetrics(os.Stderr, eng.Metrics()); err != nil {
+			fmt.Fprintf(os.Stderr, "discoverxfd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
 // fatal prints the error and exits, classifying it through any %w
 // wrapping on the call path: input whose shape contradicts the schema
 // is a usage error (exit 2), everything else a runtime error (exit 1).
+// The trace file is flushed first so a failed run still leaves a
+// valid (truncated) trace.
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "discoverxfd: %v\n", err)
+	if cerr := tracing.Close(); cerr != nil {
+		fmt.Fprintf(os.Stderr, "discoverxfd: %v\n", cerr)
+	}
 	var rootErr *discoverxfd.RootMismatchError
 	if errors.As(err, &rootErr) || errors.Is(err, discoverxfd.ErrEmptyTree) {
 		os.Exit(2)

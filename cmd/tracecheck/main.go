@@ -1,0 +1,49 @@
+// Command tracecheck validates a JSONL trace file produced by
+// `discoverxfd -trace` (or any trace.JSONL backend) against the event
+// schema documented in docs/INTERNALS.md §12: every line must decode
+// strictly, span nesting must be well-formed (run ⊃ stages ⊃
+// relations), every successfully-ended run must contain all five
+// pipeline stages, and enumerated fields (target actions, governor
+// actions, check outcomes) must use their documented values.
+//
+// Usage:
+//
+//	tracecheck run.trace
+//
+// On success it prints a one-line summary (event and run counts) and
+// exits 0. A malformed trace prints the first violation with its line
+// number and exits 1; a missing argument or unreadable file exits 2.
+// CI's trace-smoke job runs it over a governed discovery's trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"discoverxfd/internal/trace"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tracecheck file.trace\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	sum, err := trace.ValidateJSONL(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid trace: %d event(s), %d run(s)\n", flag.Arg(0), sum.Events, sum.Runs)
+}

@@ -42,6 +42,7 @@ import (
 	"discoverxfd/internal/datatree"
 	"discoverxfd/internal/relation"
 	"discoverxfd/internal/schema"
+	"discoverxfd/internal/trace"
 )
 
 // Re-exported model types.
@@ -79,6 +80,17 @@ type (
 	// RootMismatchError reports input whose root label does not match
 	// the schema root; classify with errors.As.
 	RootMismatchError = relation.RootMismatchError
+	// Metrics is an Engine's cumulative counter snapshot (see
+	// Engine.Metrics).
+	Metrics = core.Metrics
+	// Tracer receives a run's trace events (see Options.Trace). Use
+	// NewJSONLTracer or NewProgressTracer for the built-in backends,
+	// or implement the one-method interface; implementations must be
+	// safe for concurrent use under Options.Parallel.
+	Tracer = trace.Tracer
+	// TraceEvent is one typed trace event; see internal/trace for the
+	// schema (also documented in docs/INTERNALS.md §12).
+	TraceEvent = trace.Event
 )
 
 // Re-exported sentinel errors, for classification with errors.Is
@@ -126,6 +138,14 @@ type Options struct {
 	// error-versus-graceful-truncation contract. The zero value
 	// applies only the parser's default nesting bound.
 	Limits Limits
+	// Trace receives the run's trace events: pipeline stage spans,
+	// per-relation traversal spans, per-lattice-level progress,
+	// partition-target lifecycle, governor decisions, and constraint
+	// checks. nil (the default) disables tracing at no measurable
+	// cost. Combine backends with trace.Multi via NewJSONLTracer and
+	// NewProgressTracer; traced and untraced runs produce identical
+	// Results.
+	Trace Tracer
 }
 
 // coreOptions maps the public options onto the engine's, carrying the
@@ -144,6 +164,7 @@ func (o *Options) coreOptions(deadline time.Time) core.Options {
 		MaxLatticeLevel:   o.Limits.MaxLatticeLevel,
 		MaxPartitionBytes: o.Limits.MaxPartitionBytes,
 		Deadline:          deadline,
+		Tracer:            o.Trace,
 	}
 }
 

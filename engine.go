@@ -2,6 +2,7 @@ package discoverxfd
 
 import (
 	"context"
+	"expvar"
 	"fmt"
 	"io"
 	"os"
@@ -9,6 +10,7 @@ import (
 
 	"discoverxfd/internal/core"
 	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/trace"
 )
 
 // Engine is the reusable discovery engine behind every entrypoint in
@@ -48,6 +50,22 @@ func NewEngine(opts *Options) *Engine {
 
 // Options returns a copy of the engine's configuration.
 func (e *Engine) Options() Options { return e.opts }
+
+// Metrics returns a snapshot of the engine's cumulative counters:
+// runs started/finished/truncated/failed, warm-layer seedings, direct
+// evaluations, the partition-cache high-water mark, and the summed
+// Stats of every finished run. Safe to call concurrently with running
+// discoveries.
+func (e *Engine) Metrics() Metrics { return e.core.Metrics() }
+
+// PublishExpvar publishes the engine's live Metrics under the given
+// name in the process's expvar registry (rendered at /debug/vars when
+// the expvar HTTP handler is installed). Each scrape takes a fresh
+// snapshot. Like expvar.Publish, it panics if the name is already
+// registered — publish each engine once, under a unique name.
+func (e *Engine) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return e.Metrics() }))
+}
 
 // Discover runs DiscoverXFD on the document: it finds all minimal
 // interesting XML FDs and Keys and derives the redundancies the FDs
@@ -168,6 +186,14 @@ func (e *Engine) CheckConstraints(ctx context.Context, h *Hierarchy, cs []Constr
 			if !ev.Holds {
 				r.G3Error = ev.Error
 			}
+		}
+		if e.opts.Trace != nil {
+			action := "violated"
+			if r.Holds {
+				action = "holds"
+			}
+			trace.Emit(e.opts.Trace, &trace.Event{Kind: trace.KindCheck,
+				Relation: string(c.FD.Class), Action: action, Detail: c.String(), Pairs: r.Violations})
 		}
 		out = append(out, r)
 	}

@@ -2,6 +2,8 @@ package discoverxfd_test
 
 import (
 	"context"
+	"encoding/json"
+	"expvar"
 	"fmt"
 	"reflect"
 	"sync"
@@ -161,5 +163,134 @@ func TestEngineFullPipeline(t *testing.T) {
 	}
 	if len(checks) != 1 || !checks[0].Holds {
 		t.Errorf("CheckConstraints on discovered FD: %+v", checks)
+	}
+}
+
+// TestEngineMetricsConcurrent drives one shared Engine from 12
+// workers and checks that the Metrics snapshot agrees exactly with
+// the per-run Stats the workers observed. Run under -race alongside
+// TestEngineConcurrentDiscover, this is the counters' consistency and
+// race-freedom gate.
+func TestEngineMetricsConcurrent(t *testing.T) {
+	ds := xmlgen.Warehouse(xmlgen.DefaultWarehouse())
+	eng := discoverxfd.NewEngine(&discoverxfd.Options{Parallel: true})
+	h, err := eng.BuildHierarchy(context.Background(), ds.Tree, ds.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := eng.Metrics(); m.RunsStarted != 0 || m.Totals.NodesVisited != 0 {
+		t.Fatalf("fresh engine has non-zero metrics: %+v", m)
+	}
+
+	const workers, runsPer = 12, 3
+	stats := make([]discoverxfd.Stats, workers*runsPer)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < runsPer; r++ {
+				res, err := eng.DiscoverHierarchy(context.Background(), h)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				stats[i*runsPer+r] = res.Stats
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := eng.Metrics()
+	total := int64(workers * runsPer)
+	if m.RunsStarted != total || m.RunsFinished != total || m.RunsFailed != 0 || m.RunsTruncated != 0 {
+		t.Errorf("run counters = %+v, want %d started/finished, 0 failed/truncated", m, total)
+	}
+	if m.WarmSeeded < 1 || m.WarmSeeded > total {
+		t.Errorf("WarmSeeded = %d, want within [1, %d]", m.WarmSeeded, total)
+	}
+
+	var want discoverxfd.Stats
+	var peak int64
+	for _, st := range stats {
+		want.Relations += st.Relations
+		want.Tuples += st.Tuples
+		want.NodesVisited += st.NodesVisited
+		want.PartitionsComputed += st.PartitionsComputed
+		want.ParallelProducts += st.ParallelProducts
+		want.PartitionCacheHits += st.PartitionCacheHits
+		want.PartitionCacheMisses += st.PartitionCacheMisses
+		want.PartitionCacheEvictions += st.PartitionCacheEvictions
+		want.TargetsCreated += st.TargetsCreated
+		want.TargetsPropagated += st.TargetsPropagated
+		want.TargetsDropped += st.TargetsDropped
+		want.TargetChecks += st.TargetChecks
+		want.WallTime += st.WallTime
+		if st.PartitionCachePeakBytes > peak {
+			peak = st.PartitionCachePeakBytes
+		}
+	}
+	got := m.Totals
+	if got.Relations != want.Relations || got.Tuples != want.Tuples ||
+		got.NodesVisited != want.NodesVisited ||
+		got.PartitionsComputed != want.PartitionsComputed ||
+		got.ParallelProducts != want.ParallelProducts ||
+		got.PartitionCacheHits != want.PartitionCacheHits ||
+		got.PartitionCacheMisses != want.PartitionCacheMisses ||
+		got.PartitionCacheEvictions != want.PartitionCacheEvictions ||
+		got.TargetsCreated != want.TargetsCreated ||
+		got.TargetsPropagated != want.TargetsPropagated ||
+		got.TargetsDropped != want.TargetsDropped ||
+		got.TargetChecks != want.TargetChecks {
+		t.Errorf("Totals disagree with summed run Stats:\n got %+v\nwant %+v", got, want)
+	}
+	if got.WallTime != want.WallTime || got.WallTime <= 0 {
+		t.Errorf("Totals.WallTime = %v, want %v (> 0)", got.WallTime, want.WallTime)
+	}
+	if m.CacheHighWaterBytes != peak || got.PartitionCachePeakBytes != peak {
+		t.Errorf("high-water = %d (totals %d), want max run peak %d",
+			m.CacheHighWaterBytes, got.PartitionCachePeakBytes, peak)
+	}
+
+	// Direct evaluations count separately from runs.
+	before := m.Evaluations
+	if _, err := eng.Evaluate(context.Background(), h, ds.GroundTruth[0].Class,
+		ds.GroundTruth[0].LHS, ds.GroundTruth[0].RHS); err != nil {
+		t.Fatal(err)
+	}
+	if after := eng.Metrics().Evaluations; after != before+1 {
+		t.Errorf("Evaluations = %d, want %d", after, before+1)
+	}
+}
+
+// TestEnginePublishExpvar checks the expvar exporter renders a live
+// Metrics snapshot under the published name.
+func TestEnginePublishExpvar(t *testing.T) {
+	ds := xmlgen.Warehouse(xmlgen.DefaultWarehouse())
+	eng := discoverxfd.NewEngine(nil)
+	eng.PublishExpvar("xfd_engine_test")
+	h, err := eng.BuildHierarchy(context.Background(), ds.Tree, ds.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.DiscoverHierarchy(context.Background(), h); err != nil {
+		t.Fatal(err)
+	}
+	v := expvar.Get("xfd_engine_test")
+	if v == nil {
+		t.Fatal("metrics var not published")
+	}
+	var m discoverxfd.Metrics
+	if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+		t.Fatalf("published metrics are not JSON: %v\n%s", err, v.String())
+	}
+	if m.RunsStarted != 1 || m.RunsFinished != 1 {
+		t.Errorf("published snapshot = %+v, want 1 run", m)
 	}
 }

@@ -2,10 +2,13 @@ package discoverxfd_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 
 	"discoverxfd"
@@ -57,7 +60,7 @@ func TestResultJSONGolden(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: %v", c.ds.Name, err)
 			}
-			res.Stats.IntraTime, res.Stats.InterTime = 0, 0
+			zeroTimes(res)
 			var buf bytes.Buffer
 			if err := discoverxfd.WriteJSON(&buf, res); err != nil {
 				t.Fatalf("%s: %v", c.ds.Name, err)
@@ -78,6 +81,121 @@ func TestResultJSONGolden(t *testing.T) {
 			}
 			if !bytes.Equal(buf.Bytes(), want) {
 				t.Errorf("%s: Result JSON differs from golden %s\n%s", c.ds.Name, path, diffHint(want, buf.Bytes()))
+			}
+		})
+	}
+}
+
+// zeroTimes clears the wall-clock Stats fields — the only
+// non-deterministic Result fields — so encoded results compare
+// byte-identically.
+func zeroTimes(res *discoverxfd.Result) {
+	res.Stats.IntraTime, res.Stats.InterTime, res.Stats.WallTime = 0, 0, 0
+}
+
+// TestTracedResultJSONIdentical pins the tracer's zero semantic
+// footprint: over every golden corpus and option set, a run with a
+// live JSONL tracer attached must produce byte-identical Result JSON
+// to the untraced run (tracing observes the pipeline, never steers
+// it).
+func TestTracedResultJSONIdentical(t *testing.T) {
+	for _, c := range goldenCases() {
+		t.Run(c.slug, func(t *testing.T) {
+			plain, err := discoverxfd.Discover(c.ds.Tree, c.ds.Schema, c.opts)
+			if err != nil {
+				t.Fatalf("%s: %v", c.ds.Name, err)
+			}
+			opts := discoverxfd.Options{}
+			if c.opts != nil {
+				opts = *c.opts
+			}
+			var events bytes.Buffer
+			opts.Trace = discoverxfd.NewJSONLTracer(&events)
+			traced, err := discoverxfd.Discover(c.ds.Tree, c.ds.Schema, &opts)
+			if err != nil {
+				t.Fatalf("%s traced: %v", c.ds.Name, err)
+			}
+			if events.Len() == 0 {
+				t.Fatalf("%s: traced run emitted no events", c.ds.Name)
+			}
+			zeroTimes(plain)
+			zeroTimes(traced)
+			var want, got bytes.Buffer
+			if err := discoverxfd.WriteJSON(&want, plain); err != nil {
+				t.Fatal(err)
+			}
+			if err := discoverxfd.WriteJSON(&got, traced); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want.Bytes(), got.Bytes()) {
+				t.Errorf("%s: traced Result JSON differs from untraced\n%s",
+					c.ds.Name, diffHint(want.Bytes(), got.Bytes()))
+			}
+		})
+	}
+}
+
+// stripVolatile removes the timestamp, run-id, and measured-duration
+// fields from each JSONL trace line, leaving only the deterministic
+// event payload.
+func stripVolatile(t *testing.T, raw []byte) []string {
+	t.Helper()
+	var out []string
+	for i, line := range bytes.Split(bytes.TrimSpace(raw), []byte("\n")) {
+		var ev map[string]any
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v\n%s", i+1, err, line)
+		}
+		delete(ev, "t")
+		delete(ev, "run")
+		delete(ev, "ms")
+		keys := make([]string, 0, len(ev))
+		for k := range ev {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%v;", k, ev[k])
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// TestTraceJSONLDeterministic pins serial-run trace determinism: two
+// serial discoveries over the same corpus emit the same event
+// sequence once the timestamp and run-id fields are stripped.
+// Parallel option sets are skipped — worker interleaving legitimately
+// reorders their relation spans and level events.
+func TestTraceJSONLDeterministic(t *testing.T) {
+	for _, c := range goldenCases() {
+		if c.opts != nil && c.opts.Parallel {
+			continue
+		}
+		t.Run(c.slug, func(t *testing.T) {
+			runOnce := func() []string {
+				opts := discoverxfd.Options{}
+				if c.opts != nil {
+					opts = *c.opts
+				}
+				var events bytes.Buffer
+				opts.Trace = discoverxfd.NewJSONLTracer(&events)
+				if _, err := discoverxfd.Discover(c.ds.Tree, c.ds.Schema, &opts); err != nil {
+					t.Fatalf("%s: %v", c.ds.Name, err)
+				}
+				return stripVolatile(t, events.Bytes())
+			}
+			first, second := runOnce(), runOnce()
+			if len(first) != len(second) {
+				t.Fatalf("%s: event counts differ between identical serial runs: %d vs %d",
+					c.ds.Name, len(first), len(second))
+			}
+			for i := range first {
+				if first[i] != second[i] {
+					t.Fatalf("%s: event %d differs between identical serial runs:\n  first:  %s\n  second: %s",
+						c.ds.Name, i+1, first[i], second[i])
+				}
 			}
 		})
 	}

@@ -45,6 +45,15 @@ func TestDetOrderBenchFixture(t *testing.T) {
 	fixture(t, "discoverxfd/internal/bench", DetOrder)
 }
 
+// TestTraceFixture runs the full suite over a trace-backend-shaped
+// fixture: detorder covers the emit paths (internal/trace is in its
+// scope) and govdiscipline flags a backend that spawns its own
+// flusher goroutine — the real JSONL and progress backends emit
+// inline on the caller's goroutine.
+func TestTraceFixture(t *testing.T) {
+	fixture(t, "discoverxfd/internal/trace", All()...)
+}
+
 func TestDetOrderFilenameScope(t *testing.T) {
 	fixture(t, "discoverxfd", DetOrder)
 }

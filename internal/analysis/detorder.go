@@ -33,9 +33,12 @@ var DetOrder = &Analyzer{
 
 // detOrderScope reports whether the file participates in an output
 // path: the root package's report/JSON renderers, the core engine,
-// and the benchmark harness.
+// the benchmark harness, and the trace backends (serial-run traces
+// are pinned byte-stable by TestTraceJSONLDeterministic, so an emit
+// path leaking map order would flake that guarantee).
 func detOrderScope(path, filename string) bool {
-	if strings.HasSuffix(path, "internal/core") || strings.HasSuffix(path, "internal/bench") {
+	if strings.HasSuffix(path, "internal/core") || strings.HasSuffix(path, "internal/bench") ||
+		strings.HasSuffix(path, "internal/trace") {
 		return true
 	}
 	return filename == "report.go" || filename == "json.go"

@@ -121,10 +121,17 @@ func LoadModulePackages(dir string) ([]*Package, error) {
 }
 
 // mapImporter resolves imports from an already-type-checked map.
+// Standard-library packages vendored under GOROOT (net/http's
+// golang.org/x/... dependencies) are listed by `go list` under a
+// vendor/ prefix but imported by their unprefixed path, so lookups
+// fall back to the prefixed form.
 type mapImporter map[string]*types.Package
 
 func (m mapImporter) Import(path string) (*types.Package, error) {
 	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	if p, ok := m["vendor/"+path]; ok {
 		return p, nil
 	}
 	return nil, fmt.Errorf("analysis: import %q not loaded", path)

@@ -1,0 +1,62 @@
+// Package trace exercises the suite on a trace-backend shape (import
+// path suffix internal/trace): detorder must keep emit paths free of
+// map-ordered output, and govdiscipline must keep backends
+// goroutine-free — a backend that spawns its own writer escapes the
+// governor's join/panic discipline and outlives the run it observes.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Event is a cut-down trace event with free-form attributes.
+type Event struct {
+	Kind  string
+	Attrs map[string]string
+}
+
+// emitUnsorted leaks map order into the serialized event stream.
+func emitUnsorted(ev *Event) {
+	for k, v := range ev.Attrs { // want "map iteration on an output path"
+		fmt.Println(k, v)
+	}
+}
+
+// emitSorted is the canonical collect-then-sort emit path.
+func emitSorted(ev *Event) {
+	keys := make([]string, 0, len(ev.Attrs))
+	for k := range ev.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, ev.Attrs[k])
+	}
+}
+
+// asyncBackend buffers events and flushes them from its own
+// goroutine — the shape the tracing backends must never take.
+type asyncBackend struct {
+	ch chan *Event
+	wg sync.WaitGroup // want "sync.WaitGroup declared outside the governor"
+}
+
+func (b *asyncBackend) Start() {
+	go func() { // want "bare go statement"
+		for ev := range b.ch {
+			emitSorted(ev)
+		}
+	}()
+}
+
+// syncBackend emits inline on the caller's goroutine, like the real
+// JSONL and progress backends.
+type syncBackend struct{}
+
+func (syncBackend) Emit(ev *Event) { emitSorted(ev) }
+
+var _ = emitUnsorted
+var _ = (&asyncBackend{}).Start
+var _ = syncBackend{}.Emit

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"discoverxfd/internal/core"
 )
 
 // Table is one experiment's printable output.
@@ -26,6 +28,11 @@ type Table struct {
 	// machine) and are what the regression gate compares; other keys
 	// (cache hits, allocation counts) are informational.
 	Metrics map[string]float64
+	// Stats carries full run Stats per case key — the same snapshot a
+	// traced run's run_end summarizes — so the JSON report preserves
+	// the counters behind the table's derived cells. Informational
+	// only: the CI gate never compares Stats.
+	Stats map[string]core.Stats
 }
 
 // Fprint renders the table with aligned columns.

@@ -30,6 +30,7 @@ func E14EngineReuse(quick bool) *Table {
 		Columns: []string{"dataset", "tuples", "cold", "warm", "speedup",
 			"warm cache hits", "warm cache misses"},
 		Metrics: map[string]float64{},
+		Stats:   map[string]core.Stats{},
 		Notes: []string{
 			"cold = one-shot core.Discover per call: every partition rebuilt from the data",
 			"warm = repeated Engine.Discover on one engine: immutable partitions carried across runs",
@@ -91,6 +92,7 @@ func E14EngineReuse(quick bool) *Table {
 		}
 		t.Metrics["warm_cache_hits_"+c.key] = float64(st.PartitionCacheHits)
 		t.Metrics["warm_cache_misses_"+c.key] = float64(st.PartitionCacheMisses)
+		t.Stats[c.key] = st
 	}
 	return t
 }

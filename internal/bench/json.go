@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"discoverxfd/internal/core"
 )
 
 // ReportVersion is bumped when the JSON report shape changes
@@ -27,15 +29,18 @@ type Report struct {
 	Results   []ExperimentResult `json:"results"`
 }
 
-// ExperimentResult is one experiment's table in JSON form.
+// ExperimentResult is one experiment's table in JSON form. Stats is
+// additive (omitted when an experiment records none), so version-1
+// baselines without it still load and compare.
 type ExperimentResult struct {
-	ID      string             `json:"id"`
-	Title   string             `json:"title"`
-	Seconds float64            `json:"seconds"`
-	Columns []string           `json:"columns"`
-	Rows    [][]string         `json:"rows"`
-	Notes   []string           `json:"notes,omitempty"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	ID      string                `json:"id"`
+	Title   string                `json:"title"`
+	Seconds float64               `json:"seconds"`
+	Columns []string              `json:"columns"`
+	Rows    [][]string            `json:"rows"`
+	Notes   []string              `json:"notes,omitempty"`
+	Metrics map[string]float64    `json:"metrics,omitempty"`
+	Stats   map[string]core.Stats `json:"stats,omitempty"`
 }
 
 // Run executes the experiments and collects a Report.
@@ -57,6 +62,7 @@ func Run(exps []Experiment, quick bool) *Report {
 			Rows:    tbl.Rows,
 			Notes:   tbl.Notes,
 			Metrics: tbl.Metrics,
+			Stats:   tbl.Stats,
 		})
 	}
 	return rep

@@ -1,0 +1,93 @@
+// Package cliutil holds the flag-level observability plumbing the
+// CLIs share: materializing -trace/-v/-vv into one tracer backend
+// stack, and flushing it reliably on both the normal and the fatal
+// exit path.
+package cliutil
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+
+	"discoverxfd/internal/trace"
+)
+
+// Tracing owns a CLI run's tracer stack: an optional JSONL event file
+// (-trace=<file>) and an optional slog progress logger on stderr
+// (-v/-vv). Close must run before the process exits — including the
+// fatal path — or buffered trace events are lost.
+type Tracing struct {
+	tracer trace.Tracer
+	jsonl  *trace.JSONL
+	buf    *bufio.Writer
+	file   *os.File
+}
+
+// Open builds the tracer stack for the given flag values. An empty
+// tracePath with v and vv false yields a Tracing whose Tracer is nil
+// (tracing off); Close is then a no-op, so callers need no special
+// casing.
+func Open(tracePath string, v, vv bool) (*Tracing, error) {
+	t := &Tracing{}
+	var backends []trace.Tracer
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		t.file = f
+		t.buf = bufio.NewWriter(f)
+		t.jsonl = trace.NewJSONL(t.buf)
+		backends = append(backends, t.jsonl)
+	}
+	if v || vv {
+		backends = append(backends,
+			trace.NewProgress(slog.New(slog.NewTextHandler(os.Stderr, nil)), vv))
+	}
+	t.tracer = trace.Multi(backends...)
+	return t, nil
+}
+
+// Tracer returns the combined tracer; nil when tracing is off.
+func (t *Tracing) Tracer() trace.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// Close flushes and closes the trace file, surfacing the first write
+// error the JSONL backend latched. Safe on a nil or traceless value,
+// and idempotent.
+func (t *Tracing) Close() error {
+	if t == nil || t.file == nil {
+		return nil
+	}
+	err := t.jsonl.Err()
+	if ferr := t.buf.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := t.file.Close(); err == nil {
+		err = cerr
+	}
+	t.file = nil
+	if err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return nil
+}
+
+// WriteMetrics renders a Metrics-like snapshot as indented JSON — the
+// -metrics flag's output format, kept on w (stderr) so it never mixes
+// into a report or JSON result on stdout.
+func WriteMetrics(w io.Writer, m any) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}

@@ -1,0 +1,73 @@
+package cliutil
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"discoverxfd/internal/trace"
+)
+
+func TestOpenOffIsNilTracer(t *testing.T) {
+	tr, err := Open("", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tracer() != nil {
+		t.Error("tracing off should yield a nil Tracer")
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("traceless Close: %v", err)
+	}
+	var nilTracing *Tracing
+	if nilTracing.Tracer() != nil || nilTracing.Close() != nil {
+		t.Error("nil *Tracing must be inert")
+	}
+}
+
+func TestOpenWritesFlushedJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	tr, err := Open(path, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.Emit(tr.Tracer(), &trace.Event{Kind: trace.KindCheck, Action: "holds", Detail: "x"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := string(raw)
+	if !strings.Contains(b, `"event":"check"`) {
+		t.Fatalf("flushed trace missing event: %q", b)
+	}
+	if _, err := trace.ValidateJSONL(strings.NewReader(b)); err != nil {
+		t.Fatalf("written trace does not validate: %v", err)
+	}
+}
+
+func TestOpenRejectsUnwritablePath(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), false, false); err == nil {
+		t.Fatal("want error for uncreatable trace file")
+	}
+}
+
+func TestWriteMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, map[string]int{"runs": 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"runs": 3`) {
+		t.Fatalf("unexpected metrics rendering: %q", buf.String())
+	}
+	if err := WriteMetrics(&buf, func() {}); err == nil {
+		t.Fatal("unmarshalable value should error")
+	}
+}

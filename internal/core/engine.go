@@ -33,6 +33,11 @@ type Engine struct {
 
 	mu   sync.Mutex
 	warm []*warmHierarchy
+
+	// met is the engine's cumulative run instrumentation (see
+	// Metrics); all of its methods are nil-engine safe, so the legacy
+	// one-shot wrappers (which run with a nil *Engine) need no guards.
+	met engineMetrics
 }
 
 // warmHierarchy is the retained partition set of one hierarchy. The
@@ -96,6 +101,7 @@ func (e *Engine) DiscoverIntraAt(ctx context.Context, h *relation.Hierarchy, dea
 // Evaluate checks a single XML FD directly against a hierarchy,
 // independent of discovery (see EvaluateContext).
 func (e *Engine) Evaluate(ctx context.Context, h *relation.Hierarchy, class schema.Path, lhs []schema.RelPath, rhs schema.RelPath) (Evaluation, error) {
+	e.evaluated()
 	return EvaluateContext(ctx, h, class, lhs, rhs)
 }
 
@@ -104,17 +110,20 @@ func (e *Engine) Evaluate(ctx context.Context, h *relation.Hierarchy, class sche
 // simply runs cold (no sharing), which is what the legacy one-shot
 // wrappers use.
 func (e *Engine) discover(ctx context.Context, h *relation.Hierarchy, opts Options, xfd bool) (*Result, error) {
+	e.runStarted()
 	run := newRun(ctx, h, opts, xfd)
 	share := e != nil && !opts.NaivePartitions
 	if share {
 		if warm := e.warmFor(h); warm != nil {
 			run.cache.seed(warm)
+			e.warmSeededRun()
 		}
 	}
 	res, err := run.execute()
 	if share && err == nil {
 		e.publish(h, run.cache.snapshot())
 	}
+	e.runDone(res, err)
 	return res, err
 }
 

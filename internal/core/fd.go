@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"discoverxfd/internal/schema"
+	"discoverxfd/internal/trace"
 )
 
 // AttrSet is a set of attribute indices of one relation, represented
@@ -169,8 +170,21 @@ type Stats struct {
 	TargetChecks int
 	// IntraTime is time spent in lattice traversal and partition
 	// arithmetic; InterTime is time spent creating, converting and
-	// checking partition targets.
+	// checking partition targets. Both are accumulated per relation
+	// and then summed across relations, so under Options.Parallel they
+	// are summed worker time, not wall-clock: concurrent subtree
+	// workers accrue simultaneously and IntraTime+InterTime may exceed
+	// WallTime (compare against WallTime to judge parallel
+	// efficiency). In a serial run every accrual interval is a
+	// disjoint slice of the run, so IntraTime+InterTime ≤ WallTime —
+	// TestStatsTimeAccounting pins that bound as the double-counting
+	// regression check. Each relation's accounting is exclusive: time
+	// spent on target work inside a lattice traversal is subtracted
+	// from that relation's intra share, never counted twice.
 	IntraTime, InterTime time.Duration
+	// WallTime is the wall-clock duration of the whole run, plan
+	// through assemble, regardless of parallelism.
+	WallTime time.Duration
 	// Truncated reports that a resource budget (deadline, tuple
 	// budget, or lattice-level cap) stopped the run early: the Result
 	// is a valid partial answer — every reported FD/Key holds on the
@@ -278,6 +292,16 @@ type Options struct {
 	// (internal/faultinject): a hook that panics exercises the
 	// recover-to-error path of parallel discovery.
 	RelationHook func(pivot schema.Path)
+	// Tracer receives the run's trace events: pipeline stage spans,
+	// per-relation traversal spans, per-lattice-level progress,
+	// partition-target lifecycle, and governor events. nil disables
+	// tracing; hot paths guard event construction behind a single nil
+	// check, so the disabled path costs one pointer compare. The
+	// tracer must be safe for concurrent use under Options.Parallel
+	// (both internal/trace backends are). newRun wraps the supplied
+	// tracer with the run's id stamp, so one Tracer may serve many
+	// runs and still distinguish them.
+	Tracer trace.Tracer
 }
 
 func (o Options) maxPartialAttrs() int {

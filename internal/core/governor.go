@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"discoverxfd/internal/trace"
 )
 
 // governor is the resource-governance state shared by one discovery
@@ -25,6 +27,11 @@ type governor struct {
 	ctx      context.Context
 	deadline time.Time // zero = no wall-clock budget
 
+	// tr is the run-stamped tracer (nil = untraced). Governor events
+	// are emitted outside mu: a slow tracing backend must never hold
+	// up the workers polling expired/cancelled.
+	tr trace.Tracer
+
 	mu        sync.Mutex
 	truncated bool
 	reason    string
@@ -35,7 +42,7 @@ func newGovernor(ctx context.Context, opts *Options) *governor {
 		//lint:ctxplumb a nil ctx marks a legacy ungoverned entry point; Background is its documented never-cancelled default
 		ctx = context.Background()
 	}
-	return &governor{ctx: ctx, deadline: opts.Deadline}
+	return &governor{ctx: ctx, deadline: opts.Deadline, tr: opts.Tracer}
 }
 
 // cancelled returns a wrapped context error once the context fires.
@@ -58,16 +65,28 @@ func (g *governor) expired() bool {
 		return false
 	}
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	if g.truncated {
+		g.mu.Unlock()
 		return true
 	}
-	if time.Now().After(g.deadline) {
-		g.truncated = true
-		g.reason = "deadline exceeded"
-		return true
+	if !time.Now().After(g.deadline) {
+		g.mu.Unlock()
+		return false
 	}
-	return false
+	const reason = "deadline exceeded"
+	g.truncated = true
+	g.reason = reason
+	g.mu.Unlock()
+	g.emitTruncate(reason)
+	return true
+}
+
+// emitTruncate reports a budget truncation to the trace. Called once
+// per run (first observation wins), after the mutex is released.
+func (g *governor) emitTruncate(reason string) {
+	if g.tr != nil {
+		trace.Emit(g.tr, &trace.Event{Kind: trace.KindGovernor, Action: "truncate", Detail: reason})
+	}
 }
 
 // productWorkers returns how many goroutines a parallel partition
@@ -145,10 +164,14 @@ func (g *governor) truncate(reason string) {
 		return
 	}
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	if !g.truncated {
+	first := !g.truncated
+	if first {
 		g.truncated = true
 		g.reason = reason
+	}
+	g.mu.Unlock()
+	if first {
+		g.emitTruncate(reason)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"discoverxfd/internal/partition"
 	"discoverxfd/internal/relation"
+	"discoverxfd/internal/trace"
 )
 
 // edge is a satisfied intra-relation FD LHS → rhs used for pruning.
@@ -90,7 +91,7 @@ func (lr *latticeRun) run(xfd bool) {
 		ts := time.Now()
 		for _, pt := range lr.incoming {
 			if len(lr.out.outgoing) >= lr.opts.maxTargets() {
-				lr.stats.TargetsDropped++
+				targetDropped(lr.rel, lr.opts, lr.stats, "outgoing target cap reached")
 				continue
 			}
 			if up := pt.convert(rel, nil, nil, 0, lr.ni, lr.opts, lr.stats); up != nil {
@@ -135,6 +136,11 @@ func (lr *latticeRun) run(xfd bool) {
 		queue = append(queue, AttrSet(0).Add(i))
 	}
 	level := 1
+	tr := lr.opts.Tracer
+	var snap levelSnapshot
+	if tr != nil {
+		snap = lr.snapshotLevel()
+	}
 	for qi := 0; qi < len(queue); qi++ {
 		// One check per lattice node keeps cancellation latency
 		// bounded by a single node's partition work.
@@ -151,6 +157,9 @@ func (lr *latticeRun) run(xfd bool) {
 			// next size means the previous level is fully processed, so
 			// every product this level needs is determined. Warm them
 			// in parallel when worthwhile.
+			if tr != nil {
+				lr.emitLevel(tr, level, &snap)
+			}
 			level = sz
 			lr.precomputeLevel(queue[qi:], xfd)
 			if lr.err != nil {
@@ -203,7 +212,7 @@ func (lr *latticeRun) run(xfd bool) {
 						lr.out.outgoing = append(lr.out.outgoing, pt)
 					}
 				} else {
-					lr.stats.TargetsDropped++
+					targetDropped(rel, lr.opts, lr.stats, "outgoing target cap reached")
 				}
 				lr.stats.InterTime += time.Since(ts)
 			}
@@ -224,7 +233,53 @@ func (lr *latticeRun) run(xfd bool) {
 			queue = append(queue, next)
 		}
 	}
+	if tr != nil {
+		lr.emitLevel(tr, level, &snap)
+	}
 	lr.stats.IntraTime += time.Since(intraStart) - (lr.stats.InterTime - interBefore)
+}
+
+// levelSnapshot records the counters relevant to one lattice level at
+// its start, so emitLevel can report per-level deltas. The partition
+// counters come from this relation's store, not the run-wide atomics,
+// so concurrent relations cannot pollute each other's rates.
+type levelSnapshot struct {
+	nodes, products, hits, misses int
+}
+
+func (lr *latticeRun) snapshotLevel() levelSnapshot {
+	return levelSnapshot{
+		nodes:    lr.stats.NodesVisited,
+		products: lr.stats.PartitionsComputed,
+		hits:     lr.pc.hits,
+		misses:   lr.pc.misses,
+	}
+}
+
+// emitLevel reports one completed lattice level — nodes visited,
+// partition products computed, the level's cache hit rate, and the
+// run cache's live byte gauge — then advances snap to the next
+// level's baseline. Levels where nothing happened (the traversal
+// stopped at a boundary) are skipped.
+func (lr *latticeRun) emitLevel(tr trace.Tracer, level int, snap *levelSnapshot) {
+	cur := lr.snapshotLevel()
+	nodes := cur.nodes - snap.nodes
+	if nodes == 0 {
+		*snap = cur
+		return
+	}
+	hits, misses := cur.hits-snap.hits, cur.misses-snap.misses
+	ev := &trace.Event{
+		Kind: trace.KindLevel, Relation: string(lr.rel.Pivot), Level: level,
+		Nodes: nodes, Products: cur.products - snap.products,
+		CacheHits: hits, CacheMisses: misses,
+		CacheBytes: lr.cache.liveBytes(),
+	}
+	if hits+misses > 0 {
+		ev.HitRate = float64(hits) / float64(hits+misses)
+	}
+	tr.Emit(ev)
+	*snap = cur
 }
 
 // seedTargets creates candidate-partial-FD targets from the failed
@@ -242,7 +297,7 @@ func (lr *latticeRun) seedTargets(a AttrSet, pa *partition.Partition, ls []AttrS
 			continue // satisfied edge, not a partial FD
 		}
 		if len(lr.out.outgoing) >= lr.opts.maxTargets() {
-			lr.stats.TargetsDropped++
+			targetDropped(lr.rel, lr.opts, lr.stats, "outgoing target cap reached")
 			continue
 		}
 		pt := createTarget(lr.rel, al, r, pal, len(pa.Groups), lr.groupIDs(a), lr.ni, lr.opts, lr.stats)
@@ -391,8 +446,14 @@ func (lr *latticeRun) precomputeLevel(pending []AttrSet, xfd bool) {
 	// A worker panic must surface as this run's error, not a process
 	// crash (same contract as subtree workers); workerGroup provides
 	// the barrier.
+	workers := lr.gov.productWorkers(len(jobs))
+	if tr := lr.opts.Tracer; tr != nil {
+		trace.Emit(tr, &trace.Event{Kind: trace.KindGovernor, Action: "worker_spawn",
+			Workers: workers, Relation: string(lr.rel.Pivot),
+			Detail: fmt.Sprintf("product workers for %d level-%d partitions", len(jobs), size)})
+	}
 	var grp workerGroup
-	for w := 0; w < lr.gov.productWorkers(len(jobs)); w++ {
+	for w := 0; w < workers; w++ {
 		grp.Go(fmt.Sprintf("parallel product worker for relation %s", lr.rel.Pivot), nil, func() {
 			sc := partition.GetScratch(lr.rel.NRows())
 			defer partition.PutScratch(sc)

@@ -1,0 +1,129 @@
+package core
+
+import "sync"
+
+// Metrics is a point-in-time snapshot of an Engine's cumulative
+// counters, taken with Engine.Metrics. Counters cover every run the
+// engine executed since construction; Totals accumulates the Stats of
+// finished runs (failed runs contribute to RunsFailed only — they
+// return no Stats). The snapshot is a plain value: encode it, diff
+// it, or publish it via expvar freely.
+type Metrics struct {
+	// RunsStarted counts discovery runs entered; RunsFinished those
+	// that returned a Result (truncated counts as finished),
+	// RunsTruncated the finished runs whose Result was partial, and
+	// RunsFailed those that returned an error (cancellation, panic).
+	RunsStarted   int64
+	RunsFinished  int64
+	RunsTruncated int64
+	RunsFailed    int64
+	// WarmSeeded counts runs that started from the engine's warm
+	// partition layer instead of cold.
+	WarmSeeded int64
+	// Evaluations counts direct FD evaluations (Engine.Evaluate).
+	Evaluations int64
+	// CacheHighWaterBytes is the largest partition-cache peak any
+	// single run reached.
+	CacheHighWaterBytes int64
+	// Totals sums the Stats of every finished run; Totals.WallTime is
+	// the engine's cumulative discovery wall clock and
+	// Totals.PartitionCachePeakBytes mirrors CacheHighWaterBytes (a
+	// maximum, not a sum).
+	Totals Stats
+}
+
+// engineMetrics is the Engine's live counter state. The hot counters
+// are atomics so concurrent runs never contend; the Stats accumulator
+// is mutex-guarded and touched once per finished run.
+type engineMetrics struct {
+	mu                  sync.Mutex
+	runsStarted         int64
+	runsFinished        int64
+	runsTruncated       int64
+	runsFailed          int64
+	warmSeeded          int64
+	evaluations         int64
+	cacheHighWaterBytes int64
+	totals              Stats
+}
+
+// runStarted records a discovery run entering the pipeline.
+func (e *Engine) runStarted() {
+	if e == nil {
+		return
+	}
+	e.met.mu.Lock()
+	e.met.runsStarted++
+	e.met.mu.Unlock()
+}
+
+// warmSeeded records a run seeded from the warm layer.
+func (e *Engine) warmSeededRun() {
+	if e == nil {
+		return
+	}
+	e.met.mu.Lock()
+	e.met.warmSeeded++
+	e.met.mu.Unlock()
+}
+
+// evaluated records one direct FD evaluation.
+func (e *Engine) evaluated() {
+	if e == nil {
+		return
+	}
+	e.met.mu.Lock()
+	e.met.evaluations++
+	e.met.mu.Unlock()
+}
+
+// runDone folds a finished (or failed) run into the counters.
+func (e *Engine) runDone(res *Result, err error) {
+	if e == nil {
+		return
+	}
+	e.met.mu.Lock()
+	defer e.met.mu.Unlock()
+	if err != nil || res == nil {
+		e.met.runsFailed++
+		return
+	}
+	e.met.runsFinished++
+	st := &res.Stats
+	if st.Truncated {
+		e.met.runsTruncated++
+	}
+	if st.PartitionCachePeakBytes > e.met.cacheHighWaterBytes {
+		e.met.cacheHighWaterBytes = st.PartitionCachePeakBytes
+	}
+	t := &e.met.totals
+	mergeStats(t, st)
+	t.WallTime += st.WallTime
+	t.PartitionCacheHits += st.PartitionCacheHits
+	t.PartitionCacheMisses += st.PartitionCacheMisses
+	t.PartitionCacheEvictions += st.PartitionCacheEvictions
+	if st.PartitionCachePeakBytes > t.PartitionCachePeakBytes {
+		t.PartitionCachePeakBytes = st.PartitionCachePeakBytes
+	}
+}
+
+// Metrics returns a snapshot of the engine's cumulative counters. Safe
+// for concurrent use with running discoveries; a nil engine reports
+// zeroes.
+func (e *Engine) Metrics() Metrics {
+	var m Metrics
+	if e == nil {
+		return m
+	}
+	e.met.mu.Lock()
+	defer e.met.mu.Unlock()
+	m.RunsStarted = e.met.runsStarted
+	m.RunsFinished = e.met.runsFinished
+	m.RunsTruncated = e.met.runsTruncated
+	m.RunsFailed = e.met.runsFailed
+	m.WarmSeeded = e.met.warmSeeded
+	m.Evaluations = e.met.evaluations
+	m.CacheHighWaterBytes = e.met.cacheHighWaterBytes
+	m.Totals = e.met.totals
+	return m
+}

@@ -52,6 +52,13 @@ type relPartitions struct {
 	gids  map[AttrSet][]int32
 	nulls map[AttrSet][]bool
 	bytes int64
+
+	// hits/misses mirror the cache-wide atomic counters for this store
+	// alone, so per-lattice-level trace events can report a hit rate
+	// without reading (and polluting) the shared atomics across
+	// concurrent relations. Plain ints are safe under the single-
+	// goroutine-per-store contract.
+	hits, misses int
 }
 
 func newPartitionCache(maxBytes int64) *partitionCache {
@@ -195,7 +202,12 @@ func (c *partitionCache) install(rp *relPartitions, a AttrSet, p *partition.Part
 	rp.parts[a] = p
 	c.add(rp, p)
 	c.misses.Add(1)
+	rp.misses++
 }
+
+// liveBytes is the cache's live byte gauge, exposed for per-level
+// trace events and engine metrics. Safe to read concurrently.
+func (c *partitionCache) liveBytes() int64 { return c.bytes.Load() }
 
 // gidsOf returns the cached row→group lookup for Π_A, running compute
 // on first use.
@@ -237,9 +249,11 @@ func (c *partitionCache) flushStats(st *Stats) {
 func (c *partitionCache) partitionOf(rp *relPartitions, a AttrSet, sc *partition.Scratch, naive bool, st *Stats) *partition.Partition {
 	if p, ok := rp.parts[a]; ok {
 		c.hits.Add(1)
+		rp.hits++
 		return p
 	}
 	c.misses.Add(1)
+	rp.misses++
 	var p *partition.Partition
 	switch {
 	case a == 0:

@@ -4,8 +4,13 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	"discoverxfd/internal/relation"
+	"discoverxfd/internal/trace"
 )
 
 // Run owns every piece of cross-cutting per-run state of one
@@ -40,48 +45,127 @@ type Run struct {
 	anyNull        [][]bool // per relation, per row: any column missing
 	nullsAtOrAbove []bool   // per relation: missing values here or in any ancestor
 
+	// id is the process-unique run identifier ("run-N") stamped on
+	// every trace event and pprof label; tr is the run-stamped tracer
+	// (nil when tracing is off — the fast path). labels carries the
+	// pprof label set of the run (plus the current stage once a stage
+	// starts), inherited by every governed worker spawned under it.
+	id     string
+	tr     trace.Tracer
+	labels context.Context
+
 	res *Result
 }
+
+// runSeq numbers runs within the process; trace consumers use the id
+// to demultiplex concurrent runs sharing one tracer.
+var runSeq atomic.Int64
 
 // newRun assembles the per-run state. ctx may be nil (legacy
 // ungoverned entry points); the governor normalizes it.
 func newRun(ctx context.Context, h *relation.Hierarchy, opts Options, xfd bool) *Run {
+	id := "run-" + strconv.FormatInt(runSeq.Add(1), 10)
+	// Stamp the tracer once so every emit site below — including the
+	// governor's and the lattice's — carries the run id for free.
+	opts.Tracer = trace.WithRun(opts.Tracer, id)
 	return &Run{
 		h:     h,
 		opts:  opts,
 		xfd:   xfd,
+		id:    id,
+		tr:    opts.Tracer,
 		gov:   newGovernor(ctx, &opts),
 		cache: newPartitionCache(opts.MaxPartitionBytes),
 		res:   &Result{},
 	}
 }
 
-// execute drives the pipeline. Any panic that escapes a stage — from
-// the serial traversal or from result assembly — surfaces as an error
-// to the caller instead of killing the process. Parallel workers
-// additionally recover per goroutine (workerGroup's panic barrier),
-// which is what keeps a worker panic from unwinding past the group's
-// join.
-func (run *Run) execute() (res *Result, err error) {
+// execute drives the pipeline under the run's pprof label, so CPU
+// profiles attribute samples — including those of governed workers,
+// which inherit the goroutine label set at spawn — to the run id.
+func (run *Run) execute() (*Result, error) {
+	var res *Result
+	var err error
+	pprof.Do(run.gov.ctx, pprof.Labels("xfd_run", run.id), func(ctx context.Context) {
+		run.labels = ctx
+		res, err = run.pipeline()
+	})
+	return res, err
+}
+
+// msSince renders a span duration for trace events.
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// pipeline runs the staged pipeline. Any panic that escapes a stage —
+// from the serial traversal or from result assembly — surfaces as an
+// error to the caller instead of killing the process. Parallel
+// workers additionally recover per goroutine (workerGroup's panic
+// barrier), which is what keeps a worker panic from unwinding past
+// the group's join. The run span (run_start/run_end) brackets the
+// stage spans; run_end reports truncation, wall time, and the error
+// if the run failed.
+func (run *Run) pipeline() (res *Result, err error) {
+	start := time.Now()
+	if run.tr != nil {
+		trace.Emit(run.tr, &trace.Event{Kind: trace.KindRunStart,
+			Relations: len(run.h.Relations), Tuples: run.h.TotalTuples()})
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, fmt.Errorf("core: panic during discovery: %v\n%s", p, debug.Stack())
 		}
+		if run.tr != nil {
+			ev := &trace.Event{Kind: trace.KindRunEnd, DurationMS: msSince(start)}
+			if res != nil {
+				ev.Truncated = res.Stats.Truncated
+				ev.Detail = res.Stats.TruncatedReason
+			}
+			if err != nil {
+				ev.Err = err.Error()
+			}
+			trace.Emit(run.tr, ev)
+		}
 	}()
-	if err := run.plan(); err != nil {
+	var top gathered
+	if err := run.stage("plan", func(context.Context) error { return run.plan() }); err != nil {
 		return nil, err
 	}
-	top := run.traverse(run.h.Root)
-	if top.err != nil {
-		return nil, top.err
+	err = run.stage("traverse", func(ctx context.Context) error {
+		top = run.traverse(ctx, run.h.Root)
+		return top.err
+	})
+	if err != nil {
+		return nil, err
 	}
 	run.res.Stats = top.stats
-	fds := run.minimize(&top)
-	if err := run.verify(fds); err != nil {
+	var fds []FD
+	_ = run.stage("minimize", func(context.Context) error { fds = run.minimize(&top); return nil })
+	if err := run.stage("verify", func(context.Context) error { return run.verify(fds) }); err != nil {
 		return nil, err
 	}
-	run.assemble(top.approx)
+	_ = run.stage("assemble", func(context.Context) error { run.assemble(top.approx); return nil })
+	run.res.Stats.WallTime = time.Since(start)
 	return run.res, nil
+}
+
+// stage brackets one pipeline stage with its trace span and pprof
+// label; goroutines the stage spawns inherit the (run, stage) label
+// pair. The deferred stage_end keeps trace spans well-nested even
+// when the stage panics (pipeline's recover then fails the run).
+func (run *Run) stage(name string, fn func(ctx context.Context) error) (err error) {
+	if run.tr != nil {
+		trace.Emit(run.tr, &trace.Event{Kind: trace.KindStageStart, Stage: name})
+		start := time.Now()
+		defer func() {
+			trace.Emit(run.tr, &trace.Event{Kind: trace.KindStageEnd, Stage: name, DurationMS: msSince(start)})
+		}()
+	}
+	pprof.Do(run.labels, pprof.Labels("xfd_stage", name), func(ctx context.Context) {
+		err = fn(ctx)
+	})
+	return err
 }
 
 // plan validates the input and precomputes the relation-indexed
@@ -167,8 +251,9 @@ func (g *gathered) merge(o *gathered) {
 // gathers its subtree's results locally, which makes the parallel
 // mode a pure fan-out: sibling subtrees share nothing until their
 // parent merges them, in child order, so output is independent of
-// scheduling.
-func (run *Run) traverse(r *relation.Relation) gathered {
+// scheduling. ctx carries the stage's pprof labels; each essential
+// relation's lattice section adds its own relation label on top.
+func (run *Run) traverse(ctx context.Context, r *relation.Relation) gathered {
 	var g gathered
 	if err := run.gov.cancelled(); err != nil {
 		g.err = err
@@ -176,6 +261,10 @@ func (run *Run) traverse(r *relation.Relation) gathered {
 	}
 	if run.opts.Parallel && len(r.Children) > 1 {
 		results := make([]gathered, len(r.Children))
+		if run.tr != nil {
+			trace.Emit(run.tr, &trace.Event{Kind: trace.KindGovernor, Action: "worker_spawn",
+				Workers: len(r.Children), Detail: "subtree workers under " + string(r.Pivot)})
+		}
 		// A worker panic must not unwind past its goroutine's stack
 		// (that would kill the process); workerGroup turns it into
 		// this subtree's error, joining the others in child order.
@@ -183,7 +272,7 @@ func (run *Run) traverse(r *relation.Relation) gathered {
 		for i, c := range r.Children {
 			grp.Go(fmt.Sprintf("parallel discovery worker for subtree %s", c.Pivot),
 				func(err error) { results[i] = gathered{err: err} },
-				func() { results[i] = run.traverse(c) })
+				func() { results[i] = run.traverse(ctx, c) })
 		}
 		grp.Wait()
 		for i := range results {
@@ -191,7 +280,7 @@ func (run *Run) traverse(r *relation.Relation) gathered {
 		}
 	} else {
 		for _, c := range r.Children {
-			cg := run.traverse(c)
+			cg := run.traverse(ctx, c)
 			g.merge(&cg)
 			if g.err != nil {
 				break
@@ -218,13 +307,27 @@ func (run *Run) traverse(r *relation.Relation) gathered {
 	}
 	g.stats.Relations++
 	g.stats.Tuples += r.NRows()
+	relStart := time.Now()
+	nodesBefore := g.stats.NodesVisited
+	if run.tr != nil {
+		trace.Emit(run.tr, &trace.Event{Kind: trace.KindRelationStart,
+			Relation: string(r.Pivot), Tuples: r.NRows(), Attrs: r.NAttrs()})
+	}
 	lr := &latticeRun{rel: r, opts: &run.opts, stats: &g.stats, depths: run.depths, incoming: incoming, gov: run.gov, cache: run.cache}
 	if p := r.Parent; p != nil {
 		lr.ni = nullInfo{parentAnyNull: run.anyNull[p.Index], aboveParent: p.Parent != nil && run.nullsAtOrAbove[p.Parent.Index]}
 	}
-	lr.run(run.xfd)
+	// The relation label scopes profile samples of this lattice
+	// traversal (and the product workers it spawns) to the pivot.
+	pprof.Do(ctx, pprof.Labels("xfd_relation", string(r.Pivot)), func(context.Context) {
+		lr.run(run.xfd)
+	})
 	if lr.err != nil {
 		g.err = lr.err
+		if run.tr != nil {
+			trace.Emit(run.tr, &trace.Event{Kind: trace.KindRelationEnd, Relation: string(r.Pivot),
+				Nodes: g.stats.NodesVisited - nodesBefore, DurationMS: msSince(relStart), Err: lr.err.Error()})
+		}
 		return g
 	}
 
@@ -245,6 +348,10 @@ func (run *Run) traverse(r *relation.Relation) gathered {
 	run.cache.retire(lr.pc)
 	lr.close()
 	g.out = lr.out.outgoing
+	if run.tr != nil {
+		trace.Emit(run.tr, &trace.Event{Kind: trace.KindRelationEnd, Relation: string(r.Pivot),
+			Nodes: g.stats.NodesVisited - nodesBefore, DurationMS: msSince(relStart)})
+	}
 	return g
 }
 

@@ -54,6 +54,45 @@ func TestStatsConsistency(t *testing.T) {
 	}
 }
 
+// TestStatsTimeAccounting pins the documented IntraTime/InterTime
+// semantics (see Stats): the two buckets are exclusive, so in a
+// serial run their sum cannot exceed the run's wall clock — the
+// regression check for double-counting. Under Parallel they are
+// summed worker time and only individual non-negativity holds, which
+// TestStatsConsistency already covers.
+func TestStatsTimeAccounting(t *testing.T) {
+	ds := xmlgen.PSD(xmlgen.DefaultPSD())
+	h, err := relation.Build(ds.Tree, ds.Schema, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discover(h, Options{PropagatePartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.WallTime <= 0 {
+		t.Fatalf("WallTime = %v, want > 0", st.WallTime)
+	}
+	if sum := st.IntraTime + st.InterTime; sum > st.WallTime {
+		t.Errorf("serial run double-counts time: intra %v + inter %v > wall %v",
+			st.IntraTime, st.InterTime, st.WallTime)
+	}
+
+	// Parallel: wall time still stamped, component times non-negative
+	// (they are summed worker time and may legitimately exceed wall).
+	pres, err := Discover(h, Options{PropagatePartial: true, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Stats.WallTime <= 0 {
+		t.Errorf("parallel WallTime = %v, want > 0", pres.Stats.WallTime)
+	}
+	if pres.Stats.IntraTime < 0 || pres.Stats.InterTime < 0 {
+		t.Errorf("negative component times: %+v", pres.Stats)
+	}
+}
+
 // TestMergeStats checks the parallel-merge accumulator.
 func TestMergeStats(t *testing.T) {
 	a := Stats{Relations: 1, Tuples: 10, NodesVisited: 5, IntraTime: 100, InterTime: 7}

@@ -7,7 +7,40 @@ import (
 	"discoverxfd/internal/partition"
 	"discoverxfd/internal/relation"
 	"discoverxfd/internal/schema"
+	"discoverxfd/internal/trace"
 )
+
+// The target lifecycle helpers pair each Stats counter bump with its
+// trace event, so every TargetsCreated/Propagated/Dropped increment
+// in this package is observable in a traced run. The nil check keeps
+// the untraced path at one pointer compare per lifecycle step.
+
+// targetCreated records a new target with its deduplicated pair count.
+func targetCreated(rel *relation.Relation, opts *Options, st *Stats, pairs int) {
+	st.TargetsCreated++
+	if opts.Tracer != nil {
+		trace.Emit(opts.Tracer, &trace.Event{Kind: trace.KindTarget,
+			Relation: string(rel.Pivot), Action: "create", Pairs: pairs})
+	}
+}
+
+// targetPropagated records a target lifted one relation level up.
+func targetPropagated(rel *relation.Relation, opts *Options, st *Stats, pairs int) {
+	st.TargetsPropagated++
+	if opts.Tracer != nil {
+		trace.Emit(opts.Tracer, &trace.Event{Kind: trace.KindTarget,
+			Relation: string(rel.Pivot), Action: "propagate", Pairs: pairs})
+	}
+}
+
+// targetDropped records a target killed or withheld, naming the cause.
+func targetDropped(rel *relation.Relation, opts *Options, st *Stats, detail string) {
+	st.TargetsDropped++
+	if opts.Tracer != nil {
+		trace.Emit(opts.Tracer, &trace.Event{Kind: trace.KindTarget,
+			Relation: string(rel.Pivot), Action: "drop", Detail: detail})
+	}
+}
 
 // pair is one inequality t1 ≠ t2 over tuples of the relation the
 // target currently lives at, normalized a ≤ b.
@@ -193,7 +226,7 @@ func createTarget(rel *relation.Relation, lhs AttrSet, rhs int,
 				if pb, ok := parentBucket[p]; ok {
 					if pb != b {
 						if !ni.keep(p) {
-							st.TargetsDropped++
+							targetDropped(rel, opts, st, "degenerate pair unsatisfiable")
 							return nil
 						}
 						fdSet.add(pair{p, p})
@@ -219,7 +252,7 @@ func createTarget(rel *relation.Relation, lhs AttrSet, rhs int,
 			sq += len(ps) * len(ps)
 		}
 		if (total*total-sq)/2 > opts.maxTargetPairs() {
-			st.TargetsDropped++
+			targetDropped(rel, opts, st, "pair bound exceeded")
 			return nil
 		}
 		for i := 0; i < len(bps); i++ {
@@ -236,15 +269,16 @@ func createTarget(rel *relation.Relation, lhs AttrSet, rhs int,
 		}
 	}
 	if fdSet.overflow {
-		st.TargetsDropped++
+		targetDropped(rel, opts, st, "pair set overflow")
 		return nil
 	}
-	st.TargetsCreated++
+	ps := fdSet.slice()
+	targetCreated(rel, opts, st, len(ps))
 	return &target{
 		origin: rel,
 		lhs0:   lhs,
 		rhs:    rhs,
-		pairs:  fdSet.slice(),
+		pairs:  ps,
 	}
 }
 
@@ -273,7 +307,7 @@ func createKeyTarget(rel *relation.Relation, a AttrSet, pa *partition.Partition,
 			p := parents[t]
 			if seen[p] {
 				if !ni.keep(p) {
-					st.TargetsDropped++
+					targetDropped(rel, opts, st, "degenerate pair unsatisfiable")
 					return nil
 				}
 				degenerates = append(degenerates, p)
@@ -284,7 +318,7 @@ func createKeyTarget(rel *relation.Relation, a AttrSet, pa *partition.Partition,
 		}
 		bound += len(ps) * (len(ps) - 1) / 2
 		if bound > max {
-			st.TargetsDropped++
+			targetDropped(rel, opts, st, "pair bound exceeded")
 			return nil
 		}
 		groupParents = append(groupParents, ps)
@@ -302,15 +336,16 @@ func createKeyTarget(rel *relation.Relation, a AttrSet, pa *partition.Partition,
 		}
 	}
 	if keySet.overflow {
-		st.TargetsDropped++
+		targetDropped(rel, opts, st, "pair set overflow")
 		return nil
 	}
-	st.TargetsCreated++
+	ps := keySet.slice()
+	targetCreated(rel, opts, st, len(ps))
 	return &target{
 		origin:  rel,
 		lhs0:    a,
 		keyOnly: true,
-		pairs:   keySet.slice(),
+		pairs:   ps,
 	}
 }
 
@@ -332,27 +367,28 @@ func (t *target) convert(rel *relation.Relation, gids []int32, nulls []bool,
 		}
 		pa, pb := parents[p.a], parents[p.b]
 		if pa == pb && !ni.keep(pa) {
-			st.TargetsDropped++
+			targetDropped(rel, opts, st, "degenerate pair unsatisfiable at parent")
 			return nil
 		}
 		set.add(mkPair(pa, pb))
 	}
 	if set.overflow {
-		st.TargetsDropped++
+		targetDropped(rel, opts, st, "pair set overflow")
 		return nil
 	}
 	parts := t.parts
 	if absorbed != 0 {
 		parts = append(append([]lhsPart(nil), t.parts...), lhsPart{rel: rel, attrs: absorbed})
 	}
-	st.TargetsPropagated++
+	ps := set.slice()
+	targetPropagated(rel, opts, st, len(ps))
 	return &target{
 		origin:  t.origin,
 		lhs0:    t.lhs0,
 		rhs:     t.rhs,
 		parts:   parts,
 		keyOnly: t.keyOnly,
-		pairs:   set.slice(),
+		pairs:   ps,
 	}
 }
 

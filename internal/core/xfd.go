@@ -8,7 +8,11 @@ import (
 	"discoverxfd/internal/schema"
 )
 
-// mergeStats accumulates per-subtree instrumentation.
+// mergeStats accumulates per-subtree instrumentation. WallTime is
+// deliberately not merged: it is a run-scoped wall-clock measurement
+// stamped once at the end of the pipeline, not a summable per-subtree
+// quantity (summing it across parallel subtrees would recreate the
+// double-counting the Stats docs rule out).
 func mergeStats(dst, src *Stats) {
 	dst.Relations += src.Relations
 	dst.Tuples += src.Tuples

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// JSONL writes one JSON object per event, one event per line — the
+// `discoverxfd -trace=<file>` format. Events are encoded in emission
+// order under a mutex, so a serial run's trace is deterministic up to
+// the timestamps (ValidateJSONL and the determinism tests strip the
+// `t` field). Write errors latch: the first one is kept and every
+// later event is dropped, so a full disk cannot wedge or crash a run;
+// check Err after the run.
+//
+// JSONL performs no buffering of its own — wrap the writer in a
+// bufio.Writer (and flush it) when tracing to a file.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+	now func() time.Time
+}
+
+// NewJSONL returns a JSONL tracer writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w), now: time.Now}
+}
+
+// Emit stamps the event's time and writes it as one JSON line.
+func (j *JSONL) Emit(ev *Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	ev.Time = j.now()
+	j.err = j.enc.Encode(ev)
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// DefaultThrottle is the minimum interval between progress-log
+// records for hot-path events (lattice levels, target lifecycle) of
+// one relation. Span events (run, stage, relation, governor) are
+// never throttled — they are rare and load-bearing.
+const DefaultThrottle = 250 * time.Millisecond
+
+// Progress renders trace events as log/slog records — the `-v`/`-vv`
+// live progress view of a run. Two verbosity tiers:
+//
+//   - verbose == false (-v): run, stage and relation spans plus
+//     governor events — the coarse "where is the run" view;
+//   - verbose == true (-vv): additionally per-lattice-level progress
+//     and target lifecycle events, throttled to at most one record
+//     per relation per throttle interval so a hot lattice cannot
+//     flood the log.
+//
+// Truncation and run failures log at Warn/Error; everything else at
+// Info. Progress spawns no goroutines and synchronizes with a mutex,
+// like every backend in this package.
+type Progress struct {
+	log     *slog.Logger
+	verbose bool
+
+	mu       sync.Mutex
+	throttle time.Duration
+	last     map[string]time.Time // hot-path emission time per relation
+	now      func() time.Time
+}
+
+// NewProgress returns a Progress logger emitting through l (nil means
+// slog.Default) at the given verbosity, throttling hot-path events to
+// DefaultThrottle.
+func NewProgress(l *slog.Logger, verbose bool) *Progress {
+	if l == nil {
+		l = slog.Default()
+	}
+	return &Progress{
+		log:      l,
+		verbose:  verbose,
+		throttle: DefaultThrottle,
+		last:     make(map[string]time.Time),
+		now:      time.Now,
+	}
+}
+
+// Emit renders one event, applying the verbosity and throttle rules.
+func (p *Progress) Emit(ev *Event) {
+	switch ev.Kind {
+	case KindLevel, KindTarget:
+		if !p.verbose || !p.admit(ev.Relation) {
+			return
+		}
+	}
+	level := slog.LevelInfo
+	if (ev.Kind == KindRunEnd && ev.Truncated) || (ev.Kind == KindGovernor && ev.Action == "truncate") {
+		level = slog.LevelWarn
+	}
+	if ev.Err != "" {
+		level = slog.LevelError
+	}
+	//lint:ctxplumb slog's context is for handler plumbing only; progress logging has no cancellation to propagate
+	p.log.LogAttrs(context.Background(), level, string(ev.Kind), p.attrs(ev)...)
+}
+
+// admit reports whether a hot-path event for the relation may log,
+// recording the admission time.
+func (p *Progress) admit(relation string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	if last, ok := p.last[relation]; ok && now.Sub(last) < p.throttle {
+		return false
+	}
+	p.last[relation] = now
+	return true
+}
+
+// attrs flattens the event's populated fields into slog attributes,
+// in the schema's field order.
+func (p *Progress) attrs(ev *Event) []slog.Attr {
+	out := make([]slog.Attr, 0, 8)
+	add := func(key, val string) {
+		if val != "" {
+			out = append(out, slog.String(key, val))
+		}
+	}
+	addInt := func(key string, val int) {
+		if val != 0 {
+			out = append(out, slog.Int(key, val))
+		}
+	}
+	add("run", ev.Run)
+	add("stage", ev.Stage)
+	add("relation", ev.Relation)
+	addInt("level", ev.Level)
+	addInt("tuples", ev.Tuples)
+	addInt("attrs", ev.Attrs)
+	addInt("relations", ev.Relations)
+	addInt("nodes", ev.Nodes)
+	addInt("products", ev.Products)
+	addInt("cacheHits", ev.CacheHits)
+	addInt("cacheMisses", ev.CacheMisses)
+	if ev.HitRate != 0 {
+		out = append(out, slog.Float64("hitRate", ev.HitRate))
+	}
+	if ev.CacheBytes != 0 {
+		out = append(out, slog.Int64("cacheBytes", ev.CacheBytes))
+	}
+	add("action", ev.Action)
+	add("detail", ev.Detail)
+	addInt("pairs", ev.Pairs)
+	addInt("workers", ev.Workers)
+	if ev.DurationMS != 0 {
+		out = append(out, slog.Float64("ms", ev.DurationMS))
+	}
+	if ev.Truncated {
+		out = append(out, slog.Bool("truncated", true))
+	}
+	add("error", ev.Err)
+	return out
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Stages is the staged pipeline in execution order; a complete run's
+// trace contains a stage span for each (see internal/core/run.go).
+var Stages = []string{"plan", "traverse", "minimize", "verify", "assemble"}
+
+// Summary reports what a validated trace contained.
+type Summary struct {
+	Events int
+	Runs   int
+}
+
+// runState tracks per-run schema obligations while validating.
+type runState struct {
+	started    bool
+	ended      bool
+	stagesSeen map[string]bool
+	openStages map[string]bool
+	openRels   map[string]bool
+	failed     bool
+}
+
+// ValidateJSONL checks a JSONL trace (as written by the JSONL
+// backend) against the event schema: every line must decode strictly
+// into an Event of a known kind carrying that kind's required fields,
+// spans must nest (run brackets stages, stages bracket relations),
+// and every successfully ended run must have traced all five pipeline
+// stages. The first violation is returned with its line number.
+func ValidateJSONL(r io.Reader) (*Summary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	runs := make(map[string]*runState)
+	var order []string
+	sum := &Summary{}
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		if err := checkEvent(runs, &order, &ev); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		sum.Events++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	for _, id := range order {
+		rs := runs[id]
+		if !rs.ended {
+			return nil, fmt.Errorf("trace: run %s has no run_end", id)
+		}
+	}
+	sum.Runs = len(runs)
+	return sum, nil
+}
+
+// stateFor returns the run's validation state, requiring that events
+// for a run follow its run_start.
+func stateFor(runs map[string]*runState, ev *Event) (*runState, error) {
+	if ev.Run == "" {
+		return nil, fmt.Errorf("%s event without a run id", ev.Kind)
+	}
+	rs := runs[ev.Run]
+	if rs == nil || !rs.started {
+		return nil, fmt.Errorf("%s event for run %s before its run_start", ev.Kind, ev.Run)
+	}
+	if rs.ended {
+		return nil, fmt.Errorf("%s event for run %s after its run_end", ev.Kind, ev.Run)
+	}
+	return rs, nil
+}
+
+func checkEvent(runs map[string]*runState, order *[]string, ev *Event) error {
+	if ev.Time.IsZero() {
+		return fmt.Errorf("%s event without a timestamp", ev.Kind)
+	}
+	switch ev.Kind {
+	case KindRunStart:
+		if ev.Run == "" {
+			return fmt.Errorf("run_start without a run id")
+		}
+		if runs[ev.Run] != nil {
+			return fmt.Errorf("duplicate run_start for run %s", ev.Run)
+		}
+		runs[ev.Run] = &runState{
+			started:    true,
+			stagesSeen: make(map[string]bool),
+			openStages: make(map[string]bool),
+			openRels:   make(map[string]bool),
+		}
+		*order = append(*order, ev.Run)
+	case KindRunEnd:
+		rs, err := stateFor(runs, ev)
+		if err != nil {
+			return err
+		}
+		if len(rs.openStages) > 0 {
+			return fmt.Errorf("run %s ended with an unclosed stage span", ev.Run)
+		}
+		rs.ended = true
+		rs.failed = ev.Err != ""
+		if !rs.failed {
+			for _, s := range Stages {
+				if !rs.stagesSeen[s] {
+					return fmt.Errorf("run %s ended without tracing stage %q", ev.Run, s)
+				}
+			}
+		}
+	case KindStageStart, KindStageEnd:
+		rs, err := stateFor(runs, ev)
+		if err != nil {
+			return err
+		}
+		if !knownStage(ev.Stage) {
+			return fmt.Errorf("unknown stage %q", ev.Stage)
+		}
+		if ev.Kind == KindStageStart {
+			if rs.openStages[ev.Stage] {
+				return fmt.Errorf("stage %q started twice", ev.Stage)
+			}
+			rs.openStages[ev.Stage] = true
+		} else {
+			if !rs.openStages[ev.Stage] {
+				return fmt.Errorf("stage_end for %q without a stage_start", ev.Stage)
+			}
+			delete(rs.openStages, ev.Stage)
+			rs.stagesSeen[ev.Stage] = true
+		}
+	case KindRelationStart, KindRelationEnd:
+		rs, err := stateFor(runs, ev)
+		if err != nil {
+			return err
+		}
+		if ev.Relation == "" {
+			return fmt.Errorf("%s without a relation", ev.Kind)
+		}
+		if ev.Kind == KindRelationStart {
+			if rs.openRels[ev.Relation] {
+				return fmt.Errorf("relation %s started twice", ev.Relation)
+			}
+			rs.openRels[ev.Relation] = true
+		} else {
+			if !rs.openRels[ev.Relation] {
+				return fmt.Errorf("relation_end for %s without a relation_start", ev.Relation)
+			}
+			delete(rs.openRels, ev.Relation)
+		}
+	case KindLevel:
+		rs, err := stateFor(runs, ev)
+		if err != nil {
+			return err
+		}
+		if !rs.openRels[ev.Relation] {
+			return fmt.Errorf("level event outside a relation span (relation %q)", ev.Relation)
+		}
+		if ev.Level < 1 {
+			return fmt.Errorf("level event with level %d", ev.Level)
+		}
+	case KindTarget:
+		if _, err := stateFor(runs, ev); err != nil {
+			return err
+		}
+		if ev.Relation == "" {
+			return fmt.Errorf("target event without a relation")
+		}
+		switch ev.Action {
+		case "create", "propagate", "drop":
+		default:
+			return fmt.Errorf("target event with action %q", ev.Action)
+		}
+	case KindGovernor:
+		if _, err := stateFor(runs, ev); err != nil {
+			return err
+		}
+		switch ev.Action {
+		case "worker_spawn", "truncate":
+		default:
+			return fmt.Errorf("governor event with action %q", ev.Action)
+		}
+	case KindCheck:
+		switch ev.Action {
+		case "holds", "violated":
+		default:
+			return fmt.Errorf("check event with action %q", ev.Action)
+		}
+	default:
+		return fmt.Errorf("unknown event kind %q", ev.Kind)
+	}
+	return nil
+}
+
+func knownStage(s string) bool {
+	for _, st := range Stages {
+		if s == st {
+			return true
+		}
+	}
+	return false
+}

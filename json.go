@@ -43,6 +43,7 @@ type jsonResult struct {
 		TargetsDropped     int    `json:"targetsDropped"`
 		IntraTime          string `json:"intraTime"`
 		InterTime          string `json:"interTime"`
+		WallTime           string `json:"wallTime"`
 		Truncated          bool   `json:"truncated,omitempty"`
 		TruncatedReason    string `json:"truncatedReason,omitempty"`
 	} `json:"stats"`
@@ -101,6 +102,7 @@ func WriteJSON(w io.Writer, res *Result) error {
 	jr.Stats.TargetsDropped = res.Stats.TargetsDropped
 	jr.Stats.IntraTime = res.Stats.IntraTime.String()
 	jr.Stats.InterTime = res.Stats.InterTime.String()
+	jr.Stats.WallTime = res.Stats.WallTime.String()
 	jr.Stats.Truncated = res.Stats.Truncated
 	jr.Stats.TruncatedReason = res.Stats.TruncatedReason
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 
 	"discoverxfd"
 )
@@ -34,8 +35,12 @@ func TestWriteJSON(t *testing.T) {
 			LHS   []string `json:"lhs"`
 		} `json:"keys"`
 		Stats struct {
-			Relations int `json:"relations"`
-			Tuples    int `json:"tuples"`
+			Relations       int    `json:"relations"`
+			Tuples          int    `json:"tuples"`
+			IntraTime       string `json:"intraTime"`
+			WallTime        string `json:"wallTime"`
+			Truncated       bool   `json:"truncated"`
+			TruncatedReason string `json:"truncatedReason"`
 		} `json:"stats"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
@@ -47,6 +52,15 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if decoded.Stats.Relations != res.Stats.Relations || decoded.Stats.Tuples != res.Stats.Tuples {
 		t.Fatalf("stats mismatch: %+v vs %+v", decoded.Stats, res.Stats)
+	}
+	if d, err := time.ParseDuration(decoded.Stats.WallTime); err != nil || d <= 0 {
+		t.Errorf("wallTime = %q, want a positive duration (err=%v)", decoded.Stats.WallTime, err)
+	}
+	if _, err := time.ParseDuration(decoded.Stats.IntraTime); err != nil {
+		t.Errorf("intraTime = %q does not parse: %v", decoded.Stats.IntraTime, err)
+	}
+	if decoded.Stats.Truncated || decoded.Stats.TruncatedReason != "" {
+		t.Errorf("untruncated run carries truncation fields: %+v", decoded.Stats)
 	}
 	// The isbn->title FD carries its witness count.
 	found := false
@@ -63,6 +77,41 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "approxFDs") && len(res.ApproxFDs) > 0 {
 		t.Fatalf("approximate FDs missing from JSON")
+	}
+}
+
+// TestWriteJSONTruncatedReason pins the truncation fields' round
+// trip: a tuple-capped run must carry truncated=true and its reason
+// through the JSON encoding.
+func TestWriteJSONTruncatedReason(t *testing.T) {
+	doc, err := discoverxfd.ParseDocument(libraryXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := discoverxfd.Discover(doc, nil, &discoverxfd.Options{
+		Limits: discoverxfd.Limits{MaxTuples: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Truncated || res.Stats.TruncatedReason == "" {
+		t.Fatalf("tuple-capped run not truncated: %+v", res.Stats)
+	}
+	var buf bytes.Buffer
+	if err := discoverxfd.WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Stats struct {
+			Truncated       bool   `json:"truncated"`
+			TruncatedReason string `json:"truncatedReason"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Stats.Truncated || decoded.Stats.TruncatedReason != res.Stats.TruncatedReason {
+		t.Fatalf("truncation fields lost in JSON: %+v vs %+v", decoded.Stats, res.Stats)
 	}
 }
 

@@ -1,0 +1,30 @@
+package discoverxfd
+
+import (
+	"io"
+	"log/slog"
+
+	"discoverxfd/internal/trace"
+)
+
+// NewJSONLTracer returns a Tracer writing one JSON object per event
+// to w — the `discoverxfd -trace=<file>` format. The writer is not
+// buffered or closed by the tracer; wrap files in a bufio.Writer and
+// flush after the run. Write errors latch silently (a full disk never
+// fails a discovery); inspect them via the concrete type's Err method
+// if needed.
+func NewJSONLTracer(w io.Writer) Tracer { return trace.NewJSONL(w) }
+
+// NewProgressTracer returns a Tracer rendering events as log/slog
+// records (nil logger means slog.Default): the `-v`/`-vv` live
+// progress view. verbose false logs run/stage/relation spans and
+// governor events only; verbose true adds throttled per-level and
+// per-target progress.
+func NewProgressTracer(l *slog.Logger, verbose bool) Tracer {
+	return trace.NewProgress(l, verbose)
+}
+
+// CombineTracers fans every event out to all non-nil tracers; with
+// zero live tracers it returns nil (tracing off). Use it to trace to
+// a JSONL file and the progress log simultaneously.
+func CombineTracers(ts ...Tracer) Tracer { return trace.Multi(ts...) }
