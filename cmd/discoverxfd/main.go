@@ -25,7 +25,7 @@
 // Exit status is 0 on success (including a partial result), 1 on a
 // runtime error (unreadable file, malformed XML, exceeded parse
 // limit), and 2 on a usage error (bad flags, missing argument,
-// -stream without -schema, or input whose shape contradicts the
+// -stream without -schema, a negative limit flag, or input whose shape contradicts the
 // schema — an empty document or a mismatched root, classified via
 // errors.Is/errors.As on the library's sentinel errors).
 package main
@@ -227,7 +227,8 @@ func fatal(err error) {
 		fmt.Fprintf(os.Stderr, "discoverxfd: %v\n", cerr)
 	}
 	var rootErr *discoverxfd.RootMismatchError
-	if errors.As(err, &rootErr) || errors.Is(err, discoverxfd.ErrEmptyTree) {
+	if errors.As(err, &rootErr) || errors.Is(err, discoverxfd.ErrEmptyTree) ||
+		errors.Is(err, discoverxfd.ErrBadLimits) {
 		os.Exit(2)
 	}
 	os.Exit(1)

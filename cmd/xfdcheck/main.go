@@ -21,7 +21,7 @@
 //
 // Exit status is 0 when every constraint holds, 1 when a constraint
 // is violated or a runtime error occurs, and 2 on a usage error (bad
-// flags, -stream without -schema, or input whose shape contradicts
+// flags, -stream without -schema, a negative limit flag, or input whose shape contradicts
 // the schema — classified via errors.Is/errors.As on the library's
 // sentinel errors).
 package main
@@ -167,7 +167,8 @@ func fatal(err error) {
 		fmt.Fprintf(os.Stderr, "xfdcheck: %v\n", cerr)
 	}
 	var rootErr *discoverxfd.RootMismatchError
-	if errors.As(err, &rootErr) || errors.Is(err, discoverxfd.ErrEmptyTree) {
+	if errors.As(err, &rootErr) || errors.Is(err, discoverxfd.ErrEmptyTree) ||
+		errors.Is(err, discoverxfd.ErrBadLimits) {
 		os.Exit(2)
 	}
 	os.Exit(1)

@@ -146,6 +146,13 @@ type Options struct {
 	// NewProgressTracer; traced and untraced runs produce identical
 	// Results.
 	Trace Tracer
+	// RelationHook, when non-nil, is invoked just before each
+	// relation's lattice traversal with the relation's pivot path. It
+	// is a testing and fault-injection seam (the chaos suite uses it
+	// to panic inside a chosen engine stage); production callers leave
+	// it nil. The hook runs on discovery worker goroutines and must be
+	// safe for concurrent use under Parallel.
+	RelationHook func(pivot Path)
 }
 
 // coreOptions maps the public options onto the engine's, carrying the
@@ -165,6 +172,7 @@ func (o *Options) coreOptions(deadline time.Time) core.Options {
 		MaxPartitionBytes: o.Limits.MaxPartitionBytes,
 		Deadline:          deadline,
 		Tracer:            o.Trace,
+		RelationHook:      o.RelationHook,
 	}
 }
 

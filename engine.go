@@ -74,7 +74,10 @@ func (e *Engine) PublishExpvar(name string) {
 // inferred from the data. The Limits.Deadline budget covers hierarchy
 // construction and discovery together.
 func (e *Engine) Discover(ctx context.Context, doc *Document, s *Schema) (*Result, error) {
-	deadline := e.opts.Limits.deadlineFrom(time.Now())
+	if err := e.opts.Limits.Validate(); err != nil {
+		return nil, err
+	}
+	deadline := e.opts.Limits.deadlineFor(ctx, time.Now())
 	h, err := buildHierarchyAt(ctx, doc, s, &e.opts, deadline)
 	if err != nil {
 		return nil, err
@@ -86,7 +89,10 @@ func (e *Engine) Discover(ctx context.Context, doc *Document, s *Schema) (*Resul
 // Repeated calls with the same *Hierarchy reuse the engine's warm
 // partitions — this is the engine-reuse fast path.
 func (e *Engine) DiscoverHierarchy(ctx context.Context, h *Hierarchy) (*Result, error) {
-	return e.discoverAt(ctx, h, e.opts.Limits.deadlineFrom(time.Now()))
+	if err := e.opts.Limits.Validate(); err != nil {
+		return nil, err
+	}
+	return e.discoverAt(ctx, h, e.opts.Limits.deadlineFor(ctx, time.Now()))
 }
 
 // DiscoverStream runs DiscoverXFD over an XML stream without
@@ -94,7 +100,10 @@ func (e *Engine) DiscoverHierarchy(ctx context.Context, h *Hierarchy) (*Result, 
 // BuildHierarchyStream for the streaming contract; the schema is
 // required).
 func (e *Engine) DiscoverStream(ctx context.Context, r io.Reader, s *Schema) (*Result, error) {
-	deadline := e.opts.Limits.deadlineFrom(time.Now())
+	if err := e.opts.Limits.Validate(); err != nil {
+		return nil, err
+	}
+	deadline := e.opts.Limits.deadlineFor(ctx, time.Now())
 	h, err := buildHierarchyStreamAt(ctx, r, s, &e.opts, deadline)
 	if err != nil {
 		return nil, err
@@ -115,6 +124,9 @@ func (e *Engine) discoverAt(ctx context.Context, h *Hierarchy, deadline time.Tim
 // limits (Limits.MaxDepth, Limits.MaxNodes), checking ctx
 // periodically.
 func (e *Engine) LoadDocument(ctx context.Context, r io.Reader) (*Document, error) {
+	if err := e.opts.Limits.Validate(); err != nil {
+		return nil, err
+	}
 	return datatree.ParseXMLContext(ctx, r, e.opts.Limits.parseLimits())
 }
 
@@ -137,14 +149,20 @@ func (e *Engine) LoadDocumentFile(ctx context.Context, path string) (*Document, 
 // document under the engine's options (see the package-level
 // BuildHierarchyContext for the truncation contract).
 func (e *Engine) BuildHierarchy(ctx context.Context, doc *Document, s *Schema) (*Hierarchy, error) {
-	return buildHierarchyAt(ctx, doc, s, &e.opts, e.opts.Limits.deadlineFrom(time.Now()))
+	if err := e.opts.Limits.Validate(); err != nil {
+		return nil, err
+	}
+	return buildHierarchyAt(ctx, doc, s, &e.opts, e.opts.Limits.deadlineFor(ctx, time.Now()))
 }
 
 // BuildHierarchyStream constructs the hierarchical representation
 // directly from an XML stream (see the package-level
 // BuildHierarchyStreamContext; the schema is required).
 func (e *Engine) BuildHierarchyStream(ctx context.Context, r io.Reader, s *Schema) (*Hierarchy, error) {
-	return buildHierarchyStreamAt(ctx, r, s, &e.opts, e.opts.Limits.deadlineFrom(time.Now()))
+	if err := e.opts.Limits.Validate(); err != nil {
+		return nil, err
+	}
+	return buildHierarchyStreamAt(ctx, r, s, &e.opts, e.opts.Limits.deadlineFor(ctx, time.Now()))
 }
 
 // Evaluate checks a single XML FD ⟨class, lhs, rhs⟩ directly against

@@ -29,6 +29,13 @@ func TestCtxPlumbFixture(t *testing.T) {
 	fixture(t, "discoverxfd/ctxfix", All()...)
 }
 
+func TestCtxPlumbHTTPFixture(t *testing.T) {
+	// Handler-shaped functions (receiving an *http.Request) are held to
+	// the root-context rule; the whole suite runs so the other
+	// analyzers must stay silent.
+	fixture(t, "discoverxfd/httpfix", All()...)
+}
+
 func TestCtxPlumbSkipsPackageMain(t *testing.T) {
 	fixture(t, "discoverxfd/ctxmain", CtxPlumb)
 }

@@ -21,7 +21,10 @@ import (
 //     engine methods take ctx as their first parameter by convention,
 //     so they are the ...Context variants of the engine API. A
 //     function that already receives a ctx and still calls Background
-//     has silently detached from the cancellation chain.
+//     has silently detached from the cancellation chain. A function
+//     that receives an *http.Request is held to the same rule: the
+//     request carries the client's context (r.Context()), so HTTP
+//     handlers never need a fresh root either.
 //
 //   - No dropped ctx parameters: a function that declares a
 //     context.Context parameter must use it (and must not name it
@@ -70,6 +73,10 @@ func (p *Pass) checkRootContext(stack []ast.Node, call *ast.CallExpr) {
 	fn := enclosingFunc(stack)
 	if fn != nil && p.funcHasCtxParam(fn) {
 		p.Reportf(call.Pos(), "context.%s() in a function that already receives a context: pass the caller's ctx down instead of detaching from the cancellation chain", name)
+		return
+	}
+	if fn != nil && p.funcHasRequestParam(fn) {
+		p.Reportf(call.Pos(), "context.%s() in a function that receives an *http.Request: the request already carries the client's context — pass its Context() down so a disconnect cancels the work", name)
 		return
 	}
 	// Shim shape: the fresh root is handed straight to a ...Context
@@ -156,6 +163,34 @@ func (p *Pass) funcHasCtxParam(fn ast.Node) bool {
 	}
 	for _, field := range ftype.Params.List {
 		if t := p.Info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcHasRequestParam reports whether the function declares a
+// *net/http.Request parameter. HTTP handlers already hold a context —
+// the request's, which dies with the client connection — so a fresh
+// root inside one detaches the work from its client exactly like an
+// ignored ctx parameter would.
+func (p *Pass) funcHasRequestParam(fn ast.Node) bool {
+	var ftype *ast.FuncType
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		ftype = fn.Type
+	case *ast.FuncLit:
+		ftype = fn.Type
+	default:
+		return false
+	}
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		t := p.Info.TypeOf(field.Type)
+		ptr, ok := t.(*types.Pointer)
+		if ok && isNamed(ptr.Elem(), "net/http", "Request") {
 			return true
 		}
 	}

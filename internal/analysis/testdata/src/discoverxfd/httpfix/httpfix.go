@@ -1,0 +1,64 @@
+// Package httpfix exercises ctxplumb's HTTP-handler rule: a function
+// that receives an *http.Request already holds the client's context
+// (r.Context()), so minting a fresh root inside one detaches the work
+// from the client exactly like ignoring a ctx parameter would.
+package httpfix
+
+import (
+	"context"
+	"net/http"
+)
+
+func run(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// plumbed is the sanctioned handler shape: the request's context flows
+// down, so a client disconnect cancels the work.
+func plumbed(w http.ResponseWriter, r *http.Request) {
+	_ = run(r.Context())
+}
+
+// detachedHandler mints a fresh root despite holding a request.
+func detachedHandler(w http.ResponseWriter, r *http.Request) {
+	_ = run(context.Background()) // want "receives an \*http\.Request"
+}
+
+// Handler literals are held to the same rule.
+var litHandler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	_ = run(context.TODO()) // want "receives an \*http\.Request"
+})
+
+// A function with both a ctx and a request gets the ctx message: the
+// explicit parameter is the more direct fix.
+func bothParams(ctx context.Context, r *http.Request) {
+	_ = run(ctx)
+	_ = run(context.Background()) // want "already receives a context"
+}
+
+// The request rule fires even when the fresh root is handed straight
+// to a ...Context callee — inside a handler that is never a shim.
+func shimShapedHandler(w http.ResponseWriter, r *http.Request) {
+	_ = runContext(context.Background()) // want "receives an \*http\.Request"
+}
+
+func runContext(ctx context.Context) error { return run(ctx) }
+
+// A documented exception is suppressible as usual.
+func auditHandler(w http.ResponseWriter, r *http.Request) {
+	//lint:ctxplumb fixture models an audit write that must outlive the request
+	_ = run(context.Background())
+}
+
+// The rule keys on the type's package, not its name: a local Request
+// carries no context, so this is the ordinary library-code diagnostic.
+type Request struct{}
+
+func localRequest(r *Request) error {
+	return run(context.Background()) // want "outside a ...Context compatibility shim"
+}

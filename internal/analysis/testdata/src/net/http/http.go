@@ -1,0 +1,34 @@
+// Package http is a minimal stand-in for net/http, just enough for
+// the ctxplumb fixtures to type-check handler signatures. The fixture
+// loader probes the fixture GOPATH before GOROOT, so this stub shadows
+// the real package and keeps fixture type-checking fast and
+// closure-free. The analyzer keys on the import path ("net/http") and
+// type name ("Request"), which this stub shares with the real thing.
+package http
+
+import "context"
+
+// Request carries a per-request context, like the real thing.
+type Request struct {
+	ctx context.Context
+}
+
+// Context returns the request's context.
+func (r *Request) Context() context.Context { return r.ctx }
+
+// ResponseWriter is the response side of a handler.
+type ResponseWriter interface {
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+// Handler responds to an HTTP request.
+type Handler interface {
+	ServeHTTP(ResponseWriter, *Request)
+}
+
+// HandlerFunc adapts a function to a Handler.
+type HandlerFunc func(ResponseWriter, *Request)
+
+// ServeHTTP calls f(w, r).
+func (f HandlerFunc) ServeHTTP(w ResponseWriter, r *Request) { f(w, r) }

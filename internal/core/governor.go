@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -46,12 +47,26 @@ func newGovernor(ctx context.Context, opts *Options) *governor {
 }
 
 // cancelled returns a wrapped context error once the context fires.
+//
+// One carve-out keeps deadline composition deterministic: when the
+// context died of its own *deadline* and the run's wall-clock budget
+// is also spent, the exhaustion is treated as budget truncation — the
+// run winds down through the expired() checks and returns the partial
+// Result found so far, never an error. The public layer composes the
+// governor deadline as min(Limits.Deadline, ctx deadline), so a fired
+// context deadline always implies an expired budget; without the
+// carve-out the two checks would race and the outcome (partial result
+// versus error) would depend on which poll site ran first. Explicit
+// cancellation (context.Canceled) always aborts with an error.
 func (g *governor) cancelled() error {
 	if g == nil || g.ctx == nil {
 		return nil
 	}
 	select {
 	case <-g.ctx.Done():
+		if errors.Is(g.ctx.Err(), context.DeadlineExceeded) && g.expired() {
+			return nil
+		}
 		return fmt.Errorf("core: discovery cancelled: %w", g.ctx.Err())
 	default:
 		return nil

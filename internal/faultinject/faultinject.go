@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"runtime"
 	"strings"
 	"sync"
@@ -71,6 +72,32 @@ func (r *Reader) err() error {
 // truncated file.
 func Short(r io.Reader, n int64) io.Reader {
 	return io.LimitReader(r, n)
+}
+
+// SlowReader delivers the bytes of R at most Chunk bytes per Read,
+// sleeping Delay before each one — a client trickling its upload over
+// a slow link. Zero Chunk defaults to 1 byte; zero Delay just chops
+// reads. The total stall a document can impose is
+// ceil(len/Chunk)·Delay, so tests size the two to stay fast while
+// still exercising the server's read path many times per request.
+type SlowReader struct {
+	R     io.Reader
+	Chunk int
+	Delay time.Duration
+}
+
+func (r *SlowReader) Read(p []byte) (int, error) {
+	if r.Delay > 0 {
+		time.Sleep(r.Delay)
+	}
+	chunk := r.Chunk
+	if chunk <= 0 {
+		chunk = 1
+	}
+	if len(p) > chunk {
+		p = p[:chunk]
+	}
+	return r.R.Read(p)
 }
 
 // StallReader delivers the bytes of R until StallAfter bytes have
@@ -136,6 +163,28 @@ func PanicHook(substr string) (hook func(pivot schema.Path), fired *atomic.Int32
 		if strings.Contains(string(pivot), substr) {
 			count.Add(1)
 			panic(fmt.Sprintf("faultinject: injected panic at relation %s", pivot))
+		}
+	}, &count
+}
+
+// FaultHeader is the request header the server-layer fault hook
+// reads: its value names the fault point at which to panic (see
+// HeaderFaultHook and internal/server's fault-point table in
+// docs/INTERNALS.md §13).
+const FaultHeader = "X-Fault-Panic"
+
+// HeaderFaultHook returns a server fault hook (server.Config.Fault):
+// the server invokes it at each named fault point with the incoming
+// request's headers, and the hook panics when the request's
+// FaultHeader names that point — per-request, client-triggered chaos,
+// exercising the server's recovery middleware exactly where real
+// bugs would fire. The returned counter reports how often it fired.
+func HeaderFaultHook() (hook func(point string, h http.Header), fired *atomic.Int32) {
+	var count atomic.Int32
+	return func(point string, h http.Header) {
+		if h.Get(FaultHeader) == point {
+			count.Add(1)
+			panic(fmt.Sprintf("faultinject: injected panic at server fault point %q", point))
 		}
 	}, &count
 }

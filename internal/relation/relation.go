@@ -23,6 +23,7 @@ package relation
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -284,11 +285,14 @@ func (b *buildBudget) admit() (bool, error) {
 		return false, nil
 	}
 	if b.tuples%budgetCheckInterval == 0 {
-		if err := b.ctx.Err(); err != nil {
-			return false, fmt.Errorf("relation: build cancelled: %w", err)
-		}
 		if !b.opts.Deadline.IsZero() && time.Now().After(b.opts.Deadline) {
-			b.h.truncate("deadline exceeded during hierarchy build")
+			b.h.truncate(buildDeadlineReason)
+			return false, nil
+		}
+		if err := b.cancelled(); err != nil {
+			return false, err
+		}
+		if b.h.Truncated { // cancelled() converted a fired ctx deadline
 			return false, nil
 		}
 	}
@@ -298,6 +302,30 @@ func (b *buildBudget) admit() (bool, error) {
 	}
 	b.tuples++
 	return true, nil
+}
+
+const buildDeadlineReason = "deadline exceeded during hierarchy build"
+
+// cancelled reports explicit cancellation as an error. Like the
+// engine's governor, one carve-out keeps deadline composition
+// deterministic: a context that died of its own *deadline* while the
+// build's composed wall-clock budget is also spent is budget
+// exhaustion, not cancellation — the hierarchy is marked truncated
+// and construction finishes its structurally consistent snapshot
+// instead of erroring. (The caller composes Options.Deadline as
+// min(Limits.Deadline, ctx deadline), so a fired ctx deadline always
+// implies a spent budget.)
+func (b *buildBudget) cancelled() error {
+	err := b.ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) &&
+		!b.opts.Deadline.IsZero() && !time.Now().Before(b.opts.Deadline) {
+		b.h.truncate(buildDeadlineReason)
+		return nil
+	}
+	return fmt.Errorf("relation: build cancelled: %w", err)
 }
 
 // Build constructs the hierarchical representation of the tree under
@@ -337,17 +365,20 @@ func BuildContext(ctx context.Context, t *datatree.Tree, s *schema.Schema, opts 
 				return nil, err
 			}
 		}
-		if err := populateColumns(ctx, r, enc); err != nil {
+		if err := populateColumns(bb, r, enc); err != nil {
 			return nil, err
 		}
 	}
 
 	// Pass 3: set pseudo-attributes need the child tuples, so fill
-	// them after all relations are populated.
+	// them after all relations are populated. A deadline truncation
+	// does not skip this pass: the truncated snapshot must still be
+	// structurally consistent (every relation's columns filled), so
+	// only explicit cancellation aborts here.
 	if !opts.DisableSetAttrs {
 		for _, r := range h.Relations {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("relation: build cancelled: %w", err)
+			if err := bb.cancelled(); err != nil {
+				return nil, err
 			}
 			fillSetColumns(h, r, enc, opts.OrderedSets)
 		}
@@ -464,14 +495,19 @@ func populateTuples(r *Relation, bb *buildBudget) error {
 // the relation, interning values into dense per-column codes (one
 // shared string table per relation). SetValue columns are filled
 // later by fillSetColumns.
-func populateColumns(ctx context.Context, r *Relation, enc *datatree.Encoder) error {
+func populateColumns(bb *buildBudget, r *Relation, enc *datatree.Encoder) error {
 	n := r.NRows()
 	r.Cols = make([][]int64, len(r.Attrs))
 	r.ColBound = make([]int64, len(r.Attrs))
 	in := newInterner(len(r.Attrs))
 	for ai, a := range r.Attrs {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("relation: build cancelled: %w", err)
+		// A deadline truncation must not abort mid-relation: every
+		// attribute's column slice has to exist for the truncated
+		// snapshot to stay structurally consistent, so cancelled()
+		// converts a fired composed deadline into truncation and lets
+		// the (already-bounded) population finish.
+		if err := bb.cancelled(); err != nil {
+			return err
 		}
 		col := make([]int64, n)
 		r.Cols[ai] = col

@@ -94,8 +94,8 @@ func (b *Builder) AddRootChild(n *datatree.Node) error {
 	if b.finished {
 		return ErrBuilderFinished
 	}
-	if err := b.budget.ctx.Err(); err != nil {
-		return fmt.Errorf("relation: build cancelled: %w", err)
+	if err := b.budget.cancelled(); err != nil {
+		return err
 	}
 	if b.h.Truncated {
 		return errBudgetExhausted

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission sentinel errors. Enqueue returns them synchronously; the
+// handler layer maps ErrQueueFull and ErrTenantOverQuota to
+// 429 + Retry-After, and ErrDraining to 503.
+var (
+	// ErrQueueFull means every run slot is busy and the admission
+	// queue is at capacity — the server is overloaded and sheds the
+	// request rather than buffering unboundedly.
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrTenantOverQuota means this tenant already has its full quota
+	// of requests running or queued.
+	ErrTenantOverQuota = errors.New("server: tenant concurrency quota exhausted")
+	// ErrDraining means the server is shutting down and admits no new
+	// work.
+	ErrDraining = errors.New("server: draining, not accepting new work")
+)
+
+// admission is the server's bounded admission controller: at most
+// `slots` discovery runs execute concurrently, at most `depth` more
+// wait in FIFO order, and no tenant may hold more than `quota` of the
+// running+queued total. Everything beyond those bounds is rejected
+// immediately — the queue is the only buffering the server does, so
+// overload turns into fast 429s instead of unbounded latency.
+//
+// Admission is two-phase so that waiting is cancellable: Acquire
+// either grants a slot, enqueues a ticket and blocks on it (honoring
+// ctx), or fails fast with a typed error. Release hands the slot to
+// the head of the queue, preserving arrival order.
+type admission struct {
+	mu       sync.Mutex
+	slots    int // concurrent run capacity
+	depth    int // max queued beyond running
+	quota    int // per-tenant running+queued cap; 0 = uncapped
+	running  int
+	queue    []*ticket
+	tenants  map[string]int // running+queued per tenant
+	draining bool
+	idle     chan struct{} // closed when draining and running hits 0
+}
+
+// ticket is one queued admission request. ready is closed exactly
+// once — either by promote (granted=true) or by drain/cancel removal.
+type ticket struct {
+	tenant  string
+	granted bool
+	err     error
+	ready   chan struct{}
+}
+
+func newAdmission(slots, depth, quota int) *admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &admission{
+		slots:   slots,
+		depth:   depth,
+		quota:   quota,
+		tenants: make(map[string]int),
+		idle:    make(chan struct{}),
+	}
+}
+
+// Acquire admits one run for the tenant, blocking in FIFO order while
+// the server is saturated. It returns a release function to defer, or
+// a typed error: ErrQueueFull / ErrTenantOverQuota (shed, retry
+// later), ErrDraining (shutting down), or ctx.Err() if the caller
+// gave up while queued.
+func (a *admission) Acquire(ctx context.Context, tenant string) (release func(), err error) {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if a.quota > 0 && a.tenants[tenant] >= a.quota {
+		a.mu.Unlock()
+		return nil, ErrTenantOverQuota
+	}
+	if a.running < a.slots && len(a.queue) == 0 {
+		a.running++
+		a.tenants[tenant]++
+		a.mu.Unlock()
+		return a.releaseFunc(tenant), nil
+	}
+	if len(a.queue) >= a.depth {
+		a.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	t := &ticket{tenant: tenant, ready: make(chan struct{})}
+	a.queue = append(a.queue, t)
+	a.tenants[tenant]++
+	a.mu.Unlock()
+
+	select {
+	case <-t.ready:
+		if t.err != nil {
+			return nil, t.err
+		}
+		return a.releaseFunc(tenant), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, q := range a.queue {
+			if q == t {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				a.decTenant(tenant)
+				a.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		a.mu.Unlock()
+		// Promoted (or drained) in the race with ctx: consume the
+		// grant so the slot is not leaked, then report the
+		// cancellation.
+		<-t.ready
+		if t.err != nil {
+			return nil, t.err
+		}
+		a.releaseFunc(tenant)()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc returns the idempotent release for one granted slot.
+func (a *admission) releaseFunc(tenant string) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.running--
+			a.decTenant(tenant)
+			for len(a.queue) > 0 && a.running < a.slots {
+				head := a.queue[0]
+				a.queue = a.queue[1:]
+				a.running++
+				head.granted = true
+				close(head.ready)
+			}
+			if a.draining && a.running == 0 {
+				select {
+				case <-a.idle:
+				default:
+					close(a.idle)
+				}
+			}
+			a.mu.Unlock()
+		})
+	}
+}
+
+func (a *admission) decTenant(tenant string) {
+	if a.tenants[tenant]--; a.tenants[tenant] <= 0 {
+		delete(a.tenants, tenant)
+	}
+}
+
+// Drain stops admitting: every future Acquire fails with ErrDraining,
+// and every ticket still queued is failed the same way — queued work
+// has not started, so a drain sheds it rather than racing the
+// shutdown clock. Running work keeps its slots; Idle reports when the
+// last one releases.
+func (a *admission) Drain() {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return
+	}
+	a.draining = true
+	for _, t := range a.queue {
+		t.err = ErrDraining
+		a.decTenant(t.tenant)
+		close(t.ready)
+	}
+	a.queue = nil
+	if a.running == 0 {
+		close(a.idle)
+	}
+	a.mu.Unlock()
+}
+
+// Idle returns a channel closed once Drain has been called and the
+// last running slot has been released.
+func (a *admission) Idle() <-chan struct{} { return a.idle }
+
+// Load reports the current running and queued counts (for readyz and
+// the stats snapshot).
+func (a *admission) Load() (running, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.running, len(a.queue)
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"net/url"
+	"testing"
+	"time"
+
+	"discoverxfd"
+)
+
+// TestLimitsParamsTightenOnly pins the negotiation rule field by
+// field: requests narrow budgets, never widen them.
+func TestLimitsParamsTightenOnly(t *testing.T) {
+	base := discoverxfd.Limits{MaxTuples: 100, MaxLatticeLevel: 3}
+	cases := []struct {
+		name  string
+		query string
+		want  discoverxfd.Limits
+		bad   bool
+	}{
+		{"no params keep the base", "", base, false},
+		{"tighten below the bound", "max_tuples=10", discoverxfd.Limits{MaxTuples: 10, MaxLatticeLevel: 3}, false},
+		{"widen is clamped", "max_tuples=5000", base, false},
+		{"zero (unlimited) is clamped", "max_tuples=0", base, false},
+		{"unbounded server grants zero", "max_nodes=0", base, false},
+		{"unbounded server grants any", "max_nodes=77",
+			discoverxfd.Limits{MaxTuples: 100, MaxLatticeLevel: 3, MaxNodes: 77}, false},
+		{"second field tightens too", "max_lattice_level=2",
+			discoverxfd.Limits{MaxTuples: 100, MaxLatticeLevel: 2}, false},
+		{"negative rejected", "max_depth=-1", base, true},
+		{"non-numeric rejected", "max_tuples=lots", base, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			q, err := url.ParseQuery(c.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := limitsParams(q, base)
+			if c.bad {
+				if err == nil {
+					t.Fatalf("limitsParams(%q) accepted, want error", c.query)
+				}
+				if statusOf(err) != 400 {
+					t.Errorf("limitsParams(%q) error status = %d, want 400", c.query, statusOf(err))
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("limitsParams(%q): %v", c.query, err)
+			}
+			if got != c.want {
+				t.Errorf("limitsParams(%q) = %+v, want %+v", c.query, got, c.want)
+			}
+		})
+	}
+}
+
+// TestTimeoutParam pins the timeout resolution: request value, else
+// default, never more than the maximum.
+func TestTimeoutParam(t *testing.T) {
+	cases := []struct {
+		v        string
+		def, max time.Duration
+		want     time.Duration
+		bad      bool
+	}{
+		{"", 30 * time.Second, 5 * time.Minute, 30 * time.Second, false},
+		{"", 0, 5 * time.Minute, 5 * time.Minute, false}, // no default: capped
+		{"", 0, 0, 0, false}, // fully unbounded
+		{"2s", 30 * time.Second, 5 * time.Minute, 2 * time.Second, false},
+		{"10m", 30 * time.Second, 5 * time.Minute, 5 * time.Minute, false}, // clamped
+		{"10m", 0, 0, 10 * time.Minute, false},                             // uncapped server honors it
+		{"0s", 0, 0, 0, true},
+		{"-5s", 0, 0, 0, true},
+		{"soon", 0, 0, 0, true},
+	}
+	for _, c := range cases {
+		got, err := timeoutParam(c.v, c.def, c.max)
+		if c.bad {
+			if err == nil {
+				t.Errorf("timeoutParam(%q) accepted, want error", c.v)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("timeoutParam(%q): %v", c.v, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("timeoutParam(%q, def %v, max %v) = %v, want %v", c.v, c.def, c.max, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"discoverxfd/internal/trace"
+)
+
+// handleJobStatus is GET /v1/jobs/{id}: the job's status document.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	writeJSONStatus(w, http.StatusOK, j.view())
+}
+
+// handleJobResult is GET /v1/jobs/{id}/result: the rendered discovery
+// result once the job is done — served verbatim from the bytes the
+// run rendered, so polling clients see exactly what the sync endpoint
+// would have sent. An unfinished job answers 202 with the status
+// document; a failed one replays its error with the status the sync
+// path would have used.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	j.mu.Lock()
+	state, status, result, errMsg, truncated := j.state, j.status, j.result, j.errMsg, j.truncate
+	j.mu.Unlock()
+	switch state {
+	case stateDone:
+		w.Header().Set("Content-Type", "application/json")
+		if truncated {
+			w.Header().Set("X-Truncated", "true")
+		}
+		w.WriteHeader(status)
+		w.Write(result)
+	case stateFailed, stateCancelled:
+		writeJSONStatus(w, status, map[string]string{"error": errMsg, "state": state})
+	default:
+		writeJSONStatus(w, http.StatusAccepted, j.view())
+	}
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: abort the job's run. The
+// job transitions to cancelled when its goroutine observes the
+// cancellation (a job that already finished keeps its result).
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	j.cancel()
+	writeJSONStatus(w, http.StatusAccepted, j.view())
+}
+
+// handleJobEvents is GET /v1/jobs/{id}/events: the job's trace-event
+// progress feed. With Accept: text/event-stream the events stream as
+// SSE until the job finishes; otherwise one page is returned as JSON
+// with the cursor to poll from next (?cursor=N). Either way the
+// events come from the job's bounded Feed — a reader that falls too
+// far behind is told how much it missed (the SSE stream emits a
+// `dropped` event, the poll page sets "dropped") and the durable
+// trace file remains the complete record.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	var cursor uint64
+	if v := r.URL.Query().Get("cursor"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeJSONStatus(w, http.StatusBadRequest, map[string]string{"error": "bad cursor: " + err.Error()})
+			return
+		}
+		cursor = n
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamEvents(w, r, j, cursor)
+		return
+	}
+	events, next, dropped, closed := j.feed.Since(cursor)
+	writeJSONStatus(w, http.StatusOK, eventsPage{
+		Events: eventViews(events), Next: next, Dropped: dropped, Closed: closed,
+	})
+}
+
+// eventsPage is the polling form of the progress feed.
+type eventsPage struct {
+	Events []json.RawMessage `json:"events"`
+	// Next is the cursor to pass on the next poll.
+	Next uint64 `json:"next"`
+	// Dropped reports that the ring wrapped past the caller's cursor:
+	// events were missed (the durable trace has them all).
+	Dropped bool `json:"dropped,omitempty"`
+	// Closed reports the run has finished; once the page is empty and
+	// closed, polling is over.
+	Closed bool `json:"closed,omitempty"`
+}
+
+func eventViews(events []trace.Event) []json.RawMessage {
+	out := make([]json.RawMessage, 0, len(events))
+	for i := range events {
+		b, err := json.Marshal(&events[i])
+		if err != nil {
+			continue // unreachable: Event marshals cleanly by construction
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// streamEvents serves the feed as Server-Sent Events: each trace
+// event becomes an SSE message whose event field is the trace kind,
+// whose id is the cursor (so EventSource reconnection resumes via
+// Last-Event-ID), and whose data is the event's JSON. The stream ends
+// with a `done` event when the run completes, or silently when the
+// client disconnects.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *job, cursor uint64) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSONStatus(w, http.StatusNotAcceptable, map[string]string{"error": "streaming unsupported by this connection"})
+		return
+	}
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			cursor = n + 1
+		}
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		if err := j.feed.Wait(ctx, cursor); err != nil {
+			return // client went away
+		}
+		events, next, dropped, closed := j.feed.Since(cursor)
+		base := next - uint64(len(events)) // first event's cursor (≥ asked-for when the ring wrapped)
+		if dropped {
+			fmt.Fprintf(w, "event: dropped\ndata: {\"resumeFrom\": %d}\n\n", base)
+		}
+		for i := range events {
+			b, err := json.Marshal(&events[i])
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", events[i].Kind, base+uint64(i), b)
+		}
+		cursor = next
+		fl.Flush()
+		if closed && len(events) == 0 {
+			fmt.Fprint(w, "event: done\ndata: {}\n\n")
+			fl.Flush()
+			return
+		}
+	}
+}

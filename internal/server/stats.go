@@ -1,0 +1,73 @@
+package server
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// counters is the server's cumulative operational state, updated
+// atomically from request handlers and job goroutines.
+type counters struct {
+	accepted         atomic.Int64 // requests granted an admission slot
+	completed        atomic.Int64 // runs that produced a Result
+	failed           atomic.Int64 // runs that returned an error
+	truncated        atomic.Int64 // Results carrying Stats.Truncated
+	deadline         atomic.Int64 // requests that exhausted their wall-clock budget
+	rejectedOverload atomic.Int64 // 429s: queue full or tenant over quota
+	rejectedDraining atomic.Int64 // 503s: submissions during drain
+	panics           atomic.Int64 // handler/job panics contained
+
+	tuples       atomic.Int64 // summed Stats.Tuples of completed runs
+	latticeNodes atomic.Int64 // summed Stats.NodesVisited of completed runs
+}
+
+// StatsSnapshot is one observation of the server (GET /v1/stats, and
+// the xfdd expvar). Gauges (Running, Queued, Jobs, Draining) are
+// read at snapshot time; everything else is cumulative.
+type StatsSnapshot struct {
+	Accepted         int64 `json:"accepted"`
+	Completed        int64 `json:"completed"`
+	Failed           int64 `json:"failed"`
+	Truncated        int64 `json:"truncated"`
+	DeadlineExceeded int64 `json:"deadlineExceeded"`
+	RejectedOverload int64 `json:"rejectedOverload"`
+	RejectedDraining int64 `json:"rejectedDraining"`
+	PanicsContained  int64 `json:"panicsContained"`
+	Tuples           int64 `json:"tuples"`
+	LatticeNodes     int64 `json:"latticeNodes"`
+
+	Running  int  `json:"running"`
+	Queued   int  `json:"queued"`
+	Jobs     int  `json:"jobs"`
+	Draining bool `json:"draining"`
+}
+
+// PublishExpvar publishes the live stats snapshot under name in the
+// process's expvar registry (served at /debug/vars). Like
+// expvar.Publish it panics on a duplicate name, so xfdd publishes its
+// one server exactly once; tests exercising many Servers skip it.
+func (s *Server) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return s.Stats() }))
+}
+
+// Stats returns a consistent-enough snapshot of the server's counters
+// and load gauges. Safe to call concurrently with traffic.
+func (s *Server) Stats() StatsSnapshot {
+	running, queued := s.adm.Load()
+	return StatsSnapshot{
+		Accepted:         s.stats.accepted.Load(),
+		Completed:        s.stats.completed.Load(),
+		Failed:           s.stats.failed.Load(),
+		Truncated:        s.stats.truncated.Load(),
+		DeadlineExceeded: s.stats.deadline.Load(),
+		RejectedOverload: s.stats.rejectedOverload.Load(),
+		RejectedDraining: s.stats.rejectedDraining.Load(),
+		PanicsContained:  s.stats.panics.Load(),
+		Tuples:           s.stats.tuples.Load(),
+		LatticeNodes:     s.stats.latticeNodes.Load(),
+		Running:          running,
+		Queued:           queued,
+		Jobs:             s.jobs.count(),
+		Draining:         s.draining.Load(),
+	}
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Feed is a bounded in-memory event sink built for serving a run's
+// progress to remote observers: xfdd attaches one Feed per job and
+// streams it out over SSE or hands out pages to polling clients. It
+// implements Tracer, so it plugs into Options.Trace (usually behind
+// Multi, next to the durable JSONL backend).
+//
+// The feed is a ring holding the most recent events, addressed by
+// absolute cursors: the i-th event ever emitted has cursor i, and a
+// reader resumes from wherever it left off by passing its last `next`
+// back to Since. A slow reader never blocks the engine — when the
+// ring wraps, the oldest events are dropped and the reader is told so
+// (the durable trace is the JSONL file; the feed is a progress
+// window, not a log).
+//
+// Like every backend in this package, Feed synchronizes with a mutex
+// and spawns no goroutines: Wait blocks the *caller's* goroutine on a
+// wake channel that Emit and Close close-and-replace.
+type Feed struct {
+	mu     sync.Mutex
+	ring   []Event
+	total  uint64 // events ever emitted; the next event's cursor
+	closed bool
+	wake   chan struct{} // closed and replaced on every state change
+}
+
+// NewFeed returns a Feed retaining the most recent capacity events
+// (minimum 1).
+func NewFeed(capacity int) *Feed {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Feed{ring: make([]Event, capacity), wake: make(chan struct{})}
+}
+
+// Emit copies ev into the ring, stamping its time if the emitter left
+// it zero, and wakes any Wait-ers. Events arriving after Close are
+// dropped — the run outliving its observers must not grow state.
+func (f *Feed) Emit(ev *Event) {
+	e := *ev
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.ring[f.total%uint64(len(f.ring))] = e
+	f.total++
+	wake := f.wake
+	f.wake = make(chan struct{})
+	f.mu.Unlock()
+	close(wake)
+}
+
+// Close marks the feed complete and wakes any Wait-ers. Readers see
+// closed=true from Since once they have drained the remaining events.
+// Close is idempotent.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	wake := f.wake
+	f.wake = make(chan struct{})
+	f.mu.Unlock()
+	close(wake)
+}
+
+// Since returns a copy of every retained event with cursor ≥ cursor,
+// the cursor to resume from next time, whether the ring wrapped past
+// the caller (dropped: the reader missed events and should consult
+// the durable trace for completeness), and whether the feed is
+// closed. A cursor beyond the end is clamped; (nil, next, …) means
+// nothing new yet.
+func (f *Feed) Since(cursor uint64) (events []Event, next uint64, dropped, closed bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	size := uint64(len(f.ring))
+	live := f.total
+	if live > size {
+		live = size
+	}
+	oldest := f.total - live
+	if cursor > f.total {
+		cursor = f.total
+	}
+	if cursor < oldest {
+		dropped = true
+		cursor = oldest
+	}
+	if cursor < f.total {
+		events = make([]Event, 0, f.total-cursor)
+		for i := cursor; i < f.total; i++ {
+			events = append(events, f.ring[i%size])
+		}
+	}
+	return events, f.total, dropped, f.closed
+}
+
+// Wait blocks until an event with cursor ≥ cursor exists, the feed is
+// closed, or ctx fires (returning ctx.Err()). The SSE loop is
+// Wait → Since → write, repeated until Since reports closed.
+func (f *Feed) Wait(ctx context.Context, cursor uint64) error {
+	for {
+		f.mu.Lock()
+		if f.total > cursor || f.closed {
+			f.mu.Unlock()
+			return nil
+		}
+		wake := f.wake
+		f.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

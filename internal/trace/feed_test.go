@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFeedSinceCursors(t *testing.T) {
+	f := NewFeed(8)
+	for i := 0; i < 3; i++ {
+		f.Emit(&Event{Kind: KindLevel, Level: i})
+	}
+	evs, next, dropped, closed := f.Since(0)
+	if len(evs) != 3 || next != 3 || dropped || closed {
+		t.Fatalf("Since(0) = %d events, next %d, dropped %v, closed %v; want 3, 3, false, false",
+			len(evs), next, dropped, closed)
+	}
+	for i, ev := range evs {
+		if ev.Level != i {
+			t.Errorf("event %d has Level %d, want %d", i, ev.Level, i)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event %d was not time-stamped", i)
+		}
+	}
+	// Resuming from next yields nothing new.
+	evs, next2, _, _ := f.Since(next)
+	if len(evs) != 0 || next2 != next {
+		t.Fatalf("Since(%d) = %d events, next %d; want 0, %d", next, len(evs), next2, next)
+	}
+}
+
+func TestFeedRingDrops(t *testing.T) {
+	f := NewFeed(4)
+	for i := 0; i < 10; i++ {
+		f.Emit(&Event{Kind: KindLevel, Level: i})
+	}
+	evs, next, dropped, _ := f.Since(0)
+	if !dropped {
+		t.Fatal("Since(0) after wrap did not report dropped")
+	}
+	if len(evs) != 4 || next != 10 {
+		t.Fatalf("got %d events, next %d; want the 4 retained, next 10", len(evs), next)
+	}
+	for i, ev := range evs {
+		if want := 6 + i; ev.Level != want {
+			t.Errorf("retained event %d has Level %d, want %d", i, ev.Level, want)
+		}
+	}
+	// A reader who kept up is not marked dropped.
+	if _, _, dropped, _ := f.Since(8); dropped {
+		t.Error("in-window cursor reported dropped")
+	}
+}
+
+func TestFeedCloseIdempotentAndDropsLateEmits(t *testing.T) {
+	f := NewFeed(4)
+	f.Emit(&Event{Kind: KindRunStart})
+	f.Close()
+	f.Close()
+	f.Emit(&Event{Kind: KindRunEnd}) // dropped: feed already closed
+	evs, _, _, closed := f.Since(0)
+	if !closed {
+		t.Fatal("Since did not report closed")
+	}
+	if len(evs) != 1 || evs[0].Kind != KindRunStart {
+		t.Fatalf("got %d events (first %v), want just the pre-close run_start", len(evs), evs)
+	}
+}
+
+func TestFeedWaitWakesOnEmitAndClose(t *testing.T) {
+	f := NewFeed(4)
+	done := make(chan error, 1)
+	go func() { done <- f.Wait(context.Background(), 0) }()
+	time.Sleep(10 * time.Millisecond)
+	f.Emit(&Event{Kind: KindLevel})
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Wait returned %v after Emit", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake on Emit")
+	}
+
+	// Caught-up waiter wakes on Close.
+	_, next, _, _ := f.Since(0)
+	go func() { done <- f.Wait(context.Background(), next) }()
+	time.Sleep(10 * time.Millisecond)
+	f.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Wait returned %v after Close", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake on Close")
+	}
+}
+
+func TestFeedWaitHonorsContext(t *testing.T) {
+	f := NewFeed(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- f.Wait(ctx, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Wait returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not honor cancellation")
+	}
+}
+
+func TestFeedConcurrentEmitAndDrain(t *testing.T) {
+	const events, capacity = 500, 64
+	f := NewFeed(capacity)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < events; i++ {
+			f.Emit(&Event{Kind: KindLevel, Detail: fmt.Sprint(i)})
+		}
+		f.Close()
+	}()
+	var cursor uint64
+	got := 0
+	for {
+		if err := f.Wait(context.Background(), cursor); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		evs, next, _, closed := f.Since(cursor)
+		got += len(evs)
+		cursor = next
+		if closed && next == cursor {
+			if evs, _, _, _ := f.Since(cursor); len(evs) == 0 {
+				break
+			}
+		}
+	}
+	wg.Wait()
+	if got > events {
+		t.Fatalf("drained %d events, more than the %d emitted", got, events)
+	}
+	if cursor != events {
+		t.Fatalf("final cursor %d, want %d", cursor, events)
+	}
+}

@@ -1,0 +1,158 @@
+package discoverxfd_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"discoverxfd"
+)
+
+// TestLimitsValidate pins the usage-error contract: every negative
+// field fails with ErrBadLimits naming the field, and the zero value
+// (all budgets off) is always valid.
+func TestLimitsValidate(t *testing.T) {
+	if err := (discoverxfd.Limits{}).Validate(); err != nil {
+		t.Fatalf("zero Limits must validate, got %v", err)
+	}
+	if err := (discoverxfd.Limits{
+		MaxDepth: 100, MaxNodes: 1000, MaxTuples: 50,
+		MaxLatticeLevel: 3, Deadline: time.Second, MaxPartitionBytes: 1 << 20,
+	}).Validate(); err != nil {
+		t.Fatalf("positive Limits must validate, got %v", err)
+	}
+	cases := []struct {
+		field string
+		l     discoverxfd.Limits
+	}{
+		{"MaxDepth", discoverxfd.Limits{MaxDepth: -1}},
+		{"MaxNodes", discoverxfd.Limits{MaxNodes: -1}},
+		{"MaxTuples", discoverxfd.Limits{MaxTuples: -7}},
+		{"MaxLatticeLevel", discoverxfd.Limits{MaxLatticeLevel: -2}},
+		{"Deadline", discoverxfd.Limits{Deadline: -time.Second}},
+		{"MaxPartitionBytes", discoverxfd.Limits{MaxPartitionBytes: -1}},
+	}
+	for _, c := range cases {
+		err := c.l.Validate()
+		if !errors.Is(err, discoverxfd.ErrBadLimits) {
+			t.Errorf("%s: err = %v, want ErrBadLimits", c.field, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.field) {
+			t.Errorf("%s: error %q does not name the offending field", c.field, err)
+		}
+	}
+}
+
+// TestBadLimitsFailFastAtEntryPoints checks that a nonsensical Limits
+// value fails fast with ErrBadLimits at every Engine entry point,
+// before any work (no silent reinterpretation as "unlimited").
+func TestBadLimitsFailFastAtEntryPoints(t *testing.T) {
+	xml := bigLibraryXML(2)
+	doc, err := discoverxfd.ParseDocument(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := librarySchema(t, xml)
+	opts := &discoverxfd.Options{Limits: discoverxfd.Limits{MaxTuples: -1}}
+	ctx := context.Background()
+
+	if _, err := discoverxfd.DiscoverContext(ctx, doc, s, opts); !errors.Is(err, discoverxfd.ErrBadLimits) {
+		t.Errorf("DiscoverContext err = %v, want ErrBadLimits", err)
+	}
+	if _, err := discoverxfd.DiscoverStreamContext(ctx, strings.NewReader(xml), s, opts); !errors.Is(err, discoverxfd.ErrBadLimits) {
+		t.Errorf("DiscoverStreamContext err = %v, want ErrBadLimits", err)
+	}
+	if _, err := discoverxfd.BuildHierarchyContext(ctx, doc, s, opts); !errors.Is(err, discoverxfd.ErrBadLimits) {
+		t.Errorf("BuildHierarchyContext err = %v, want ErrBadLimits", err)
+	}
+	if _, err := discoverxfd.LoadDocumentContext(ctx, strings.NewReader(xml), opts); !errors.Is(err, discoverxfd.ErrBadLimits) {
+		t.Errorf("LoadDocumentContext err = %v, want ErrBadLimits", err)
+	}
+	h, err := discoverxfd.BuildHierarchy(doc, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := discoverxfd.DiscoverHierarchyContext(ctx, h, opts); !errors.Is(err, discoverxfd.ErrBadLimits) {
+		t.Errorf("DiscoverHierarchyContext err = %v, want ErrBadLimits", err)
+	}
+}
+
+// TestContextDeadlineComposesWithLimits is the regression test for
+// deadline composition: the run honors the earlier of the context
+// deadline and Limits.Deadline, and a fired *deadline* — whichever
+// side it came from — degrades gracefully into a partial Result,
+// while explicit cancellation stays an error.
+func TestContextDeadlineComposesWithLimits(t *testing.T) {
+	xml := bigLibraryXML(40)
+	doc, err := discoverxfd.ParseDocument(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := librarySchema(t, xml)
+	h, err := discoverxfd.BuildHierarchy(doc, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("ctx deadline earlier than generous Limits.Deadline", func(t *testing.T) {
+		// The context deadline has already passed; Limits.Deadline is an
+		// hour out. The composed budget is the context's, so the run
+		// must truncate gracefully — not die with DeadlineExceeded.
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		res, err := discoverxfd.DiscoverHierarchyContext(ctx, h, &discoverxfd.Options{
+			Limits: discoverxfd.Limits{Deadline: time.Hour},
+		})
+		if err != nil {
+			t.Fatalf("expired ctx deadline must degrade gracefully, got error: %v", err)
+		}
+		if !res.Stats.Truncated || !strings.Contains(res.Stats.TruncatedReason, "deadline") {
+			t.Fatalf("Truncated=%v reason=%q, want a deadline truncation", res.Stats.Truncated, res.Stats.TruncatedReason)
+		}
+	})
+
+	t.Run("ctx deadline bounds the whole document path", func(t *testing.T) {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		res, err := discoverxfd.DiscoverContext(ctx, doc, s, &discoverxfd.Options{
+			Limits: discoverxfd.Limits{Deadline: time.Hour},
+		})
+		if err != nil {
+			t.Fatalf("expired ctx deadline must degrade gracefully, got error: %v", err)
+		}
+		if !res.Stats.Truncated {
+			t.Fatal("expired ctx deadline did not mark the result truncated")
+		}
+	})
+
+	t.Run("Limits.Deadline earlier than generous ctx deadline", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+		defer cancel()
+		res, err := discoverxfd.DiscoverHierarchyContext(ctx, h, &discoverxfd.Options{
+			Limits: discoverxfd.Limits{Deadline: time.Nanosecond},
+		})
+		if err != nil {
+			t.Fatalf("Limits.Deadline must degrade gracefully, got error: %v", err)
+		}
+		if !res.Stats.Truncated || !strings.Contains(res.Stats.TruncatedReason, "deadline") {
+			t.Fatalf("Truncated=%v reason=%q, want a deadline truncation", res.Stats.Truncated, res.Stats.TruncatedReason)
+		}
+	})
+
+	t.Run("explicit cancellation stays an error", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := discoverxfd.DiscoverHierarchyContext(ctx, h, &discoverxfd.Options{
+			Limits: discoverxfd.Limits{Deadline: time.Hour},
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if res != nil {
+			t.Fatal("cancelled run returned a Result")
+		}
+	})
+}

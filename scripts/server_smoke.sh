@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# server_smoke.sh — end-to-end smoke test of the xfdd discovery
+# service, exercising the robustness contract against a real listener:
+# liveness/readiness, synchronous discovery, an async job observed
+# over SSE, graceful degradation under a wall-clock deadline, overload
+# shedding (429 + Retry-After), and a SIGTERM drain that completes
+# in-flight work. CI runs it with the server built -race.
+#
+# Usage: scripts/server_smoke.sh [path-to-xfdd-binary]
+# (no argument: builds the binary with -race into a temp dir)
+set -euo pipefail
+
+ADDR=127.0.0.1:8321
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+SERVER_PID=
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "server-smoke: FAIL: $*" >&2; exit 1; }
+note() { echo "server-smoke: $*"; }
+
+code() { # code <expected> <curl args...>
+  local want="$1"; shift
+  local got
+  got="$(curl -s -o "$WORK/body" -w '%{http_code}' "$@")"
+  [ "$got" = "$want" ] || fail "$* -> $got, want $want ($(head -c 200 "$WORK/body"))"
+}
+
+stat_field() { # stat_field <name>
+  curl -sf "$BASE/v1/stats" | python3 -c "import sys,json; print(json.load(sys.stdin)[\"$1\"])"
+}
+
+XFDD="${1:-}"
+if [ -z "$XFDD" ]; then
+  note "building xfdd -race"
+  go build -race -o "$WORK/xfdd" ./cmd/xfdd
+  XFDD="$WORK/xfdd"
+fi
+
+note "generating corpora"
+go run ./cmd/xfdgen -dataset warehouse > "$WORK/corpus.xml"
+# Wide rows make the lattice expensive: width 16 finishes in seconds
+# (the drain must complete it), width 18 takes far longer than any
+# smoke deadline (so a 5s budget reliably truncates mid-discovery).
+go run ./cmd/xfdgen -dataset wide -width 16 -scale 2 > "$WORK/hog.xml"
+go run ./cmd/xfdgen -dataset wide -width 18 -scale 2 > "$WORK/slow.xml"
+
+note "booting xfdd on $ADDR"
+"$XFDD" -addr "$ADDR" -max-concurrent 1 -queue-depth -1 \
+  -default-timeout 120s -max-timeout 120s -drain-timeout 120s \
+  -trace "$WORK/smoke.trace" 2> "$WORK/xfdd.log" &
+SERVER_PID=$!
+for i in $(seq 1 100); do
+  curl -sf -o /dev/null "$BASE/healthz" && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/xfdd.log" >&2; fail "server died on boot"; }
+  sleep 0.1
+done
+
+note "stage 1: health"
+code 200 "$BASE/healthz"
+code 200 "$BASE/readyz"
+code 200 "$BASE/v1/stats"
+code 200 "$BASE/debug/vars"
+
+note "stage 2: synchronous discovery"
+code 200 --data-binary "@$WORK/corpus.xml" "$BASE/v1/discover?timeout=60s"
+python3 -c "
+import json,sys
+r = json.load(open('$WORK/body'))
+assert r['fds'], 'no FDs discovered'
+assert not r['stats'].get('truncated'), 'unexpected truncation'
+" || fail "sync result malformed"
+code 400 --data-binary 'not xml' "$BASE/v1/discover"
+code 400 --data-binary "@$WORK/corpus.xml" "$BASE/v1/discover?max_tuples=-1"
+
+note "stage 3: async job with SSE progress"
+JOB="$(curl -sf -X POST --data-binary "@$WORK/corpus.xml" "$BASE/v1/jobs" |
+  python3 -c 'import sys,json; print(json.load(sys.stdin)["id"])')"
+curl -sN --max-time 30 -H 'Accept: text/event-stream' \
+  "$BASE/v1/jobs/$JOB/events" > "$WORK/sse" || fail "SSE stream failed"
+for ev in run_start stage_start run_end done; do
+  grep -q "^event: $ev\$" "$WORK/sse" || fail "SSE stream missing $ev event"
+done
+code 200 "$BASE/v1/jobs/$JOB/result"
+python3 -c "import json; assert json.load(open('$WORK/body'))['fds']" ||
+  fail "job result malformed"
+code 404 "$BASE/v1/jobs/job-999999"
+
+note "stage 4: graceful degradation under deadline"
+code 504 --data-binary "@$WORK/slow.xml" "$BASE/v1/discover?timeout=5s"
+code 200 --data-binary "@$WORK/slow.xml" "$BASE/v1/discover?timeout=5s&degrade=truncate"
+python3 -c "
+import json
+r = json.load(open('$WORK/body'))
+assert r['stats']['truncated'], 'degrade=truncate result not marked truncated'
+assert 'deadline' in r['stats']['truncatedReason'], r['stats']['truncatedReason']
+" || fail "degraded result malformed"
+
+note "stage 5: overload sheds with 429"
+curl -s -o /dev/null -w '%{http_code}' --data-binary "@$WORK/hog.xml" \
+  "$BASE/v1/discover" > "$WORK/hog.code" &
+HOG_PID=$!
+for i in $(seq 1 200); do
+  [ "$(stat_field running)" = "1" ] && break
+  sleep 0.1
+done
+[ "$(stat_field running)" = "1" ] || fail "hog request never started running"
+code 429 --data-binary "@$WORK/corpus.xml" "$BASE/v1/discover"
+grep -qi '^retry-after:' < <(curl -si --data-binary "@$WORK/corpus.xml" "$BASE/v1/discover") ||
+  fail "429 without Retry-After"
+
+note "stage 6: SIGTERM drain completes in-flight work"
+kill -TERM "$SERVER_PID"
+for i in $(seq 1 100); do
+  [ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")" = "503" ] && break
+  sleep 0.1
+done
+code 503 "$BASE/readyz"
+code 200 "$BASE/healthz"
+code 503 --data-binary "@$WORK/corpus.xml" "$BASE/v1/discover"
+code 503 -X POST --data-binary "@$WORK/corpus.xml" "$BASE/v1/jobs"
+wait "$HOG_PID"
+HOG_CODE="$(cat "$WORK/hog.code")"
+[ "$HOG_CODE" = "200" ] || fail "in-flight run got $HOG_CODE during drain, want 200"
+RC=0; wait "$SERVER_PID" || RC=$?
+SERVER_PID=
+[ "$RC" = "0" ] || { cat "$WORK/xfdd.log" >&2; fail "server exited $RC after drain, want 0"; }
+
+note "stage 7: trace flushed and schema-valid"
+go run ./cmd/tracecheck "$WORK/smoke.trace"
+
+note "PASS"
