@@ -5,23 +5,58 @@
 // within-run ratios are gated — absolute timings are machine-
 // dependent and ignored — so the gate holds across CI hardware.
 //
+// Beyond the relative gate, -floor imposes absolute minimums: each
+// occurrence of the flag names one metric=min pair that the current
+// report must meet regardless of the baseline. The E-update gate
+// uses it to require the incremental discovery path to stay at
+// least 5x faster than a cold rebuild at the 1% mutation point.
+//
 // Usage:
 //
-//	benchgate -baseline BENCH_partition.json -current bench.json [-threshold 0.25]
+//	benchgate -baseline BENCH_partition.json -current bench.json \
+//	    [-threshold 0.25] [-floor metric=min ...]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"discoverxfd/internal/bench"
 )
+
+// floorFlags collects repeated -floor metric=min pairs.
+type floorFlags map[string]float64
+
+func (f floorFlags) String() string {
+	var parts []string
+	for k, v := range f {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f floorFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want metric=min, got %q", s)
+	}
+	min, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("floor for %s: %v", name, err)
+	}
+	f[name] = min
+	return nil
+}
 
 func main() {
 	baseline := flag.String("baseline", "BENCH_partition.json", "committed baseline report")
 	current := flag.String("current", "", "freshly generated report to gate (required)")
 	threshold := flag.Float64("threshold", 0.25, "maximum allowed fractional drop of a gated metric")
+	floors := floorFlags{}
+	flag.Var(floors, "floor", "absolute minimum for a metric, as metric=min (repeatable)")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
@@ -56,8 +91,16 @@ func main() {
 		for _, r := range regs {
 			fmt.Fprintf(os.Stderr, "  %s\n", r)
 		}
-		fmt.Fprintln(os.Stderr, "benchgate: if the slowdown is intended, regenerate BENCH_partition.json or apply the bench-regression-ok label (see .github/workflows/ci.yml)")
+		fmt.Fprintf(os.Stderr, "benchgate: if the slowdown is intended, regenerate %s or apply the bench-regression-ok label (see .github/workflows/ci.yml)\n", *baseline)
 		os.Exit(1)
 	}
-	fmt.Println("benchgate: ok — no gated metric regressed beyond the threshold")
+	if vios := bench.CheckFloors(cur, floors); len(vios) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d absolute-floor violation(s):\n", len(vios))
+		for _, v := range vios {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		fmt.Fprintln(os.Stderr, "benchgate: floors are hard requirements and cannot be waived by regenerating the baseline")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok — no gated metric regressed beyond the threshold, all floors met")
 }

@@ -99,8 +99,9 @@ func TestEngineConcurrentDiscover(t *testing.T) {
 }
 
 // TestEngineReuseMatchesOneShot pins the warm path's semantics: a
-// second Discover over the same hierarchy (served largely from the
-// warm partition layer) returns the same constraints as the first.
+// second Discover over the same untouched hierarchy (replayed from
+// the warm layer's subtree memo, skipping the lattice entirely)
+// returns the same constraints as the first.
 func TestEngineReuseMatchesOneShot(t *testing.T) {
 	ds := xmlgen.Warehouse(xmlgen.DefaultWarehouse())
 	eng := discoverxfd.NewEngine(nil)
@@ -119,9 +120,9 @@ func TestEngineReuseMatchesOneShot(t *testing.T) {
 	if err := sameConstraints(first, second); err != nil {
 		t.Fatal(err)
 	}
-	if second.Stats.PartitionCacheHits <= first.Stats.PartitionCacheHits {
-		t.Errorf("warm run should see more cache hits: cold %d, warm %d",
-			first.Stats.PartitionCacheHits, second.Stats.PartitionCacheHits)
+	if second.Stats.RelationsReused != first.Stats.Relations {
+		t.Errorf("warm run reused %d of %d relations",
+			second.Stats.RelationsReused, first.Stats.Relations)
 	}
 }
 

@@ -106,6 +106,7 @@ func All() []Experiment {
 		{ID: "e12", Title: "Parallel discovery over independent subtrees", Run: E12Parallel},
 		{ID: "e13", Title: "Partition-engine fast path vs naive engine", Run: E13Partition},
 		{ID: "e14", Title: "Engine reuse: warm repeated discovery vs cold one-shot", Run: E14EngineReuse},
+		{ID: "e15", Title: "E-update: incremental discovery under document mutations", Run: E15UpdateIncremental},
 	}
 }
 

@@ -99,6 +99,58 @@ func (r Regression) String() string {
 	return fmt.Sprintf("%s: %s regressed: baseline %.3f, current %.3f", r.Experiment, r.Metric, r.Baseline, r.Current)
 }
 
+// FloorViolation is one absolute-floor violation found by CheckFloors.
+type FloorViolation struct {
+	Experiment string // empty when the metric is missing from the report
+	Metric     string
+	Floor      float64
+	Current    float64
+}
+
+func (v FloorViolation) String() string {
+	if v.Experiment == "" {
+		return fmt.Sprintf("%s: metric not present in the current report (floor %.3f)", v.Metric, v.Floor)
+	}
+	return fmt.Sprintf("%s: %s = %.3f is below the absolute floor %.3f", v.Experiment, v.Metric, v.Current, v.Floor)
+}
+
+// CheckFloors enforces absolute minimums on the current report:
+// every floors entry names a metric that must be present in some
+// experiment and must meet or exceed its floor value everywhere it
+// appears. Unlike Compare, which tracks a committed baseline
+// relatively, a floor is a hard requirement the metric can never
+// dip under — the E-update gate uses it to demand the incremental
+// path stay at least 5x faster than a cold run regardless of what
+// the baseline drifts to. A named metric missing from the report is
+// itself a violation (silently passing a gate that no longer runs
+// would be worse than failing it).
+func CheckFloors(current *Report, floors map[string]float64) []FloorViolation {
+	var vios []FloorViolation
+	keys := make([]string, 0, len(floors))
+	for k := range floors {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		min := floors[k]
+		found := false
+		for _, e := range current.Results {
+			cv, ok := e.Metrics[k]
+			if !ok {
+				continue
+			}
+			found = true
+			if cv < min {
+				vios = append(vios, FloorViolation{Experiment: e.ID, Metric: k, Floor: min, Current: cv})
+			}
+		}
+		if !found {
+			vios = append(vios, FloorViolation{Metric: k, Floor: min})
+		}
+	}
+	return vios
+}
+
 // Compare gates the current report against a committed baseline:
 // every "speedup*" metric present in both must not fall more than
 // threshold (a fraction, e.g. 0.25 for 25%) below its baseline value.

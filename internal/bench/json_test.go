@@ -80,6 +80,36 @@ func TestCompareGatesSpeedupMetrics(t *testing.T) {
 	}
 }
 
+func TestCheckFloors(t *testing.T) {
+	rep := sampleReport(6.5)
+
+	// Met floor: no violations.
+	if vios := CheckFloors(rep, map[string]float64{"speedup_e1_discovery": 5}); len(vios) != 0 {
+		t.Fatalf("6.5 meets a floor of 5: %v", vios)
+	}
+
+	// Violated floor names the experiment and both values.
+	vios := CheckFloors(rep, map[string]float64{"speedup_e1_discovery": 7})
+	if len(vios) != 1 {
+		t.Fatalf("6.5 under a floor of 7 should violate: %v", vios)
+	}
+	if s := vios[0].String(); !strings.Contains(s, "E13") || !strings.Contains(s, "speedup_e1_discovery") {
+		t.Fatalf("violation should name experiment and metric: %s", s)
+	}
+
+	// A floored metric absent from the report is itself a violation —
+	// a gate that silently stopped running must not pass.
+	vios = CheckFloors(rep, map[string]float64{"speedup_gone": 5})
+	if len(vios) != 1 || !strings.Contains(vios[0].String(), "not present") {
+		t.Fatalf("missing metric should violate: %v", vios)
+	}
+
+	// Floors are not restricted to speedup-prefixed names.
+	if vios := CheckFloors(rep, map[string]float64{"cache_hits_e1": 50}); len(vios) != 0 {
+		t.Fatalf("non-speedup floors are allowed: %v", vios)
+	}
+}
+
 // TestE13SpeedupFloor pins the headline acceptance criterion: the
 // quick-mode E1-style discovery on the repeated-value dataset must be
 // ≥1.5× faster on the fast engine than the naive (pre-fast-path)

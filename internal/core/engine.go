@@ -46,6 +46,67 @@ type Engine struct {
 type warmHierarchy struct {
 	h     *relation.Hierarchy
 	parts map[*relation.Relation]map[AttrSet]*partition.Partition
+	memo  *subtreeMemo
+}
+
+// subtreeMemo is the second half of the warm layer: the lattice
+// outputs of every essential relation of the last successful,
+// non-truncated run over a hierarchy. A later run skips the traversal
+// of a whole subtree — no lattice nodes, no partition products, no
+// target creation — when ApplyUpdate has touched nothing inside the
+// subtree AND the subtree's two ancestor dependencies are intact: the
+// null profiles its lattice consulted (nullInfo reaches the parent's
+// null rows and every ancestor above) and the parent-row indices its
+// outgoing target pairs are expressed in. The memo therefore keeps the
+// builder run's null tables for comparison, and a resize — the one
+// update that renumbers rows — dirties the resized relation's whole
+// descendant subtree (see Run.planReuse).
+//
+// outs and the null tables are immutable after publish. dirty is
+// written only by ApplyUpdate under the hierarchy's writer lock and
+// read by runs under the reader lock, so the two never race.
+type subtreeMemo struct {
+	xfd   bool          // Discover (true) vs DiscoverIntra outputs
+	outs  []*memoOutput // by Relation.Index; nil for non-essential or skipped
+	dirty []bool        // by Relation.Index; set when an update touches the relation
+
+	// Null tables of the run that built the memo (see Run.plan):
+	// cached outputs assumed these, so reuse requires today's to match.
+	anyNull        [][]bool
+	nullsAtOrAbove []bool
+}
+
+// markDirty records that an update touched r. A resize additionally
+// dirties r's entire descendant subtree: row deletion swap-moves rows
+// and rewrites the children's ParentIdx without a RelChange of their
+// own, which invalidates their cached outgoing targets (pairs live in
+// parent-row space) even though the descendants' columns are
+// unchanged.
+func (m *subtreeMemo) markDirty(r *relation.Relation, resized bool) {
+	if r.Index >= len(m.dirty) {
+		return
+	}
+	m.dirty[r.Index] = true
+	if !resized {
+		return
+	}
+	for _, c := range r.Children {
+		m.markDirty(c, true)
+	}
+}
+
+// memoOutput is one essential relation's contribution to a run: its
+// intra/inter FDs, keys and approximate FDs (already converted to
+// public form) plus the outgoing targets it handed to its parent.
+// Outgoing targets are replayed as clones — the consuming parent
+// appends to a target's satisfied list, which must not leak across
+// runs — while the FD/key slices are append-only shared.
+type memoOutput struct {
+	fds    []FD
+	keys   []Key
+	approx []FD
+	out    []*target
+	tuples int
 }
 
 // engineWarmHierarchies caps how many hierarchies' partitions an
@@ -99,9 +160,15 @@ func (e *Engine) DiscoverIntraAt(ctx context.Context, h *relation.Hierarchy, dea
 }
 
 // Evaluate checks a single XML FD directly against a hierarchy,
-// independent of discovery (see EvaluateContext).
+// independent of discovery (see EvaluateContext). The hierarchy's
+// reader lock is held for the duration, serializing against
+// ApplyUpdate; the package-level EvaluateContext itself does not lock
+// (discovery's FD verification calls it under discover's reader lock,
+// and read locks do not nest safely with a writer waiting).
 func (e *Engine) Evaluate(ctx context.Context, h *relation.Hierarchy, class schema.Path, lhs []schema.RelPath, rhs schema.RelPath) (Evaluation, error) {
 	e.evaluated()
+	h.RLock()
+	defer h.RUnlock()
 	return EvaluateContext(ctx, h, class, lhs, rhs)
 }
 
@@ -112,40 +179,48 @@ func (e *Engine) Evaluate(ctx context.Context, h *relation.Hierarchy, class sche
 func (e *Engine) discover(ctx context.Context, h *relation.Hierarchy, opts Options, xfd bool) (*Result, error) {
 	e.runStarted()
 	run := newRun(ctx, h, opts, xfd)
+	// Hold the hierarchy's reader lock across seed, execute, AND
+	// publish: publishing inside the critical section is what keeps a
+	// finishing run from installing pre-update partitions over a warm
+	// entry ApplyUpdate just patched.
+	h.RLock()
+	defer h.RUnlock()
 	share := e != nil && !opts.NaivePartitions
 	if share {
-		if warm := e.warmFor(h); warm != nil {
+		if warm, memo := e.warmFor(h); warm != nil {
 			run.cache.seed(warm)
+			run.memo = memo
 			e.warmSeededRun()
 		}
 	}
 	res, err := run.execute()
 	if share && err == nil {
-		e.publish(h, run.cache.snapshot())
+		e.publish(h, run.cache.snapshot(), run.memoSnapshot())
 	}
 	e.runDone(res, err)
 	return res, err
 }
 
-// warmFor returns the retained partition maps for h, or nil. The
-// returned maps are immutable (see warmHierarchy); only the slice
-// bookkeeping needs the lock.
-func (e *Engine) warmFor(h *relation.Hierarchy) map[*relation.Relation]map[AttrSet]*partition.Partition {
+// warmFor returns the retained partition maps and subtree memo for h,
+// or nils. The returned maps and memo outputs are immutable (see
+// warmHierarchy); only the slice bookkeeping needs the lock.
+func (e *Engine) warmFor(h *relation.Hierarchy) (map[*relation.Relation]map[AttrSet]*partition.Partition, *subtreeMemo) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, w := range e.warm {
 		if w.h == h {
-			return w.parts
+			return w.parts, w.memo
 		}
 	}
-	return nil
+	return nil, nil
 }
 
-// publish installs a finished run's partition snapshot as the warm
-// entry for h, replacing any previous entry (run-scoped
-// invalidation) and evicting the oldest hierarchy beyond the cap.
-func (e *Engine) publish(h *relation.Hierarchy, parts map[*relation.Relation]map[AttrSet]*partition.Partition) {
-	if len(parts) == 0 {
+// publish installs a finished run's partition snapshot and subtree
+// memo as the warm entry for h, replacing any previous entry
+// (run-scoped invalidation) and evicting the oldest hierarchy beyond
+// the cap. memo may be nil (truncated runs publish partitions only).
+func (e *Engine) publish(h *relation.Hierarchy, parts map[*relation.Relation]map[AttrSet]*partition.Partition, memo *subtreeMemo) {
+	if len(parts) == 0 && memo == nil {
 		return
 	}
 	e.mu.Lock()
@@ -156,7 +231,7 @@ func (e *Engine) publish(h *relation.Hierarchy, parts map[*relation.Relation]map
 			kept = append(kept, w)
 		}
 	}
-	e.warm = append(kept, &warmHierarchy{h: h, parts: parts})
+	e.warm = append(kept, &warmHierarchy{h: h, parts: parts, memo: memo})
 	if len(e.warm) > engineWarmHierarchies {
 		e.warm = append(e.warm[:0], e.warm[len(e.warm)-engineWarmHierarchies:]...)
 	}

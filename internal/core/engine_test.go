@@ -9,10 +9,10 @@ import (
 	"discoverxfd/internal/relation"
 )
 
-// TestEngineWarmLayerReuse pins the engine's warm-partition contract:
-// a second run over the same hierarchy is seeded from the first run's
-// snapshot (more cache hits, no fresh misses for retained partitions)
-// and produces identical constraints.
+// TestEngineWarmLayerReuse pins the engine's warm-layer contract: a
+// second run over the same untouched hierarchy replays every
+// essential relation from the subtree memo (no lattice traversal, far
+// fewer partition misses) and produces identical constraints.
 func TestEngineWarmLayerReuse(t *testing.T) {
 	h := buildWarehouse(t, relation.Options{})
 	eng := NewEngine(Options{PropagatePartial: true})
@@ -31,9 +31,14 @@ func TestEngineWarmLayerReuse(t *testing.T) {
 	if !reflect.DeepEqual(cold.Keys, warm.Keys) {
 		t.Fatalf("warm run changed keys: %v vs %v", cold.Keys, warm.Keys)
 	}
-	if warm.Stats.PartitionCacheHits <= cold.Stats.PartitionCacheHits {
-		t.Errorf("warm run should hit the seeded partitions: cold %d hits, warm %d",
-			cold.Stats.PartitionCacheHits, warm.Stats.PartitionCacheHits)
+	if cold.Stats.RelationsReused != 0 {
+		t.Errorf("cold run reused %d relations, want 0", cold.Stats.RelationsReused)
+	}
+	if warm.Stats.RelationsReused != cold.Stats.Relations {
+		t.Errorf("warm run reused %d of %d relations", warm.Stats.RelationsReused, cold.Stats.Relations)
+	}
+	if warm.Stats.NodesVisited != 0 {
+		t.Errorf("warm run visited %d lattice nodes, want 0 (full subtree reuse)", warm.Stats.NodesVisited)
 	}
 	if warm.Stats.PartitionCacheMisses >= cold.Stats.PartitionCacheMisses {
 		t.Errorf("warm run should miss less: cold %d misses, warm %d",
@@ -57,7 +62,8 @@ func TestEngineWarmEviction(t *testing.T) {
 		t.Fatalf("warm layer holds %d hierarchies, cap is %d", n, engineWarmHierarchies)
 	}
 	for i, h := range hs {
-		warm := eng.warmFor(h) != nil
+		warmParts, _ := eng.warmFor(h)
+		warm := warmParts != nil
 		wantWarm := i >= len(hs)-engineWarmHierarchies
 		if warm != wantWarm {
 			t.Errorf("hierarchy %d: warm=%v, want %v", i, warm, wantWarm)
@@ -75,7 +81,7 @@ func TestEngineNaiveStaysCold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if eng.warmFor(h) != nil {
+	if w, _ := eng.warmFor(h); w != nil {
 		t.Fatal("naive run published to the warm layer")
 	}
 	second, err := eng.Discover(context.Background(), h)

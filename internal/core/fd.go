@@ -137,6 +137,11 @@ func (r Redundancy) String() string {
 type Stats struct {
 	// Relations is the number of essential relations processed.
 	Relations int
+	// RelationsReused counts essential relations whose lattice
+	// traversal was skipped entirely because the engine's warm layer
+	// proved their subtree untouched since the last run and replayed
+	// its cached outputs (see subtreeMemo).
+	RelationsReused int
 	// Tuples is the total tuple count over essential relations.
 	Tuples int
 	// NodesVisited counts attribute-set lattice nodes processed.

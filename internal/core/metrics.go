@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"discoverxfd/internal/relation"
+)
 
 // Metrics is a point-in-time snapshot of an Engine's cumulative
 // counters, taken with Engine.Metrics. Counters cover every run the
@@ -22,6 +26,18 @@ type Metrics struct {
 	WarmSeeded int64
 	// Evaluations counts direct FD evaluations (Engine.Evaluate).
 	Evaluations int64
+	// UpdatesApplied counts successful ApplyUpdate batches,
+	// UpdateOps the individual update operations inside them, and
+	// UpdatesFailed the rejected batches.
+	UpdatesApplied int64
+	UpdateOps      int64
+	UpdatesFailed  int64
+	// PartitionsPatched / PartitionsKept / PartitionsDropped count the
+	// fate of warm-layer partitions across updates: spliced in place,
+	// shared untouched, or discarded as stale.
+	PartitionsPatched int64
+	PartitionsKept    int64
+	PartitionsDropped int64
 	// CacheHighWaterBytes is the largest partition-cache peak any
 	// single run reached.
 	CacheHighWaterBytes int64
@@ -43,6 +59,12 @@ type engineMetrics struct {
 	runsFailed          int64
 	warmSeeded          int64
 	evaluations         int64
+	updatesApplied      int64
+	updateOps           int64
+	updatesFailed       int64
+	partitionsPatched   int64
+	partitionsKept      int64
+	partitionsDropped   int64
 	cacheHighWaterBytes int64
 	totals              Stats
 }
@@ -75,6 +97,26 @@ func (e *Engine) evaluated() {
 	e.met.mu.Lock()
 	e.met.evaluations++
 	e.met.mu.Unlock()
+}
+
+// updateDone folds one ApplyUpdate batch into the counters.
+func (e *Engine) updateDone(cs *relation.Changeset, err error, pr []patchReport) {
+	if e == nil {
+		return
+	}
+	e.met.mu.Lock()
+	defer e.met.mu.Unlock()
+	if err != nil {
+		e.met.updatesFailed++
+		return
+	}
+	e.met.updatesApplied++
+	e.met.updateOps += int64(cs.Ops())
+	for _, rep := range pr {
+		e.met.partitionsPatched += int64(rep.patched)
+		e.met.partitionsKept += int64(rep.kept)
+		e.met.partitionsDropped += int64(rep.dropped)
+	}
 }
 
 // runDone folds a finished (or failed) run into the counters.
@@ -123,6 +165,12 @@ func (e *Engine) Metrics() Metrics {
 	m.RunsFailed = e.met.runsFailed
 	m.WarmSeeded = e.met.warmSeeded
 	m.Evaluations = e.met.evaluations
+	m.UpdatesApplied = e.met.updatesApplied
+	m.UpdateOps = e.met.updateOps
+	m.UpdatesFailed = e.met.updatesFailed
+	m.PartitionsPatched = e.met.partitionsPatched
+	m.PartitionsKept = e.met.partitionsKept
+	m.PartitionsDropped = e.met.partitionsDropped
 	m.CacheHighWaterBytes = e.met.cacheHighWaterBytes
 	m.Totals = e.met.totals
 	return m

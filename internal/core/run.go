@@ -45,6 +45,17 @@ type Run struct {
 	anyNull        [][]bool // per relation, per row: any column missing
 	nullsAtOrAbove []bool   // per relation: missing values here or in any ancestor
 
+	// memo is the engine's cached subtree outputs for this hierarchy
+	// (nil on cold runs); reusable marks relations whose whole subtree
+	// traversal this run replays from the memo instead of running (see
+	// planReuse); memoOuts collects the per-relation outputs — replayed
+	// or freshly computed — that become the next memo. Parallel subtree
+	// workers write disjoint memoOuts slots, so no synchronization is
+	// needed.
+	memo     *subtreeMemo
+	reusable []bool
+	memoOuts []*memoOutput
+
 	// id is the process-unique run identifier ("run-N") stamped on
 	// every trace event and pprof label; tr is the run-stamped tracer
 	// (nil when tracing is off — the fast path). labels carries the
@@ -207,7 +218,84 @@ func (run *Run) plan() error {
 		up := r.Parent != nil && run.nullsAtOrAbove[r.Parent.Index]
 		run.nullsAtOrAbove[r.Index] = up || here
 	}
+
+	run.memoOuts = make([]*memoOutput, len(h.Relations))
+	run.planReuse()
 	return nil
+}
+
+// planReuse decides, per relation, whether traverse may replay the
+// subtree rooted there from the engine's memo. The sound condition has
+// two halves. Inside the subtree: every relation is untouched since
+// the memo was built (resizes dirty their whole descendant cone, see
+// subtreeMemo.markDirty) and has cached outputs if essential. At the
+// boundary: the null profiles the subtree's lattices consulted —
+// the parent's per-row null mask and every ancestor's nulls-at-or-
+// above flag (nullInfo) — are unchanged, since an update elsewhere in
+// the document can flip them (e.g. a graft filling a missing optional
+// subtree) without any RelChange inside the subtree. Interior
+// relations' null inputs come from clean in-subtree relations and so
+// match automatically; only the boundary needs checking.
+//
+// Note what is deliberately NOT required: a clean ancestor. A value
+// update to the parent leaves the subtree's outputs valid — its own
+// columns are untouched and its target pairs still index the same
+// parent rows — which is what makes sibling subtrees of the mutated
+// region reusable even though every update re-encodes the ancestor
+// chain's complex columns.
+func (run *Run) planReuse() {
+	m := run.memo
+	if m == nil || m.xfd != run.xfd ||
+		len(m.outs) != len(run.h.Relations) || len(m.dirty) != len(run.h.Relations) ||
+		len(m.anyNull) != len(run.h.Relations) || len(m.nullsAtOrAbove) != len(run.h.Relations) {
+		run.memo = nil
+		return
+	}
+	run.reusable = make([]bool, len(run.h.Relations))
+	var subClean func(r *relation.Relation) bool
+	subClean = func(r *relation.Relation) bool {
+		ok := !m.dirty[r.Index] && (!r.Essential || m.outs[r.Index] != nil)
+		for _, c := range r.Children {
+			// No short-circuit: a clean child subtree under a dirty
+			// relation is reusable on its own and needs its flag set.
+			if !subClean(c) {
+				ok = false
+			}
+		}
+		run.reusable[r.Index] = ok
+		return ok
+	}
+	subClean(run.h.Root)
+	for _, r := range run.h.Relations {
+		if run.reusable[r.Index] && !run.nullBoundaryOK(m, r) {
+			run.reusable[r.Index] = false
+		}
+	}
+}
+
+// nullBoundaryOK reports whether the null profiles crossing into r's
+// subtree match those the memo was built under: the parent's per-row
+// null mask and the nulls-at-or-above flag of every ancestor.
+func (run *Run) nullBoundaryOK(m *subtreeMemo, r *relation.Relation) bool {
+	p := r.Parent
+	if p == nil {
+		return true
+	}
+	now, then := run.anyNull[p.Index], m.anyNull[p.Index]
+	if len(now) != len(then) {
+		return false
+	}
+	for i := range now {
+		if now[i] != then[i] {
+			return false
+		}
+	}
+	for a := p; a != nil; a = a.Parent {
+		if run.nullsAtOrAbove[a.Index] != m.nullsAtOrAbove[a.Index] {
+			return false
+		}
+	}
+	return true
 }
 
 // relationDepths returns each relation's depth in the hierarchy tree
@@ -257,6 +345,20 @@ func (run *Run) traverse(ctx context.Context, r *relation.Relation) gathered {
 	var g gathered
 	if err := run.gov.cancelled(); err != nil {
 		g.err = err
+		return g
+	}
+	if run.reusable != nil && run.reusable[r.Index] {
+		// The whole subtree is cone-clean: replay the memoized outputs
+		// and skip the lattice entirely. Only r's own outgoing targets
+		// surface — interior relations' targets were consumed inside
+		// the memoized traversal, exactly as they would be live.
+		run.replayOutputs(r, &g)
+		if out := run.memo.outs[r.Index]; out != nil {
+			g.out = make([]*target, 0, len(out.out))
+			for _, t := range out.out {
+				g.out = append(g.out, t.clone())
+			}
+		}
 		return g
 	}
 	if run.opts.Parallel && len(r.Children) > 1 {
@@ -331,6 +433,7 @@ func (run *Run) traverse(ctx context.Context, r *relation.Relation) gathered {
 		return g
 	}
 
+	fdsBefore, keysBefore, approxBefore := len(g.fds), len(g.keys), len(g.approx)
 	for _, e := range lr.out.intraFDs {
 		if e.lhs == 0 && !run.opts.KeepConstantFDs {
 			continue
@@ -348,11 +451,69 @@ func (run *Run) traverse(ctx context.Context, r *relation.Relation) gathered {
 	run.cache.retire(lr.pc)
 	lr.close()
 	g.out = lr.out.outgoing
+	// Capture this relation's own outputs for the next memo. The
+	// outgoing targets are stored as-is: this run's parent may append
+	// to their satisfied lists, which replay resets via clone.
+	run.memoOuts[r.Index] = &memoOutput{
+		fds:    append([]FD(nil), g.fds[fdsBefore:]...),
+		keys:   append([]Key(nil), g.keys[keysBefore:]...),
+		approx: append([]FD(nil), g.approx[approxBefore:]...),
+		out:    lr.out.outgoing,
+		tuples: r.NRows(),
+	}
 	if run.tr != nil {
 		trace.Emit(run.tr, &trace.Event{Kind: trace.KindRelationEnd, Relation: string(r.Pivot),
 			Nodes: g.stats.NodesVisited - nodesBefore, DurationMS: msSince(relStart)})
 	}
 	return g
+}
+
+// replayOutputs walks a reused subtree post-order, appending each
+// essential relation's memoized FDs, keys and approximate FDs to g and
+// carrying the cached outputs forward into this run's memo slots. The
+// trace stream still shows the relation spans, flagged as reused, so
+// consumers see the same well-nested shape a live run emits.
+func (run *Run) replayOutputs(r *relation.Relation, g *gathered) {
+	for _, c := range r.Children {
+		run.replayOutputs(c, g)
+	}
+	out := run.memo.outs[r.Index]
+	run.memoOuts[r.Index] = out
+	if !r.Essential || out == nil {
+		return
+	}
+	if run.opts.RelationHook != nil {
+		run.opts.RelationHook(r.Pivot)
+	}
+	g.stats.Relations++
+	g.stats.RelationsReused++
+	g.stats.Tuples += out.tuples
+	g.fds = append(g.fds, out.fds...)
+	g.keys = append(g.keys, out.keys...)
+	g.approx = append(g.approx, out.approx...)
+	if run.tr != nil {
+		trace.Emit(run.tr, &trace.Event{Kind: trace.KindRelationStart,
+			Relation: string(r.Pivot), Tuples: out.tuples, Attrs: r.NAttrs()})
+		trace.Emit(run.tr, &trace.Event{Kind: trace.KindRelationEnd,
+			Relation: string(r.Pivot), Detail: "subtree reused"})
+	}
+}
+
+// memoSnapshot packages the run's per-relation outputs as the next
+// subtree memo. Truncated runs publish nothing: a skipped relation has
+// no outputs to replay, and a partial memo would silently pin the
+// truncation into every warm repeat.
+func (run *Run) memoSnapshot() *subtreeMemo {
+	if run.res == nil || run.res.Stats.Truncated || run.memoOuts == nil {
+		return nil
+	}
+	return &subtreeMemo{
+		xfd:            run.xfd,
+		outs:           run.memoOuts,
+		dirty:          make([]bool, len(run.memoOuts)),
+		anyNull:        run.anyNull,
+		nullsAtOrAbove: run.nullsAtOrAbove,
+	}
 }
 
 // minimize reduces the traversal's raw FD and key streams to minimal

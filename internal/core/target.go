@@ -102,6 +102,17 @@ type target struct {
 	satisfied []AttrSet
 }
 
+// clone returns a copy safe to offer to a fresh run: the satisfied
+// list is reset (the consuming relation appends to it per level), and
+// the immutable pairs and parts are shared. The warm layer hands out
+// clones of cached outgoing targets so that one run's minimality
+// bookkeeping never leaks into the next.
+func (t *target) clone() *target {
+	c := *t
+	c.satisfied = nil
+	return &c
+}
+
 // pairSet deduplicates pairs during construction, keyed on a packed
 // uint64. A map beats sort-and-compact here because duplicate pairs
 // across partition groups are common: the deduplicated set is often

@@ -15,6 +15,7 @@ import (
 // double-counting the Stats docs rule out).
 func mergeStats(dst, src *Stats) {
 	dst.Relations += src.Relations
+	dst.RelationsReused += src.RelationsReused
 	dst.Tuples += src.Tuples
 	dst.NodesVisited += src.NodesVisited
 	dst.PartitionsComputed += src.PartitionsComputed
@@ -94,24 +95,107 @@ func verifyFD(cache *partitionCache, h *relation.Hierarchy, fd FD, naive bool) (
 	return Evaluate(h, fd.Class, fd.LHS, fd.RHS)
 }
 
+// lhsInterner assigns each distinct LHS path of one class a bit
+// position, so a (sorted, duplicate-free) LHS list becomes a uint64
+// set and subset/equality tests become single mask operations. ok is
+// false when a class accumulates more than 64 distinct paths — the
+// caller falls back to the string-slice comparisons for that FD's
+// goal.
+type lhsInterner struct {
+	bits map[schema.Path]map[schema.RelPath]int
+}
+
+func (in *lhsInterner) mask(f FD) (uint64, bool) {
+	m := in.bits[f.Class]
+	if m == nil {
+		m = make(map[schema.RelPath]int)
+		in.bits[f.Class] = m
+	}
+	var mask uint64
+	for _, p := range f.LHS {
+		b, seen := m[p]
+		if !seen {
+			b = len(m)
+			m[p] = b
+		}
+		if b >= 64 {
+			return 0, false
+		}
+		mask |= 1 << uint(b)
+	}
+	return mask, true
+}
+
 // minimizeApprox removes approximate FDs implied by an exact FD or by
 // another approximate FD with a subset LHS for the same class and
-// RHS, and deduplicates.
+// RHS, and deduplicates. Candidates are bucketed by (class, RHS) —
+// only same-goal FDs can imply each other — and LHS sets are interned
+// to bitmasks, so the pairwise scan is mask arithmetic. Low-domain
+// corpora produce thousands of approximate FDs, where the original
+// all-pairs string-slice scan dominated whole runs.
 func minimizeApprox(approx, exact []FD) []FD {
-	out := approx[:0]
+	keyOf := func(f FD) string { return string(f.Class) + "\x00" + string(f.RHS) }
+	in := &lhsInterner{bits: make(map[schema.Path]map[schema.RelPath]int)}
+	wide := make(map[string]bool) // goals with an FD past the 64-path intern limit
+	exactByGoal := make(map[string][]int)
+	exactMask := make([]uint64, len(exact))
+	for i, e := range exact {
+		goal := keyOf(e)
+		exactByGoal[goal] = append(exactByGoal[goal], i)
+		m, ok := in.mask(e)
+		if !ok {
+			wide[goal] = true
+		}
+		exactMask[i] = m
+	}
+	approxByGoal := make(map[string][]int)
+	approxMask := make([]uint64, len(approx))
 	for i, a := range approx {
+		goal := keyOf(a)
+		approxByGoal[goal] = append(approxByGoal[goal], i)
+		m, ok := in.mask(a)
+		if !ok {
+			wide[goal] = true
+		}
+		approxMask[i] = m
+	}
+	// A fresh slice, not approx[:0]: the goal buckets index the input,
+	// which must stay intact while it is still being compared against.
+	var out []FD
+	for i, a := range approx {
+		goal := keyOf(a)
+		slow := wide[goal]
 		implied := false
-		for _, e := range exact {
-			if e.Class == a.Class && e.RHS == a.RHS && relsSubset(e.LHS, a.LHS) {
-				implied = true
+		for _, ei := range exactByGoal[goal] {
+			if slow {
+				implied = relsSubset(exact[ei].LHS, a.LHS)
+			} else {
+				implied = approxMask[i]&exactMask[ei] == exactMask[ei]
+			}
+			if implied {
 				break
 			}
 		}
 		if !implied {
-			for j, b := range approx {
-				if i == j || b.Class != a.Class || b.RHS != a.RHS {
+			for _, j := range approxByGoal[goal] {
+				if i == j {
 					continue
 				}
+				if !slow {
+					if approxMask[j] == approxMask[i] {
+						if j < i {
+							implied = true
+							break
+						}
+						continue
+					}
+					if approxMask[i]&approxMask[j] == approxMask[j] {
+						implied = true
+						break
+					}
+					continue
+				}
+				b := approx[j]
 				if relsEqual(a.LHS, b.LHS) {
 					if j < i {
 						implied = true
@@ -153,16 +237,37 @@ func dropSuperkeyLHS(fds []FD, keys []Key) []FD {
 }
 
 func sortRedundancies(rs []Redundancy) {
-	sort.Slice(rs, func(i, j int) bool {
-		a, b := rs[i].FD, rs[j].FD
-		if a.Class != b.Class {
-			return a.Class < b.Class
-		}
-		if a.RHS != b.RHS {
-			return a.RHS < b.RHS
-		}
-		return joinRels(a.LHS) < joinRels(b.LHS)
-	})
+	lhs := make([]string, len(rs))
+	for i := range rs {
+		lhs[i] = joinRels(rs[i].FD.LHS)
+	}
+	sort.Sort(&redundancySorter{rs: rs, lhs: lhs})
+}
+
+// redundancySorter orders redundancies by (class, RHS, joined LHS)
+// with the joined-LHS key computed once per element; joining inside
+// the comparator allocated O(n log n) strings, which dominated result
+// assembly on low-domain corpora with thousands of approximate FDs
+// (the same precomputation backs fdSorter).
+type redundancySorter struct {
+	rs  []Redundancy
+	lhs []string
+}
+
+func (s *redundancySorter) Len() int { return len(s.rs) }
+func (s *redundancySorter) Swap(i, j int) {
+	s.rs[i], s.rs[j] = s.rs[j], s.rs[i]
+	s.lhs[i], s.lhs[j] = s.lhs[j], s.lhs[i]
+}
+func (s *redundancySorter) Less(i, j int) bool {
+	a, b := s.rs[i].FD, s.rs[j].FD
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	if a.RHS != b.RHS {
+		return a.RHS < b.RHS
+	}
+	return s.lhs[i] < s.lhs[j]
 }
 
 func intraFD(r *relation.Relation, e edge) FD {
@@ -262,22 +367,56 @@ func minimizeKeys(keys []Key) []Key {
 }
 
 func sortFDs(fds []FD) {
-	sort.Slice(fds, func(i, j int) bool {
-		if fds[i].Class != fds[j].Class {
-			return fds[i].Class < fds[j].Class
-		}
-		if fds[i].RHS != fds[j].RHS {
-			return fds[i].RHS < fds[j].RHS
-		}
-		return joinRels(fds[i].LHS) < joinRels(fds[j].LHS)
-	})
+	lhs := make([]string, len(fds))
+	for i := range fds {
+		lhs[i] = joinRels(fds[i].LHS)
+	}
+	sort.Sort(&fdSorter{fds: fds, lhs: lhs})
+}
+
+// fdSorter: see redundancySorter for why the LHS key is precomputed.
+type fdSorter struct {
+	fds []FD
+	lhs []string
+}
+
+func (s *fdSorter) Len() int { return len(s.fds) }
+func (s *fdSorter) Swap(i, j int) {
+	s.fds[i], s.fds[j] = s.fds[j], s.fds[i]
+	s.lhs[i], s.lhs[j] = s.lhs[j], s.lhs[i]
+}
+func (s *fdSorter) Less(i, j int) bool {
+	if s.fds[i].Class != s.fds[j].Class {
+		return s.fds[i].Class < s.fds[j].Class
+	}
+	if s.fds[i].RHS != s.fds[j].RHS {
+		return s.fds[i].RHS < s.fds[j].RHS
+	}
+	return s.lhs[i] < s.lhs[j]
 }
 
 func sortKeys(keys []Key) {
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Class != keys[j].Class {
-			return keys[i].Class < keys[j].Class
-		}
-		return joinRels(keys[i].LHS) < joinRels(keys[j].LHS)
-	})
+	lhs := make([]string, len(keys))
+	for i := range keys {
+		lhs[i] = joinRels(keys[i].LHS)
+	}
+	sort.Sort(&keySorter{keys: keys, lhs: lhs})
+}
+
+// keySorter: see redundancySorter for why the LHS key is precomputed.
+type keySorter struct {
+	keys []Key
+	lhs  []string
+}
+
+func (s *keySorter) Len() int { return len(s.keys) }
+func (s *keySorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.lhs[i], s.lhs[j] = s.lhs[j], s.lhs[i]
+}
+func (s *keySorter) Less(i, j int) bool {
+	if s.keys[i].Class != s.keys[j].Class {
+		return s.keys[i].Class < s.keys[j].Class
+	}
+	return s.lhs[i] < s.lhs[j]
 }

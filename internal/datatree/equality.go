@@ -103,6 +103,21 @@ func (e *Encoder) MultisetOfCodes(codes []int) int {
 	return e.internCodes("ms", codes)
 }
 
+// Invalidate drops the cached codes of n and every ancestor of n.
+// Call it after mutating a node (value change, child grafted or
+// pruned): the subtree codes of the node and its ancestors are stale,
+// while interned codes and the rest of the cache stay valid — an
+// unchanged subtree re-encodes to its old code, which is what lets
+// incremental updates detect that a column did not actually change.
+func (e *Encoder) Invalidate(n *Node) {
+	if e.cache == nil {
+		return
+	}
+	for m := n; m != nil; m = m.Parent {
+		delete(e.cache, m)
+	}
+}
+
 // Forget drops the per-node memoization for the subtree rooted at n.
 // Interned canonical codes stay valid; streaming builders call this
 // after processing a subtree so the cache does not retain discarded

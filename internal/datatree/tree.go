@@ -39,6 +39,12 @@ type Node struct {
 type Tree struct {
 	Root *Node
 	size int
+	// next is the next fresh node key Graft hands out (0 = not yet
+	// computed). Grafted keys grow beyond the pre-order range, which
+	// keeps every existing key stable under mutation — incremental
+	// updates depend on that — while preserving the parent-before-
+	// descendant key order NodeByKey's pruning relies on.
+	next int
 }
 
 // NewTree wraps a constructed root node into a tree and assigns
@@ -67,6 +73,7 @@ func (t *Tree) Renumber() {
 		rec(t.Root, nil)
 	}
 	t.size = key
+	t.next = key + 1
 }
 
 // Size returns the number of nodes in the tree.
@@ -86,6 +93,59 @@ func (n *Node) AddLeaf(label, value string) *Node {
 	c.Value = value
 	c.HasValue = true
 	return c
+}
+
+// Graft appends a new child node under parent with a fresh key and
+// returns it. Unlike AddChild+Renumber, grafting never renumbers
+// existing nodes: the new key is taken past every key handed out so
+// far, so keys stay stable under mutation (what the incremental
+// update path needs) and a node's key still precedes its descendants'
+// keys (what NodeByKey's pruning needs).
+func (t *Tree) Graft(parent *Node, label string) *Node {
+	if t.next == 0 {
+		// A hand-assembled tree that never went through Renumber:
+		// derive the fresh-key floor from the keys actually present.
+		max := 0
+		t.Root.Walk(func(n *Node) bool {
+			if n.Key > max {
+				max = n.Key
+			}
+			return true
+		})
+		t.next = max + 1
+	}
+	c := parent.AddChild(label)
+	c.Key = t.next
+	t.next++
+	t.size++
+	return c
+}
+
+// GraftLeaf is Graft with a value assignment.
+func (t *Tree) GraftLeaf(parent *Node, label, value string) *Node {
+	c := t.Graft(parent, label)
+	c.Value = value
+	c.HasValue = true
+	return c
+}
+
+// Prune detaches the subtree rooted at n from its parent and adjusts
+// the node count. Pruning the root is not supported.
+func (t *Tree) Prune(n *Node) {
+	p := n.Parent
+	if p == nil {
+		panic("datatree: cannot prune the root")
+	}
+	for i, c := range p.Children {
+		if c == n {
+			p.Children = append(p.Children[:i], p.Children[i+1:]...)
+			break
+		}
+	}
+	n.Parent = nil
+	removed := 0
+	n.Walk(func(*Node) bool { removed++; return true })
+	t.size -= removed
 }
 
 // Path returns the absolute path of the node (/e1/…/ek).

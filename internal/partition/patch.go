@@ -1,0 +1,113 @@
+package partition
+
+// Patching is the incremental-update counterpart of the build paths in
+// this package (Section 4.2's stripped partitions are what makes this
+// cheap): when a handful of rows of a column change code, the new
+// column partition is obtained by splicing the touched rows out of
+// their old equivalence classes and re-merging them under their new
+// codes, instead of rebuilding from all n rows. Groups the edit does
+// not reach are *shared* with the previous partition — sound because
+// partitions are immutable after construction (the partimmut analyzer
+// enforces it), which is the same property that lets the engine's warm
+// layer hand one partition to many runs.
+
+// Patch returns the partition of the updated column codes, given that
+// the receiver is the partition of a previous version of the column
+// in which every row listed in touched (and no other row below
+// min(p.NRows, len(codes))) may have changed its code. Rows appended
+// beyond p.NRows must be listed in touched; rows removed by
+// truncating the column below p.NRows are dropped automatically.
+//
+// The result is a fresh immutable Partition equal to
+// FromCodes(codes); groups that contain neither a touched row nor a
+// row sharing a touched row's new code are shared (not copied) with
+// the receiver. Cost is O(n) for the single code scan plus work
+// proportional to the affected groups — the scan has a trivial
+// constant next to a hash build, which is where the incremental-update
+// speedup comes from.
+func (p *Partition) Patch(codes []int64, touched []int32) *Partition {
+	n := len(codes)
+	if len(touched) == 0 && n == p.NRows {
+		return p
+	}
+	bound := n
+	if p.NRows > bound {
+		bound = p.NRows
+	}
+	affected := make([]bool, bound)
+	// rebuild collects, per new code of a touched row, every row of the
+	// updated column that carries the code; order holds first-touch
+	// order so no map iteration reaches the output.
+	rebuild := make(map[int64]int)
+	var order [][]int32
+	for _, r := range touched {
+		if int(r) >= bound {
+			continue
+		}
+		affected[r] = true
+		if int(r) < n {
+			if _, ok := rebuild[codes[r]]; !ok {
+				rebuild[codes[r]] = len(order)
+				order = append(order, nil)
+			}
+		}
+	}
+	if len(rebuild) > 0 {
+		for i, c := range codes {
+			if gi, ok := rebuild[c]; ok {
+				order[gi] = append(order[gi], int32(i))
+				affected[i] = true
+			}
+		}
+	}
+	out := &Partition{NRows: n, Groups: make([][]int32, 0, len(p.Groups)+len(order))}
+	out.spliceFrom(p, affected, n)
+	out.mergeRebuilt(order)
+	sortGroups(out.Groups)
+	return out
+}
+
+// spliceFrom carries the previous partition's groups into the
+// partition under construction: a group no row of which is affected
+// (or out of range) is shared as-is; otherwise the affected and
+// out-of-range rows are spliced out and the remainder kept if it still
+// has two or more rows. In-place patch constructor: out is the
+// unpublished partition Patch is building, so writing its fields
+// cannot race with readers (partimmut allowlists this method by name).
+func (out *Partition) spliceFrom(prev *Partition, affected []bool, n int) {
+	for _, g := range prev.Groups {
+		clean := true
+		for _, row := range g {
+			if int(row) >= n || affected[row] {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			out.Groups = append(out.Groups, g)
+			continue
+		}
+		var kept []int32
+		for _, row := range g {
+			if int(row) < n && !affected[row] {
+				kept = append(kept, row)
+			}
+		}
+		if len(kept) >= 2 {
+			out.Groups = append(out.Groups, kept)
+		}
+	}
+}
+
+// mergeRebuilt appends the re-formed equivalence classes of the
+// edit's target codes: each entry lists, in ascending row order,
+// every row now sharing one touched row's new code. Singletons are
+// dropped (stripped form). In-place patch constructor, allowlisted by
+// partimmut like spliceFrom.
+func (out *Partition) mergeRebuilt(rebuilt [][]int32) {
+	for _, g := range rebuilt {
+		if len(g) >= 2 {
+			out.Groups = append(out.Groups, g)
+		}
+	}
+}

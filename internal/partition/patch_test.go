@@ -1,0 +1,135 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// patchRef applies the edits naively and rebuilds from scratch — the
+// reference Patch must match.
+func requirePatchEqual(t *testing.T, old []int64, p *Partition, codes []int64, touched []int32) {
+	t.Helper()
+	got := p.Patch(codes, touched)
+	want := FromCodes(codes)
+	if !got.Equal(want) {
+		t.Fatalf("Patch mismatch\nold:     %v\nnew:     %v\ntouched: %v\ngot:     %v\nwant:    %v",
+			old, codes, touched, got.Groups, want.Groups)
+	}
+	if got.NRows != len(codes) {
+		t.Fatalf("Patch NRows = %d, want %d", got.NRows, len(codes))
+	}
+}
+
+func TestPatchValueChanges(t *testing.T) {
+	old := []int64{1, 2, 1, 3, 2, 1, 4}
+	p := FromCodes(old)
+	for _, tc := range []struct {
+		name   string
+		mutate func(c []int64) []int32
+	}{
+		{"join existing group", func(c []int64) []int32 { c[3] = 1; return []int32{3} }},
+		{"leave group to singleton", func(c []int64) []int32 { c[0] = 9; return []int32{0} }},
+		{"shrink group to singleton", func(c []int64) []int32 { c[1] = 9; return []int32{1} }},
+		{"singleton joins singleton", func(c []int64) []int32 { c[6] = 3; return []int32{6} }},
+		{"swap two groups", func(c []int64) []int32 { c[0], c[1] = 2, 1; return []int32{0, 1} }},
+		{"null stays singleton", func(c []int64) []int32 { c[2] = -3; return []int32{2} }},
+		{"no-op listed as touched", func(c []int64) []int32 { return []int32{4} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			codes := append([]int64(nil), old...)
+			touched := tc.mutate(codes)
+			requirePatchEqual(t, old, p, codes, touched)
+		})
+	}
+}
+
+func TestPatchResize(t *testing.T) {
+	old := []int64{1, 2, 1, 3, 2, 1}
+	p := FromCodes(old)
+
+	// Append two rows, one joining a group, one fresh.
+	grown := append(append([]int64(nil), old...), 2, 7)
+	requirePatchEqual(t, old, p, grown, []int32{6, 7})
+
+	// Swap-delete: remove row 1 by moving the last row into its slot
+	// and truncating.
+	shrunk := append([]int64(nil), old...)
+	shrunk[1] = shrunk[5]
+	shrunk = shrunk[:5]
+	requirePatchEqual(t, old, p, shrunk, []int32{1})
+
+	// Truncation only (delete the last row): nothing below the new
+	// length is touched.
+	requirePatchEqual(t, old, p, old[:5], nil)
+
+	// Shrink to empty.
+	requirePatchEqual(t, old, p, nil, nil)
+}
+
+func TestPatchNoTouchSharesGroups(t *testing.T) {
+	old := []int64{1, 1, 2, 2, 3}
+	p := FromCodes(old)
+	if got := p.Patch(old, nil); got != p {
+		t.Fatalf("Patch with no edits should return the receiver")
+	}
+	// A disjoint edit must share the untouched group's backing slice.
+	codes := append([]int64(nil), old...)
+	codes[4] = 9
+	got := p.Patch(codes, []int32{4})
+	if len(got.Groups) != 2 || len(p.Groups) != 2 {
+		t.Fatalf("unexpected groups: got %v, prev %v", got.Groups, p.Groups)
+	}
+	if &got.Groups[0][0] != &p.Groups[0][0] || &got.Groups[1][0] != &p.Groups[1][0] {
+		t.Fatalf("untouched groups were copied instead of shared")
+	}
+}
+
+// TestPatchRandomized drives long random edit sequences — value
+// changes, appends, swap-deletes — through Patch, checking the result
+// against a from-scratch rebuild at every step.
+func TestPatchRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		domain := int64(1 + rng.Intn(8))
+		codes := make([]int64, n)
+		for i := range codes {
+			if rng.Intn(10) == 0 {
+				codes[i] = -int64(i) - 1 // null
+			} else {
+				codes[i] = 1 + rng.Int63n(domain)
+			}
+		}
+		p := FromCodes(codes)
+		for step := 0; step < 20; step++ {
+			old := append([]int64(nil), codes...)
+			var touched []int32
+			switch k := rng.Intn(3); {
+			case k == 0 && len(codes) > 0: // value changes
+				edits := 1 + rng.Intn(3)
+				for e := 0; e < edits; e++ {
+					i := rng.Intn(len(codes))
+					codes[i] = 1 + rng.Int63n(domain)
+					touched = append(touched, int32(i))
+				}
+			case k == 1: // append
+				codes = append(codes, 1+rng.Int63n(domain))
+				touched = append(touched, int32(len(codes)-1))
+			case k == 2 && len(codes) > 0: // swap-delete
+				i := rng.Intn(len(codes))
+				last := len(codes) - 1
+				if i != last {
+					c := codes[last]
+					if c < 0 {
+						c = -int64(i) - 1 // nulls renumber to their new row
+					}
+					codes[i] = c
+					touched = append(touched, int32(i))
+				}
+				codes = codes[:last]
+			}
+			requirePatchEqual(t, old, p, codes, touched)
+			p = p.Patch(codes, touched)
+		}
+	}
+}

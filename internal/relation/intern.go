@@ -57,7 +57,15 @@ func (in *interner) bound(ai int) int64 { return in.next[ai] }
 // encoder (complex elements, set pseudo-attributes), which are dense
 // across the document but sparse within one column.
 func densify(col []int64) int64 {
-	remap := make(map[int64]int64)
+	return densifyInto(col, make(map[int64]int64))
+}
+
+// densifyInto is densify with a caller-supplied (empty) remap table,
+// which the incremental update path retains: the original-code→dense
+// mapping stays valid forever because encoder codes are append-only
+// interned, so a re-encoded, unchanged subtree maps back to its old
+// dense code.
+func densifyInto(col []int64, remap map[int64]int64) int64 {
 	next := int64(1)
 	for i, c := range col {
 		if c < 0 {

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"discoverxfd/internal/datatree"
@@ -186,7 +187,31 @@ type Hierarchy struct {
 	TruncatedReason string
 
 	byPivot map[schema.Path]*Relation
+
+	// mu serializes document updates against discovery runs: Apply
+	// holds the write side, runs and evaluations the read side (see
+	// Lock/RLock). The zero value works for hand-assembled hierarchies.
+	mu sync.RWMutex
+	// upd is the retained encoding state (tree, subtree encoder,
+	// interners, densifier remaps) that makes in-place updates
+	// possible; nil for streamed or hand-assembled hierarchies.
+	upd *patchState
 }
+
+// RLock takes the hierarchy's read lock. Discovery runs and direct
+// evaluations hold it for their whole duration, so updates (which
+// take Lock) never observe — or publish partitions into — a run in
+// flight.
+func (h *Hierarchy) RLock() { h.mu.RLock() }
+
+// RUnlock releases the read lock.
+func (h *Hierarchy) RUnlock() { h.mu.RUnlock() }
+
+// Lock takes the hierarchy's write lock for a document update.
+func (h *Hierarchy) Lock() { h.mu.Lock() }
+
+// Unlock releases the write lock.
+func (h *Hierarchy) Unlock() { h.mu.Unlock() }
 
 // truncate records the first budget exhaustion; later ones keep the
 // original reason.
@@ -353,8 +378,12 @@ func BuildContext(ctx context.Context, t *datatree.Tree, s *schema.Schema, opts 
 		return nil, err
 	}
 
-	// Pass 2: populate tuples top-down.
-	enc := &datatree.Encoder{}
+	// Pass 2: populate tuples top-down. The encoding state (encoder,
+	// interners, densifier remaps) is retained on the hierarchy so
+	// later Apply calls can re-encode mutated tuples consistently with
+	// the original build — that retention is what makes an in-memory
+	// hierarchy updatable.
+	ps := newPatchState(t, len(h.Relations))
 	bb := &buildBudget{ctx: ctx, opts: &opts, h: h}
 	h.Root.nodes = []*datatree.Node{t.Root}
 	h.Root.Keys = []int{t.Root.Key}
@@ -365,7 +394,7 @@ func BuildContext(ctx context.Context, t *datatree.Tree, s *schema.Schema, opts 
 				return nil, err
 			}
 		}
-		if err := populateColumns(bb, r, enc); err != nil {
+		if err := populateColumns(bb, r, ps); err != nil {
 			return nil, err
 		}
 	}
@@ -380,9 +409,10 @@ func BuildContext(ctx context.Context, t *datatree.Tree, s *schema.Schema, opts 
 			if err := bb.cancelled(); err != nil {
 				return nil, err
 			}
-			fillSetColumns(h, r, enc, opts.OrderedSets)
+			fillSetColumns(h, r, ps, opts.OrderedSets)
 		}
 	}
+	h.upd = ps
 	return h, nil
 }
 
@@ -495,11 +525,14 @@ func populateTuples(r *Relation, bb *buildBudget) error {
 // the relation, interning values into dense per-column codes (one
 // shared string table per relation). SetValue columns are filled
 // later by fillSetColumns.
-func populateColumns(bb *buildBudget, r *Relation, enc *datatree.Encoder) error {
+func populateColumns(bb *buildBudget, r *Relation, ps *patchState) error {
+	enc := ps.enc
 	n := r.NRows()
 	r.Cols = make([][]int64, len(r.Attrs))
 	r.ColBound = make([]int64, len(r.Attrs))
 	in := newInterner(len(r.Attrs))
+	ps.in[r.Index] = in
+	ps.remap[r.Index] = make([]map[int64]int64, len(r.Attrs))
 	for ai, a := range r.Attrs {
 		// A deadline truncation must not abort mid-relation: every
 		// attribute's column slice has to exist for the truncated
@@ -532,8 +565,11 @@ func populateColumns(bb *buildBudget, r *Relation, enc *datatree.Encoder) error 
 		if a.Kind == Complex {
 			// Encoder codes are dense across the document but sparse
 			// within one column; remap per column so partition builds
-			// stay on the counting path.
-			r.ColBound[ai] = densify(col)
+			// stay on the counting path. The remap is retained for
+			// incremental re-encoding.
+			remap := make(map[int64]int64)
+			ps.remap[r.Index][ai] = remap
+			r.ColBound[ai] = densifyInto(col, remap)
 		} else {
 			r.ColBound[ai] = in.bound(ai)
 		}
@@ -546,7 +582,8 @@ func populateColumns(bb *buildBudget, r *Relation, enc *datatree.Encoder) error 
 // multiset (or list) code of the child subtrees. An empty collection
 // is a missing element — the path matches no node — and therefore a
 // null.
-func fillSetColumns(h *Hierarchy, r *Relation, enc *datatree.Encoder, ordered bool) {
+func fillSetColumns(h *Hierarchy, r *Relation, ps *patchState, ordered bool) {
+	enc := ps.enc
 	for ai, a := range r.Attrs {
 		if a.Kind != SetValue {
 			continue
@@ -569,7 +606,9 @@ func fillSetColumns(h *Hierarchy, r *Relation, enc *datatree.Encoder, ordered bo
 			}
 		}
 		if ai < len(r.ColBound) {
-			r.ColBound[ai] = densify(col)
+			remap := make(map[int64]int64)
+			ps.remap[r.Index][ai] = remap
+			r.ColBound[ai] = densifyInto(col, remap)
 		}
 	}
 }

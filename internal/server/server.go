@@ -79,6 +79,12 @@ type Config struct {
 	// MaxJobs bounds the job registry; the oldest finished jobs are
 	// evicted beyond it. Default 64.
 	MaxJobs int
+	// MaxDocuments bounds the resident-document store (the
+	// incremental-discovery surface: POST /v1/documents). Creation
+	// beyond the cap fails with 409 until a document is deleted —
+	// resident documents are client-owned state and never evicted
+	// silently. Default 16.
+	MaxDocuments int
 	// FeedCapacity is the per-job progress ring (most recent events
 	// retained for SSE/polling). Default 256.
 	FeedCapacity int
@@ -125,6 +131,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 64
 	}
+	if c.MaxDocuments <= 0 {
+		c.MaxDocuments = 16
+	}
 	if c.FeedCapacity <= 0 {
 		c.FeedCapacity = 256
 	}
@@ -143,6 +152,7 @@ type Server struct {
 	abort context.CancelFunc
 	adm   *admission
 	jobs  *registry
+	docs  *docStore
 	stats *counters
 	mux   *http.ServeMux
 
@@ -167,6 +177,7 @@ func New(ctx context.Context, cfg Config) *Server {
 		drained: make(chan struct{}),
 	}
 	s.jobs = newRegistry(cfg.MaxJobs)
+	s.docs = newDocStore(cfg.MaxDocuments)
 	s.mux = s.routes()
 	return s
 }
@@ -188,6 +199,12 @@ func (s *Server) routes() *http.ServeMux {
 	mux.Handle("GET /v1/jobs/{id}/result", s.recovered(s.handleJobResult))
 	mux.Handle("GET /v1/jobs/{id}/events", s.recovered(s.handleJobEvents))
 	mux.Handle("DELETE /v1/jobs/{id}", s.recovered(s.handleJobCancel))
+	mux.Handle("POST /v1/documents", s.guard(s.handleCreateDocument))
+	mux.Handle("GET /v1/documents", s.recovered(s.handleListDocuments))
+	mux.Handle("GET /v1/documents/{id}", s.recovered(s.handleGetDocument))
+	mux.Handle("DELETE /v1/documents/{id}", s.recovered(s.handleDeleteDocument))
+	mux.Handle("PATCH /v1/documents/{id}", s.guard(s.handleUpdateDocument))
+	mux.Handle("POST /v1/documents/{id}/discover", s.guard(s.handleDiscoverDocument))
 	return mux
 }
 

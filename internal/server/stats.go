@@ -19,6 +19,12 @@ type counters struct {
 
 	tuples       atomic.Int64 // summed Stats.Tuples of completed runs
 	latticeNodes atomic.Int64 // summed Stats.NodesVisited of completed runs
+
+	docsCreated        atomic.Int64 // resident documents built
+	docsDeleted        atomic.Int64 // resident documents removed
+	docUpdates         atomic.Int64 // accepted PATCH update batches
+	docUpdateOps       atomic.Int64 // update operations inside them
+	docUpdatesRejected atomic.Int64 // 422s: rejected update scripts
 }
 
 // StatsSnapshot is one observation of the server (GET /v1/stats, and
@@ -36,10 +42,17 @@ type StatsSnapshot struct {
 	Tuples           int64 `json:"tuples"`
 	LatticeNodes     int64 `json:"latticeNodes"`
 
-	Running  int  `json:"running"`
-	Queued   int  `json:"queued"`
-	Jobs     int  `json:"jobs"`
-	Draining bool `json:"draining"`
+	DocumentsCreated int64 `json:"documentsCreated"`
+	DocumentsDeleted int64 `json:"documentsDeleted"`
+	DocUpdates       int64 `json:"docUpdates"`
+	DocUpdateOps     int64 `json:"docUpdateOps"`
+	DocUpdatesReject int64 `json:"docUpdatesRejected"`
+
+	Running   int  `json:"running"`
+	Queued    int  `json:"queued"`
+	Jobs      int  `json:"jobs"`
+	Documents int  `json:"documents"`
+	Draining  bool `json:"draining"`
 }
 
 // PublishExpvar publishes the live stats snapshot under name in the
@@ -65,9 +78,15 @@ func (s *Server) Stats() StatsSnapshot {
 		PanicsContained:  s.stats.panics.Load(),
 		Tuples:           s.stats.tuples.Load(),
 		LatticeNodes:     s.stats.latticeNodes.Load(),
+		DocumentsCreated: s.stats.docsCreated.Load(),
+		DocumentsDeleted: s.stats.docsDeleted.Load(),
+		DocUpdates:       s.stats.docUpdates.Load(),
+		DocUpdateOps:     s.stats.docUpdateOps.Load(),
+		DocUpdatesReject: s.stats.docUpdatesRejected.Load(),
 		Running:          running,
 		Queued:           queued,
 		Jobs:             s.jobs.count(),
+		Documents:        s.docs.count(),
 		Draining:         s.draining.Load(),
 	}
 }

@@ -59,6 +59,17 @@ const (
 	// KindCheck reports one constraint evaluation (xfdcheck): detail
 	// is the constraint, action ∈ {holds, violated}.
 	KindCheck Kind = "check"
+	// KindUpdateApply closes an incremental document update span: ops
+	// applied, relations touched, tuples (total dirty rows), ms, and
+	// error if the batch was rejected. Updates run outside discovery
+	// runs, so the event carries no run id.
+	KindUpdateApply Kind = "update_apply"
+	// KindPartitionPatch reports the warm-layer patch of one touched
+	// relation after an update: relation, tuples (touched rows), attrs
+	// (dirty columns), and the fate of its retained partitions —
+	// kept (shared untouched), patched (spliced in place of a
+	// rebuild), dropped (stale multi-column sets).
+	KindPartitionPatch Kind = "partition_patch"
 )
 
 // Event is one typed trace event. Unused fields stay at their zero
@@ -94,6 +105,12 @@ type Event struct {
 	Detail  string `json:"detail,omitempty"`
 	Pairs   int    `json:"pairs,omitempty"`
 	Workers int    `json:"workers,omitempty"`
+
+	// Update-path fields (update_apply, partition_patch).
+	Ops     int `json:"ops,omitempty"`
+	Kept    int `json:"kept,omitempty"`
+	Patched int `json:"patched,omitempty"`
+	Dropped int `json:"dropped,omitempty"`
 
 	// DurationMS closes a span (stage_end, relation_end, run_end).
 	DurationMS float64 `json:"ms,omitempty"`

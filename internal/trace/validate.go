@@ -200,6 +200,16 @@ func checkEvent(runs map[string]*runState, order *[]string, ev *Event) error {
 		default:
 			return fmt.Errorf("check event with action %q", ev.Action)
 		}
+	case KindUpdateApply:
+		// Updates run outside discovery runs: no run id, no span
+		// nesting. A rejected batch carries Err and zero counts.
+		if ev.Err == "" && ev.Ops < 1 {
+			return fmt.Errorf("update_apply event with %d ops", ev.Ops)
+		}
+	case KindPartitionPatch:
+		if ev.Relation == "" {
+			return fmt.Errorf("partition_patch event without a relation")
+		}
 	default:
 		return fmt.Errorf("unknown event kind %q", ev.Kind)
 	}

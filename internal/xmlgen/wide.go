@@ -55,6 +55,18 @@ func WideSchema(n int) *schema.Schema {
 // injected dependencies {./a_i} -> ./a_{i+1} (for i ≡ 0 mod FDEvery)
 // are reported as ground truth.
 func Wide(p WideParams) Dataset {
+	p = p.clamped()
+	root := &datatree.Node{Label: "table"}
+	fillWideRows(p, newRNG(p.Seed), root)
+	return Dataset{
+		Name:        fmt.Sprintf("wide(rows=%d,attrs=%d,domain=%d)", p.Rows, p.Attrs, p.Domain),
+		Tree:        datatree.NewTree(root),
+		Schema:      WideSchema(p.Attrs),
+		GroundTruth: wideGroundTruth(p, "/table/row"),
+	}
+}
+
+func (p WideParams) clamped() WideParams {
 	if p.Attrs < 2 {
 		p.Attrs = 2
 	}
@@ -64,23 +76,30 @@ func Wide(p WideParams) Dataset {
 	if p.Domain < 2 {
 		p.Domain = 2
 	}
-	r := newRNG(p.Seed)
+	return p
+}
 
-	// derived[i] = true means a_{i+1} is a function of a_i.
+// wideDerived computes the derived-attribute mask: derived[i] = true
+// means a_i is a function of a_{i-1}.
+func wideDerived(p WideParams) []bool {
 	derived := make([]bool, p.Attrs+1)
 	if p.FDEvery > 0 {
 		for i := p.FDEvery; i+1 <= p.Attrs; i += p.FDEvery {
 			derived[i+1] = true
 		}
 	}
+	return derived
+}
+
+// fillWideRows appends p.Rows wide row elements under parent.
+func fillWideRows(p WideParams, r rng, parent *datatree.Node) {
+	derived := wideDerived(p)
 	fn := make([]map[string]string, p.Attrs+1)
 	for i := range fn {
 		fn[i] = make(map[string]string)
 	}
-
-	root := &datatree.Node{Label: "table"}
 	for t := 0; t < p.Rows; t++ {
-		row := root.AddChild("row")
+		row := parent.AddChild("row")
 		prev := ""
 		for i := 1; i <= p.Attrs; i++ {
 			var v string
@@ -101,9 +120,12 @@ func Wide(p WideParams) Dataset {
 			prev = v
 		}
 	}
-	tree := datatree.NewTree(root)
+}
 
-	rowPath := schema.Path("/table/row")
+// wideGroundTruth lists the injected dependencies of one wide table
+// whose row class lives at rowPath.
+func wideGroundTruth(p WideParams, rowPath schema.Path) []Constraint {
+	derived := wideDerived(p)
 	var gt []Constraint
 	for i := 1; i < p.Attrs; i++ {
 		if derived[i+1] {
@@ -114,10 +136,52 @@ func Wide(p WideParams) Dataset {
 			})
 		}
 	}
+	return gt
+}
+
+// WideForestParams sizes WideForest: Tables unrelated sibling wide
+// tables under one document root, each generated like Wide from the
+// shared Table parameters (with per-table seeds, so the tables hold
+// distinct data).
+type WideForestParams struct {
+	Tables int
+	Table  WideParams
+}
+
+// WideForest generates a document of Tables unrelated wide set
+// elements t1..tK, each with its own row class /forest/tk/row. The
+// tables share no data, so their relations — and the discovery work
+// over them — are independent: the hierarchical representation's
+// additive-cost argument (experiment E3), and the corpus the E-update
+// benchmark mutates one table of while the others stay warm.
+func WideForest(p WideForestParams) Dataset {
+	if p.Tables < 1 {
+		p.Tables = 1
+	}
+	tp := p.Table.clamped()
+
+	var b strings.Builder
+	b.WriteString("forest: Rcd\n")
+	for k := 1; k <= p.Tables; k++ {
+		fmt.Fprintf(&b, "  t%d: Rcd\n    row: SetOf Rcd\n", k)
+		for i := 1; i <= tp.Attrs; i++ {
+			fmt.Fprintf(&b, "      a%d: str\n", i)
+		}
+	}
+
+	root := &datatree.Node{Label: "forest"}
+	var gt []Constraint
+	for k := 1; k <= p.Tables; k++ {
+		kp := tp
+		kp.Seed = tp.Seed + int64(k)
+		tbl := root.AddChild(fmt.Sprintf("t%d", k))
+		fillWideRows(kp, newRNG(kp.Seed), tbl)
+		gt = append(gt, wideGroundTruth(kp, schema.Path(fmt.Sprintf("/forest/t%d/row", k)))...)
+	}
 	return Dataset{
-		Name:        fmt.Sprintf("wide(rows=%d,attrs=%d,domain=%d)", p.Rows, p.Attrs, p.Domain),
-		Tree:        tree,
-		Schema:      WideSchema(p.Attrs),
+		Name:        fmt.Sprintf("wide-forest(tables=%d,rows=%d,attrs=%d,domain=%d)", p.Tables, tp.Rows, tp.Attrs, tp.Domain),
+		Tree:        datatree.NewTree(root),
+		Schema:      schema.MustParse(b.String()),
 		GroundTruth: gt,
 	}
 }

@@ -30,6 +30,7 @@ type jsonResult struct {
 	ApproxFDs []jsonFD  `json:"approxFDs,omitempty"`
 	Stats     struct {
 		Relations          int    `json:"relations"`
+		RelationsReused    int    `json:"relationsReused,omitempty"`
 		Tuples             int    `json:"tuples"`
 		LatticeNodes       int    `json:"latticeNodes"`
 		PartitionsComputed int    `json:"partitionsComputed"`
@@ -89,6 +90,7 @@ func WriteJSON(w io.Writer, res *Result) error {
 		})
 	}
 	jr.Stats.Relations = res.Stats.Relations
+	jr.Stats.RelationsReused = res.Stats.RelationsReused
 	jr.Stats.Tuples = res.Stats.Tuples
 	jr.Stats.LatticeNodes = res.Stats.NodesVisited
 	jr.Stats.PartitionsComputed = res.Stats.PartitionsComputed

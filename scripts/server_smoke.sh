@@ -2,9 +2,10 @@
 # server_smoke.sh — end-to-end smoke test of the xfdd discovery
 # service, exercising the robustness contract against a real listener:
 # liveness/readiness, synchronous discovery, an async job observed
-# over SSE, graceful degradation under a wall-clock deadline, overload
-# shedding (429 + Retry-After), and a SIGTERM drain that completes
-# in-flight work. CI runs it with the server built -race.
+# over SSE, resident documents with incremental updates (PATCH
+# /v1/documents), graceful degradation under a wall-clock deadline,
+# overload shedding (429 + Retry-After), and a SIGTERM drain that
+# completes in-flight work. CI runs it with the server built -race.
 #
 # Usage: scripts/server_smoke.sh [path-to-xfdd-binary]
 # (no argument: builds the binary with -race into a temp dir)
@@ -90,7 +91,36 @@ python3 -c "import json; assert json.load(open('$WORK/body'))['fds']" ||
   fail "job result malformed"
 code 404 "$BASE/v1/jobs/job-999999"
 
-note "stage 4: graceful degradation under deadline"
+note "stage 4: resident documents and incremental updates"
+DOC="$(curl -sf -X POST --data-binary "@$WORK/corpus.xml" "$BASE/v1/documents" |
+  python3 -c 'import sys,json; print(json.load(sys.stdin)["id"])')"
+code 200 -X POST "$BASE/v1/documents/$DOC/discover?timeout=60s"
+python3 -c "import json; assert json.load(open('$WORK/body'))['fds']" ||
+  fail "resident discover malformed"
+cat > "$WORK/update.json" <<'EOF'
+[{"op": "insert", "class": "/warehouse/state", "values": {"./name": "S99"}}]
+EOF
+code 200 -X PATCH --data-binary "@$WORK/update.json" "$BASE/v1/documents/$DOC"
+KEY="$(python3 -c "import json; print(json.load(open('$WORK/body'))['keys'][0])")"
+cat > "$WORK/update2.json" <<EOF
+[{"op": "set", "class": "/warehouse/state", "key": $KEY, "attr": "./name", "value": "S98"},
+ {"op": "delete", "class": "/warehouse/state", "key": $KEY}]
+EOF
+code 200 -X PATCH --data-binary "@$WORK/update2.json" "$BASE/v1/documents/$DOC"
+code 200 -X POST "$BASE/v1/documents/$DOC/discover?timeout=60s"
+python3 -c "import json; assert json.load(open('$WORK/body'))['fds']" ||
+  fail "post-update discover malformed"
+code 422 -X PATCH --data-binary '[{"op":"delete","class":"/warehouse/state","key":999999}]' \
+  "$BASE/v1/documents/$DOC"
+code 400 -X PATCH --data-binary 'not json' "$BASE/v1/documents/$DOC"
+code 404 -X PATCH --data-binary '[{"op":"delete","class":"/x","key":1}]' "$BASE/v1/documents/doc-999999"
+code 200 "$BASE/v1/documents"
+[ "$(stat_field docUpdates)" = "2" ] || fail "docUpdates $(stat_field docUpdates), want 2"
+[ "$(stat_field docUpdatesRejected)" = "1" ] || fail "docUpdatesRejected $(stat_field docUpdatesRejected), want 1"
+code 200 -X DELETE "$BASE/v1/documents/$DOC"
+code 404 "$BASE/v1/documents/$DOC"
+
+note "stage 5: graceful degradation under deadline"
 code 504 --data-binary "@$WORK/slow.xml" "$BASE/v1/discover?timeout=5s"
 code 200 --data-binary "@$WORK/slow.xml" "$BASE/v1/discover?timeout=5s&degrade=truncate"
 python3 -c "
@@ -100,7 +130,7 @@ assert r['stats']['truncated'], 'degrade=truncate result not marked truncated'
 assert 'deadline' in r['stats']['truncatedReason'], r['stats']['truncatedReason']
 " || fail "degraded result malformed"
 
-note "stage 5: overload sheds with 429"
+note "stage 6: overload sheds with 429"
 curl -s -o /dev/null -w '%{http_code}' --data-binary "@$WORK/hog.xml" \
   "$BASE/v1/discover" > "$WORK/hog.code" &
 HOG_PID=$!
@@ -113,7 +143,7 @@ code 429 --data-binary "@$WORK/corpus.xml" "$BASE/v1/discover"
 grep -qi '^retry-after:' < <(curl -si --data-binary "@$WORK/corpus.xml" "$BASE/v1/discover") ||
   fail "429 without Retry-After"
 
-note "stage 6: SIGTERM drain completes in-flight work"
+note "stage 7: SIGTERM drain completes in-flight work"
 kill -TERM "$SERVER_PID"
 for i in $(seq 1 100); do
   [ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")" = "503" ] && break
@@ -130,7 +160,7 @@ RC=0; wait "$SERVER_PID" || RC=$?
 SERVER_PID=
 [ "$RC" = "0" ] || { cat "$WORK/xfdd.log" >&2; fail "server exited $RC after drain, want 0"; }
 
-note "stage 7: trace flushed and schema-valid"
+note "stage 8: trace flushed and schema-valid"
 go run ./cmd/tracecheck "$WORK/smoke.trace"
 
 note "PASS"

@@ -1,0 +1,304 @@
+package discoverxfd_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"discoverxfd"
+	"discoverxfd/internal/relation"
+	"discoverxfd/internal/schema"
+	"discoverxfd/internal/xmlgen"
+)
+
+// diffSeed returns the randomization seed for the incremental
+// differential tests: XFD_DIFF_SEED pins it for reproduction, the
+// default varies per run. The seed is logged by every test using it,
+// so a CI failure always prints the script that produced it.
+func diffSeed(t *testing.T) int64 {
+	t.Helper()
+	if env := os.Getenv("XFD_DIFF_SEED"); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("XFD_DIFF_SEED %q: %v", env, err)
+		}
+		return seed
+	}
+	return time.Now().UnixNano()
+}
+
+// scriptValue emits a value conforming to the attribute's declared
+// simple type: ApplyUpdate validates writes the way cold builds
+// validate documents, so Int/Float-typed leaves need parsable values.
+func scriptValue(rng *rand.Rand, h *discoverxfd.Hierarchy, a relation.Attr) string {
+	if h.Schema != nil {
+		if el, err := h.Schema.Resolve(a.Path); err == nil && el.Payload != nil {
+			switch el.Payload.Kind {
+			case schema.Int:
+				return strconv.Itoa(rng.Intn(500))
+			case schema.Float:
+				return fmt.Sprintf("%d.%d", rng.Intn(50), rng.Intn(10))
+			}
+		}
+	}
+	return fmt.Sprintf("upd-%d", rng.Intn(6))
+}
+
+// randomUpdateScript emits up to n valid random updates against the
+// hierarchy's current state: leaf value changes, inserts with random
+// subsets of leaf values, and deletes. A delete's cascade could
+// remove tuples later ops address, so a delete ends the script — the
+// caller applies scripts in successive batches instead.
+func randomUpdateScript(rng *rand.Rand, h *discoverxfd.Hierarchy, n int) []discoverxfd.Update {
+	var essential []*relation.Relation
+	for _, r := range h.Relations {
+		if r.Essential {
+			essential = append(essential, r)
+		}
+	}
+	if len(essential) == 0 {
+		return nil
+	}
+	var ops []discoverxfd.Update
+	used := make(map[int]bool)
+	for tries := 0; len(ops) < n && tries < 8*n; tries++ {
+		r := essential[rng.Intn(len(essential))]
+		switch rng.Intn(4) {
+		case 0, 1: // set — weighted: value changes dominate real workloads
+			var leaves []relation.Attr
+			for _, a := range r.Attrs {
+				if a.Kind == relation.Leaf {
+					leaves = append(leaves, a)
+				}
+			}
+			if r.NRows() == 0 || len(leaves) == 0 {
+				continue
+			}
+			key := r.Keys[rng.Intn(r.NRows())]
+			if used[key] {
+				continue
+			}
+			used[key] = true
+			a := leaves[rng.Intn(len(leaves))]
+			ops = append(ops, discoverxfd.Update{Op: discoverxfd.OpSet, Class: r.Pivot, Key: key,
+				Attr: a.Rel, Value: scriptValue(rng, h, a)})
+		case 2: // insert
+			parent := 0
+			if r.Parent.Essential {
+				if r.Parent.NRows() == 0 {
+					continue
+				}
+				parent = r.Parent.Keys[rng.Intn(r.Parent.NRows())]
+				if used[parent] {
+					continue
+				}
+			}
+			vals := make(map[discoverxfd.RelPath]string)
+			for _, a := range r.Attrs {
+				if a.Kind == relation.Leaf && rng.Intn(2) == 0 {
+					vals[a.Rel] = scriptValue(rng, h, a)
+				}
+			}
+			ops = append(ops, discoverxfd.Update{Op: discoverxfd.OpInsert, Class: r.Pivot, Parent: parent, Values: vals})
+		default: // delete ends the script
+			if r.NRows() == 0 {
+				continue
+			}
+			key := r.Keys[rng.Intn(r.NRows())]
+			if used[key] {
+				continue
+			}
+			ops = append(ops, discoverxfd.Update{Op: discoverxfd.OpDelete, Class: r.Pivot, Key: key})
+			return ops
+		}
+	}
+	return ops
+}
+
+// resultJSON renders a Result with the whole Stats block zeroed:
+// incremental runs legitimately differ from cold runs in cache and
+// lattice counters, while everything semantic — FDs, keys,
+// redundancy witnesses — must be byte-identical.
+func resultJSON(t *testing.T, res *discoverxfd.Result) []byte {
+	t.Helper()
+	c := *res
+	c.Stats = discoverxfd.Stats{}
+	var buf bytes.Buffer
+	if err := discoverxfd.WriteJSON(&buf, &c); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestIncrementalDiffGolden is the incremental-discovery differential
+// harness: over every golden corpus and option set, a randomized
+// mutation script applied via Engine.ApplyUpdate followed by warm
+// discovery must produce byte-identical Result JSON (Stats aside) to
+// a cold engine discovering a fresh hierarchy built from the mutated
+// document. CI runs this job under -race.
+func TestIncrementalDiffGolden(t *testing.T) {
+	seed := diffSeed(t)
+	t.Logf("seed %d (reproduce with XFD_DIFF_SEED=%d)", seed, seed)
+	for ci, c := range goldenCases() {
+		t.Run(c.slug, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed + int64(ci)))
+			ctx := context.Background()
+			eng := discoverxfd.NewEngine(c.opts)
+			h, err := eng.BuildHierarchy(ctx, c.ds.Tree, c.ds.Schema)
+			if err != nil {
+				t.Fatalf("%s: build: %v", c.ds.Name, err)
+			}
+			if _, err := eng.DiscoverHierarchy(ctx, h); err != nil {
+				t.Fatalf("%s: warm-up discover: %v", c.ds.Name, err)
+			}
+			for batch := 0; batch < 3; batch++ {
+				ops := randomUpdateScript(rng, h, 5)
+				if len(ops) == 0 {
+					t.Logf("%s: batch %d: no applicable ops", c.slug, batch)
+					continue
+				}
+				if _, err := eng.ApplyUpdate(h, ops); err != nil {
+					// Schema rejections (e.g. a graft under a Choice
+					// element) can happen on random scripts; the batch
+					// stops but the hierarchy stays consistent and the
+					// warm layer is dropped — still a differential worth
+					// checking.
+					t.Logf("%s: batch %d: apply rejected: %v", c.slug, batch, err)
+				}
+				warm, err := eng.DiscoverHierarchy(ctx, h)
+				if err != nil {
+					t.Fatalf("%s: batch %d: incremental discover: %v", c.slug, batch, err)
+				}
+				coldEng := discoverxfd.NewEngine(c.opts)
+				coldH, err := coldEng.BuildHierarchy(ctx, c.ds.Tree, c.ds.Schema)
+				if err != nil {
+					t.Fatalf("%s: batch %d: cold build: %v", c.slug, batch, err)
+				}
+				cold, err := coldEng.DiscoverHierarchy(ctx, coldH)
+				if err != nil {
+					t.Fatalf("%s: batch %d: cold discover: %v", c.slug, batch, err)
+				}
+				if wj, cj := resultJSON(t, warm), resultJSON(t, cold); !bytes.Equal(wj, cj) {
+					t.Fatalf("%s: batch %d: incremental result differs from cold (seed %d)\nscript: %v\n%s",
+						c.slug, batch, seed, ops, diffHint(cj, wj))
+				}
+			}
+		})
+	}
+}
+
+// FuzzIncrementalDiscovery drives the same incremental-vs-cold
+// property from fuzzed (seed, batchSize) inputs over the warehouse
+// corpus: random updates followed by warm discovery must equal cold
+// discovery over the mutated document.
+func FuzzIncrementalDiscovery(f *testing.F) {
+	f.Add(int64(1), uint8(3))
+	f.Add(int64(42), uint8(8))
+	f.Add(int64(-7), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		ds := warehouseDataset()
+		ctx := context.Background()
+		eng := discoverxfd.NewEngine(nil)
+		h, err := eng.BuildHierarchy(ctx, ds.Tree, ds.Schema)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		if _, err := eng.DiscoverHierarchy(ctx, h); err != nil {
+			t.Fatalf("warm-up: %v", err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ops := randomUpdateScript(rng, h, 1+int(n%16))
+		if len(ops) == 0 {
+			return
+		}
+		if _, err := eng.ApplyUpdate(h, ops); err != nil {
+			t.Logf("apply rejected: %v", err)
+		}
+		warm, err := eng.DiscoverHierarchy(ctx, h)
+		if err != nil {
+			t.Fatalf("incremental discover: %v", err)
+		}
+		coldEng := discoverxfd.NewEngine(nil)
+		coldH, err := coldEng.BuildHierarchy(ctx, ds.Tree, ds.Schema)
+		if err != nil {
+			t.Fatalf("cold build: %v", err)
+		}
+		cold, err := coldEng.DiscoverHierarchy(ctx, coldH)
+		if err != nil {
+			t.Fatalf("cold discover: %v", err)
+		}
+		if wj, cj := resultJSON(t, warm), resultJSON(t, cold); !bytes.Equal(wj, cj) {
+			t.Fatalf("incremental differs from cold (seed %d)\nscript: %v\n%s", seed, ops, diffHint(cj, wj))
+		}
+	})
+}
+
+// warehouseDataset returns a fresh warehouse corpus for the update
+// tests (fresh per call: the tests mutate the tree).
+func warehouseDataset() xmlgen.Dataset {
+	return xmlgen.Warehouse(xmlgen.DefaultWarehouse())
+}
+
+// TestParseUpdates pins the JSON update-script codec.
+func TestParseUpdates(t *testing.T) {
+	script := `[
+		{"op": "set", "class": "/warehouse/state/store/book", "key": 17, "attr": "./price", "value": "35"},
+		{"op": "insert", "class": "/warehouse/state/store/book", "parent": 9, "values": {"./ISBN": "555"}},
+		{"op": "insert", "class": "/warehouse/state"},
+		{"op": "delete", "class": "/warehouse/state/store/book", "key": 17}
+	]`
+	ops, err := discoverxfd.ParseUpdates(strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 4 {
+		t.Fatalf("parsed %d ops, want 4", len(ops))
+	}
+	if ops[0].Op != discoverxfd.OpSet || ops[0].Key != 17 || ops[0].Value != "35" {
+		t.Fatalf("set decoded wrong: %+v", ops[0])
+	}
+	if ops[1].Op != discoverxfd.OpInsert || ops[1].Parent != 9 || ops[1].Values["./ISBN"] != "555" {
+		t.Fatalf("insert decoded wrong: %+v", ops[1])
+	}
+	if ops[3].Op != discoverxfd.OpDelete || ops[3].Key != 17 {
+		t.Fatalf("delete decoded wrong: %+v", ops[3])
+	}
+
+	for name, bad := range map[string]string{
+		"unknown op":      `[{"op": "rename", "class": "/a/b", "key": 1}]`,
+		"missing class":   `[{"op": "delete", "key": 1}]`,
+		"set sans key":    `[{"op": "set", "class": "/a/b", "attr": "./x", "value": "1"}]`,
+		"set sans attr":   `[{"op": "set", "class": "/a/b", "key": 1}]`,
+		"delete sans key": `[{"op": "delete", "class": "/a/b"}]`,
+		"unknown field":   `[{"op": "delete", "class": "/a/b", "key": 1, "bogus": true}]`,
+		"not an array":    `{"op": "delete"}`,
+	} {
+		if _, err := discoverxfd.ParseUpdates(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+// TestApplyUpdateStreamedRejected pins ErrNotUpdatable for streamed
+// hierarchies, which retain no encoding state.
+func TestApplyUpdateStreamedRejected(t *testing.T) {
+	ds := warehouseDataset()
+	var xml bytes.Buffer
+	if err := ds.Tree.WriteXML(&xml); err != nil {
+		t.Fatal(err)
+	}
+	eng := discoverxfd.NewEngine(nil)
+	h, err := eng.BuildHierarchyStream(context.Background(), &xml, ds.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ApplyUpdate(h, []discoverxfd.Update{{Op: discoverxfd.OpDelete, Class: "/x", Key: 1}}); err != discoverxfd.ErrNotUpdatable {
+		t.Fatalf("err = %v, want ErrNotUpdatable", err)
+	}
+}
