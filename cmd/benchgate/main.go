@@ -45,7 +45,7 @@ func (f floorFlags) Set(s string) error {
 	}
 	min, err := strconv.ParseFloat(val, 64)
 	if err != nil {
-		return fmt.Errorf("floor for %s: %v", name, err)
+		return fmt.Errorf("floor for %s: %w", name, err)
 	}
 	f[name] = min
 	return nil

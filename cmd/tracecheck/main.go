@@ -40,6 +40,15 @@ func main() {
 		os.Exit(2)
 	}
 	defer f.Close()
+	// A directory opens successfully but is not readable input; that is
+	// a usage error (exit 2), not a malformed trace (exit 1).
+	if fi, err := f.Stat(); err != nil || fi.IsDir() {
+		if err == nil {
+			err = fmt.Errorf("%s is a directory", flag.Arg(0))
+		}
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(2)
+	}
 	sum, err := trace.ValidateJSONL(f)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", flag.Arg(0), err)

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTracecheck compiles the command into a temp dir.
+func buildTracecheck(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tracecheck")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building tracecheck: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// exitCode runs the binary and returns its exit status and combined
+// output.
+func exitCode(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), string(out)
+	}
+	t.Fatalf("running tracecheck: %v\n%s", err, out)
+	return -1, ""
+}
+
+// TestExitCodes pins the documented contract: 0 for a valid trace, 1
+// for a malformed one, 2 for usage errors — including input that
+// opens but cannot be read, like a directory.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the command")
+	}
+	bin := buildTracecheck(t)
+	dir := t.TempDir()
+
+	valid := filepath.Join(dir, "ok.trace")
+	events := []string{
+		`{"event":"run_start","t":"2026-08-08T00:00:00Z","run":"r1"}`,
+		`{"event":"stage_start","t":"2026-08-08T00:00:01Z","run":"r1","stage":"plan"}`,
+		`{"event":"stage_end","t":"2026-08-08T00:00:02Z","run":"r1","stage":"plan"}`,
+		`{"event":"run_end","t":"2026-08-08T00:00:03Z","run":"r1","error":"boom"}`,
+	}
+	if err := os.WriteFile(valid, []byte(strings.Join(events, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := exitCode(t, bin, valid); code != 0 {
+		t.Fatalf("valid trace exit = %d\n%s", code, out)
+	}
+
+	malformed := filepath.Join(dir, "bad.trace")
+	if err := os.WriteFile(malformed, []byte("{\"event\":\"stage_end\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := exitCode(t, bin, malformed); code != 1 {
+		t.Fatalf("malformed trace exit = %d, want 1\n%s", code, out)
+	}
+
+	if code, out := exitCode(t, bin); code != 2 {
+		t.Fatalf("missing argument exit = %d, want 2\n%s", code, out)
+	}
+
+	if code, out := exitCode(t, bin, filepath.Join(dir, "nosuch.trace")); code != 2 {
+		t.Fatalf("missing file exit = %d, want 2\n%s", code, out)
+	}
+
+	// A directory opens successfully; it must still be a usage error.
+	if code, out := exitCode(t, bin, dir); code != 2 {
+		t.Fatalf("directory input exit = %d, want 2\n%s", code, out)
+	}
+}

@@ -1,10 +1,21 @@
-// Command xfdlint runs the engine's invariant analyzers
-// (govdiscipline, partimmut, ctxplumb, detorder — see
-// internal/analysis) over the module. It works two ways:
+// Command xfdlint runs the engine's invariant analyzers — the
+// syntactic quartet (govdiscipline, partimmut, ctxplumb, detorder)
+// plus the flow-aware quartet (lockguard, spanbalance, errwrap,
+// govleak) — see internal/analysis. It works two ways:
 //
 // Standalone, from anywhere inside the module:
 //
-//	go run ./cmd/xfdlint [import-path-substring ...]
+//	go run ./cmd/xfdlint [flags] [import-path-substring ...]
+//
+// Standalone flags:
+//
+//	-sarif file      also write findings as SARIF 2.1.0 ("-" = stdout)
+//	-github          also print GitHub Actions ::error annotations
+//	-fix             apply the analyzers' mechanical fixes in place
+//	-dry-run         with -fix: report files a fix would change, change
+//	                 nothing, and exit 1 if there are any
+//	-suppressions    audit //lint: directives instead of linting: list
+//	                 every directive and fail on stale or unknown ones
 //
 // As a vet tool, speaking the cmd/go vet protocol (-V=full, -flags,
 // and per-package vet.cfg invocations), so the whole suite rides the
@@ -43,9 +54,15 @@ func main() {
 	versionFlag := flag.String("V", "", "print version (go vet protocol; use -V=full)")
 	flagsFlag := flag.Bool("flags", false, "print the tool's flags as JSON (go vet protocol)")
 	printPath := flag.Bool("print-path", false, "build a cached copy of xfdlint and print its path")
+	var opts standaloneOpts
+	flag.StringVar(&opts.sarifPath, "sarif", "", "write findings as SARIF 2.1.0 to this file (\"-\" for stdout)")
+	flag.BoolVar(&opts.github, "github", false, "print GitHub Actions ::error annotations for findings")
+	flag.BoolVar(&opts.fix, "fix", false, "apply the analyzers' mechanical fixes in place")
+	flag.BoolVar(&opts.dryRun, "dry-run", false, "with -fix: only report the files a fix would change; exit 1 if any")
+	suppressions := flag.Bool("suppressions", false, "audit //lint: directives: list all, fail on stale or unknown ones")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: xfdlint [import-path-substring ...]\n   or: go vet -vettool=$(go run ./cmd/xfdlint -print-path) ./...\n")
+			"usage: xfdlint [flags] [import-path-substring ...]\n   or: go vet -vettool=$(go run ./cmd/xfdlint -print-path) ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -54,12 +71,20 @@ func main() {
 	case *versionFlag != "":
 		printVersion()
 	case *flagsFlag:
-		// No analyzer-selection flags yet: the suite always runs whole.
+		// The standalone flags are not offered to cmd/go: vet drives the
+		// tool one package at a time and fixes/SARIF need the whole-module
+		// view, so vet invocations always run the plain suite.
 		fmt.Println("[]")
 	case *printPath:
 		if err := buildAndPrintPath(); err != nil {
 			fatal(err)
 		}
+	case *suppressions:
+		code, err := runSuppressionAudit(flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+		os.Exit(code)
 	case flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg"):
 		code, err := runVetUnit(flag.Arg(0))
 		if err != nil {
@@ -67,7 +92,7 @@ func main() {
 		}
 		os.Exit(code)
 	default:
-		code, err := runStandalone(flag.Args())
+		code, err := runStandalone(flag.Args(), opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -128,10 +153,20 @@ func buildAndPrintPath() error {
 	return nil
 }
 
+// standaloneOpts are the reporting and rewriting knobs of a
+// standalone run.
+type standaloneOpts struct {
+	sarifPath string
+	github    bool
+	fix       bool
+	dryRun    bool
+}
+
 // runStandalone loads the whole module and reports findings,
 // optionally filtered to packages whose import path contains any of
-// the given substrings. Exit code 1 means findings.
-func runStandalone(filters []string) (int, error) {
+// the given substrings. Exit code 1 means surviving findings (or,
+// under -fix -dry-run, files a fix would change).
+func runStandalone(filters []string, opts standaloneOpts) (int, error) {
 	root, err := analysis.ModuleRoot(".")
 	if err != nil {
 		return 0, err
@@ -140,18 +175,148 @@ func runStandalone(filters []string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	found := 0
+	var findings []analysis.Finding
 	for _, pkg := range pkgs {
 		if !matchesFilter(pkg.ImportPath, filters) {
 			continue
 		}
-		for _, f := range pkg.Analyze(analysis.All()) {
-			fmt.Fprintln(os.Stderr, f)
-			found++
+		findings = append(findings, pkg.Analyze(analysis.All())...)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+
+	if opts.sarifPath != "" {
+		if err := writeSARIFFile(opts.sarifPath, findings, root); err != nil {
+			return 0, err
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "xfdlint: %d finding(s)\n", found)
+	if opts.github {
+		for _, f := range findings {
+			printGitHubAnnotation(f, root)
+		}
+	}
+
+	if opts.fix {
+		return applyFindingFixes(findings, opts.dryRun)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "xfdlint: %d finding(s)\n", len(findings))
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// applyFindingFixes plans the mechanical fixes attached to the
+// findings and applies them (or, in dry-run, only reports what would
+// change). The exit code is 1 when findings survive un-fixed, or when
+// a dry run detects pending changes.
+func applyFindingFixes(findings []analysis.Finding, dryRun bool) (int, error) {
+	plans, err := analysis.PlanFixes(findings)
+	if err != nil {
+		return 0, err
+	}
+	fixable := 0
+	for _, p := range plans {
+		fixable += p.Count
+	}
+	unfixed := len(findings) - fixable
+	if dryRun {
+		for _, p := range plans {
+			fmt.Fprintf(os.Stderr, "xfdlint: -fix would rewrite %s (%d fix(es))\n", p.Filename, p.Count)
+		}
+		if len(plans) > 0 {
+			return 1, nil
+		}
+		if unfixed > 0 {
+			fmt.Fprintf(os.Stderr, "xfdlint: %d finding(s), none mechanically fixable\n", unfixed)
+			return 1, nil
+		}
+		return 0, nil
+	}
+	changed, err := analysis.ApplyFixes(plans)
+	if err != nil {
+		return 0, err
+	}
+	if changed > 0 {
+		fmt.Fprintf(os.Stderr, "xfdlint: applied %d fix(es) across %d file(s)\n", fixable, changed)
+	}
+	if unfixed > 0 {
+		fmt.Fprintf(os.Stderr, "xfdlint: %d finding(s) had no mechanical fix\n", unfixed)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// writeSARIFFile renders the run as SARIF ("-" = stdout).
+func writeSARIFFile(path string, findings []analysis.Finding, root string) error {
+	if path == "-" {
+		return analysis.WriteSARIF(os.Stdout, analysis.All(), findings, root)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analysis.WriteSARIF(f, analysis.All(), findings, root); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printGitHubAnnotation emits one GitHub Actions workflow command per
+// finding, so findings surface as PR annotations without SARIF upload
+// permissions.
+func printGitHubAnnotation(f analysis.Finding, root string) {
+	file := f.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	// Workflow-command syntax: properties are comma-separated, the
+	// message follows the double colon.
+	msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(
+		fmt.Sprintf("%s [%s]", f.Message, f.Analyzer))
+	fmt.Printf("::error file=%s,line=%d,col=%d::%s\n", file, f.Pos.Line, f.Pos.Column, msg)
+}
+
+// runSuppressionAudit lists every //lint: directive in the module and
+// fails (exit 1) when any is stale — its analyzer ran and silenced
+// nothing — or names a directive no analyzer owns.
+func runSuppressionAudit(filters []string) (int, error) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := analysis.LoadModulePackages(root)
+	if err != nil {
+		return 0, err
+	}
+	total, bad := 0, 0
+	for _, pkg := range pkgs {
+		if !matchesFilter(pkg.ImportPath, filters) {
+			continue
+		}
+		_, records := pkg.Audit(analysis.All())
+		for _, r := range records {
+			total++
+			file := r.File
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+			switch {
+			case !analysis.KnownDirective(analysis.All(), r.Directive):
+				bad++
+				fmt.Fprintf(os.Stderr, "%s:%d: UNKNOWN //lint:%s (no analyzer owns this directive)\n", file, r.Line, r.Directive)
+			case !r.Used:
+				bad++
+				fmt.Fprintf(os.Stderr, "%s:%d: STALE //lint:%s — silences nothing; delete it (reason was: %s)\n", file, r.Line, r.Directive, r.Reason)
+			default:
+				fmt.Printf("%s:%d: ok //lint:%s (%s)\n", file, r.Line, r.Directive, r.Reason)
+			}
+		}
+	}
+	fmt.Printf("xfdlint: %d suppression(s), %d stale or unknown\n", total, bad)
+	if bad > 0 {
 		return 1, nil
 	}
 	return 0, nil

@@ -60,24 +60,63 @@ type Pass struct {
 	Path string
 
 	findings *[]Finding
-	suppress map[string]map[int]suppression
+	suppress map[string]map[int]*suppression
 }
 
 // A Finding is one reported diagnostic, positioned and attributed.
+// Fix, when non-nil, is a mechanical rewrite that resolves the
+// finding (applied by `xfdlint -fix`).
 type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Fix      *Fix
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
 }
 
-// suppression is one parsed //lint: directive.
+// A Fix is a suggested mechanical rewrite: byte-range edits against
+// the original source, plus at most one import the rewritten code
+// newly requires.
+type Fix struct {
+	Message string
+	Edits   []Edit
+	// AddImport names an import path the rewrite introduces a
+	// dependency on ("" if none); the fix applier inserts it when the
+	// file does not already import it.
+	AddImport string
+}
+
+// An Edit replaces the byte range [Offset, End) of Filename with
+// NewText. Offsets are relative to the file content the analyzers
+// saw.
+type Edit struct {
+	Filename string
+	Offset   int
+	End      int
+	NewText  string
+}
+
+// EditAt converts a token position range into an Edit.
+func (p *Pass) EditAt(pos, end token.Pos, newText string) Edit {
+	start := p.Fset.Position(pos)
+	return Edit{
+		Filename: start.Filename,
+		Offset:   start.Offset,
+		End:      p.Fset.Position(end).Offset,
+		NewText:  newText,
+	}
+}
+
+// suppression is one parsed //lint: directive. used flips when a
+// diagnostic is actually silenced by it, which is what the
+// stale-suppression audit keys on.
 type suppression struct {
 	directive string
 	reason    string
+	used      bool
 }
 
 // Reportf records a diagnostic at pos unless a justified
@@ -85,6 +124,15 @@ type suppression struct {
 // a reason never suppresses: the original diagnostic is reported with
 // a note demanding the justification.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportFixf is Reportf with an attached mechanical fix.
+func (p *Pass) ReportFixf(pos token.Pos, fix *Fix, format string, args ...any) {
+	p.report(pos, fix, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fix *Fix, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if s, ok := p.suppressionAt(position); ok {
 		if strings.TrimSpace(s.reason) != "" {
@@ -101,19 +149,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Pos:      position,
 		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 
 // suppressionAt looks for this analyzer's directive on the diagnostic
-// line or the line directly above it.
-func (p *Pass) suppressionAt(pos token.Position) (suppression, bool) {
+// line or the line directly above it, marking a hit as used for the
+// stale-suppression audit.
+func (p *Pass) suppressionAt(pos token.Position) (*suppression, bool) {
 	lines := p.suppress[pos.Filename]
 	for _, l := range []int{pos.Line, pos.Line - 1} {
 		if s, ok := lines[l]; ok && s.directive == p.Analyzer.Directive {
+			s.used = true
 			return s, true
 		}
 	}
-	return suppression{}, false
+	return nil, false
 }
 
 // IsTestFile reports whether the file the node belongs to is a Go
@@ -135,8 +186,8 @@ func (p *Pass) Filename(n ast.Node) string {
 // collectSuppressions indexes every //lint: directive by file and
 // line. Directives ride ordinary comments, so both a trailing comment
 // on the offending line and a full-line comment above it work.
-func collectSuppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]suppression {
-	out := make(map[string]map[int]suppression)
+func collectSuppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]*suppression {
+	out := make(map[string]map[int]*suppression)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -148,28 +199,69 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) map[string]map[
 				pos := fset.Position(c.Pos())
 				lines := out[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]suppression)
+					lines = make(map[int]*suppression)
 					out[pos.Filename] = lines
 				}
-				lines[pos.Line] = suppression{directive: word, reason: reason}
+				lines[pos.Line] = &suppression{directive: word, reason: reason}
 			}
 		}
 	}
 	return out
 }
 
+// DefaultAnalyzers is the xfdlint analyzer suite: the four syntactic
+// invariant checkers from the original linter plus the four
+// flow-aware analyzers built on the per-function CFG (cfg.go).
+var DefaultAnalyzers = []*Analyzer{
+	GovDiscipline, PartImmut, CtxPlumb, DetOrder,
+	LockGuard, SpanBalance, ErrWrap, GovLeak,
+}
+
 // All returns the xfdlint analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{GovDiscipline, PartImmut, CtxPlumb, DetOrder}
+	return DefaultAnalyzers
+}
+
+// A SuppressionRecord is one //lint: directive as the
+// stale-suppression audit saw it: where it lives, what it says, and
+// whether any diagnostic was actually silenced by it during the run.
+type SuppressionRecord struct {
+	File      string
+	Line      int
+	Directive string
+	Reason    string
+	Used      bool
+}
+
+// KnownDirective reports whether any analyzer in the set owns the
+// directive word.
+func KnownDirective(analyzers []*Analyzer, directive string) bool {
+	for _, a := range analyzers {
+		if a.Directive == directive {
+			return true
+		}
+	}
+	return false
 }
 
 // Run applies the analyzers to one type-checked package and returns
 // the surviving findings in source order. Packages outside the module
 // are skipped wholesale.
 func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Finding {
+	findings, _ := RunAudit(analyzers, fset, files, pkg, info)
+	return findings
+}
+
+// RunAudit is Run plus the suppression ledger: every //lint:
+// directive in the package, with Used reporting whether it silenced a
+// diagnostic. A directive that silenced nothing is stale — the
+// violation it once excused has been fixed or moved — and the
+// `xfdlint -suppressions` audit fails on it so dead exceptions never
+// accumulate.
+func RunAudit(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, []SuppressionRecord) {
 	path := pkg.Path()
 	if path != ModulePrefix && !strings.HasPrefix(path, ModulePrefix+"/") {
-		return nil
+		return nil, nil
 	}
 	var findings []Finding
 	suppress := collectSuppressions(fset, files)
@@ -186,6 +278,24 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 		}
 		a.Run(pass)
 	}
+	var records []SuppressionRecord
+	for file, lines := range suppress {
+		for line, s := range lines {
+			records = append(records, SuppressionRecord{
+				File:      file,
+				Line:      line,
+				Directive: s.directive,
+				Reason:    strings.TrimSpace(s.reason),
+				Used:      s.used,
+			})
+		}
+	}
+	sort.Slice(records, func(i, j int) bool {
+		if records[i].File != records[j].File {
+			return records[i].File < records[j].File
+		}
+		return records[i].Line < records[j].Line
+	})
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -199,7 +309,7 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings
+	return findings, records
 }
 
 // inspectStack walks the file like ast.Inspect but hands the visitor

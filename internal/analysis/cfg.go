@@ -1,0 +1,523 @@
+package analysis
+
+// cfg.go is the flow-aware half of the framework: a lightweight
+// per-function control-flow graph over the parsed AST, shared by the
+// lockguard, spanbalance, and govleak analyzers. The graph is
+// statement-level — each block holds a straight-line run of simple
+// statements, and control statements (if/for/range/switch/select)
+// fan out into successor blocks — which is exactly enough resolution
+// for must-hold lock lattices and all-paths reachability checks
+// without pulling in golang.org/x/tools/go/cfg.
+//
+// One deliberate deviation from a textbook CFG: an if statement whose
+// condition only tests a trace.Tracer for non-nil ("trace guard") is
+// collapsed into straight-line code. The engine brackets every event
+// construction in `if run.tr != nil { ... }`, and the guards are
+// perfectly correlated — either the run has a tracer or it does not —
+// so treating them as branches would make every span look
+// conditionally closed. Collapsing them models the two real
+// executions (all guards taken, or none) for the analyzers that care
+// about emit pairing.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// A cfgBlock is a straight-line run of statements with its control
+// successors. Exit blocks are distinguished by kind, so analyses can
+// treat a fall-off-the-end return differently from a panic.
+type cfgBlock struct {
+	stmts []ast.Stmt
+	succs []*cfgBlock
+	// returns marks a block terminated by an explicit return (the
+	// ReturnStmt is the last entry of stmts).
+	returns bool
+	// panics marks a block terminated by panic()/os.Exit-style calls:
+	// control leaves the function abnormally, so lock-leak and
+	// span-balance exit checks skip it.
+	panics bool
+}
+
+// A cfg is one function body's control-flow graph.
+type cfg struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+	// defers collects every DeferStmt in the function in source
+	// order, regardless of path: deferred cleanups run at exit, and
+	// the analyses treat a deferred unlock/emit/close as satisfying
+	// all exits (a defer reached on only some paths under-approximates
+	// release, which errs toward silence, not noise).
+	defers []*ast.DeferStmt
+	// unanalyzable is set when the body uses goto: rather than model
+	// arbitrary jumps, the flow analyses stand down for the function.
+	unanalyzable bool
+}
+
+// cfgBuilder threads the current block and break/continue targets
+// through the recursive statement walk.
+type cfgBuilder struct {
+	g    *cfg
+	cur  *cfgBlock
+	info *types.Info
+	// break/continue targets, innermost last; label may be "".
+	breaks    []labeledTarget
+	continues []labeledTarget
+}
+
+type labeledTarget struct {
+	label string
+	block *cfgBlock
+}
+
+// buildCFG constructs the graph for one function body. info may be
+// nil in tests; trace-guard collapse then falls back to a syntactic
+// check.
+func buildCFG(body *ast.BlockStmt, info *types.Info) *cfg {
+	g := &cfg{}
+	b := &cfgBuilder{g: g, info: info}
+	b.cur = b.newBlock()
+	g.entry = b.cur
+	b.stmtList(body.List)
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func link(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt extends the graph with one statement. label is the pending
+// label when the statement is the body of a LabeledStmt.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	if b.g.unanalyzable {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ReturnStmt:
+		b.append(s)
+		b.cur.returns = true
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			b.g.unanalyzable = true
+		case token.BREAK:
+			if t := findTarget(b.breaks, s.Label); t != nil {
+				link(b.cur, t)
+			}
+			b.cur = b.newBlock()
+		case token.CONTINUE:
+			if t := findTarget(b.continues, s.Label); t != nil {
+				link(b.cur, t)
+			}
+			b.cur = b.newBlock()
+		case token.FALLTHROUGH:
+			// Handled by the switch builder via clause ordering; the
+			// statement itself carries no other effect.
+		}
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.append(s.Init)
+		}
+		if s.Tag != nil {
+			b.appendExprStmt(s.Tag)
+		}
+		b.switchClauses(s.Body, label, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.append(s.Init)
+		}
+		b.append(s.Assign)
+		b.switchClauses(s.Body, label, true)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+
+	case *ast.DeferStmt:
+		b.g.defers = append(b.g.defers, s)
+		b.append(s)
+
+	case *ast.GoStmt:
+		b.append(s)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, Decl, Expr, IncDec, Send: straight-line.
+		b.append(s)
+	}
+}
+
+// append adds a simple statement to the current block, terminating
+// the block on a no-return call (panic, os.Exit, log.Fatal*,
+// t.Fatal*).
+func (b *cfgBuilder) append(s ast.Stmt) {
+	b.cur.stmts = append(b.cur.stmts, s)
+	if isNoReturnStmt(s) {
+		b.cur.panics = true
+		b.cur = b.newBlock()
+	}
+}
+
+// appendExprStmt wraps a bare expression (an if/switch condition) as
+// a statement node so the transfer functions see its calls.
+func (b *cfgBuilder) appendExprStmt(e ast.Expr) {
+	b.append(&ast.ExprStmt{X: e})
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.append(s.Init)
+	}
+	if b.isTraceGuard(s) {
+		// Collapse: condition then body, straight-line, no else (a
+		// trace guard never has one).
+		b.appendExprStmt(s.Cond)
+		b.stmtList(s.Body.List)
+		return
+	}
+	b.appendExprStmt(s.Cond)
+	head := b.cur
+	join := b.newBlock()
+
+	b.cur = b.newBlock()
+	link(head, b.cur)
+	b.stmt(s.Body, "")
+	link(b.cur, join)
+
+	if s.Else != nil {
+		b.cur = b.newBlock()
+		link(head, b.cur)
+		b.stmt(s.Else, "")
+		link(b.cur, join)
+	} else {
+		link(head, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.append(s.Init)
+	}
+	head := b.newBlock()
+	link(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.appendExprStmt(s.Cond)
+	}
+	after := b.newBlock()
+	post := b.newBlock()
+	if s.Cond != nil {
+		link(b.cur, after) // condition false
+	}
+	body := b.newBlock()
+	link(b.cur, body)
+
+	b.pushTargets(label, after, post)
+	b.cur = body
+	b.stmt(s.Body, "")
+	link(b.cur, post)
+	b.popTargets()
+
+	b.cur = post
+	if s.Post != nil {
+		b.append(s.Post)
+	}
+	link(b.cur, head)
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	link(b.cur, head)
+	b.cur = head
+	b.appendExprStmt(s.X)
+	after := b.newBlock()
+	link(b.cur, after) // range exhausted (possibly immediately)
+	body := b.newBlock()
+	link(b.cur, body)
+
+	b.pushTargets(label, after, head)
+	b.cur = body
+	b.stmt(s.Body, "")
+	link(b.cur, head)
+	b.popTargets()
+
+	b.cur = after
+}
+
+// switchClauses wires the case bodies of a switch or type switch:
+// every clause branches from the head; fallthrough chains to the next
+// clause's body block.
+func (b *cfgBuilder) switchClauses(body *ast.BlockStmt, label string, typeSwitch bool) {
+	head := b.cur
+	join := b.newBlock()
+	b.pushTargets(label, join, nil)
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	clauseBlocks := make([]*cfgBlock, len(clauses))
+	for i := range clauses {
+		clauseBlocks[i] = b.newBlock()
+		link(head, clauseBlocks[i])
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = clauseBlocks[i]
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(st, "")
+		}
+		if fallsThrough && i+1 < len(clauseBlocks) {
+			link(b.cur, clauseBlocks[i+1])
+		} else {
+			link(b.cur, join)
+		}
+	}
+	if !hasDefault {
+		link(head, join) // no case matched
+	}
+	b.popTargets()
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	join := b.newBlock()
+	b.pushTargets(label, join, nil)
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		link(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm, "")
+		}
+		b.stmtList(cc.Body)
+		link(b.cur, join)
+	}
+	if len(s.Body.List) == 0 {
+		link(head, join)
+	}
+	b.popTargets()
+	b.cur = join
+}
+
+func (b *cfgBuilder) pushTargets(label string, brk, cont *cfgBlock) {
+	b.breaks = append(b.breaks, labeledTarget{label: label, block: brk})
+	if cont != nil {
+		b.continues = append(b.continues, labeledTarget{label: label, block: cont})
+	} else {
+		// switch/select: continue still refers to the enclosing loop,
+		// so push nothing for continues.
+		b.continues = append(b.continues, labeledTarget{label: "\x00none", block: nil})
+	}
+}
+
+func (b *cfgBuilder) popTargets() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func findTarget(targets []labeledTarget, label *ast.Ident) *cfgBlock {
+	for i := len(targets) - 1; i >= 0; i-- {
+		t := targets[i]
+		if t.block == nil {
+			continue // switch placeholder in the continue stack
+		}
+		if label == nil || t.label == label.Name {
+			return t.block
+		}
+	}
+	return nil
+}
+
+// isTraceGuard reports whether the if statement is a tracer nil
+// guard: `if x != nil { ... }` with no else, where x is a
+// trace.Tracer (or, syntactically, an identifier/selector named tr or
+// tracer when type information is unavailable).
+func (b *cfgBuilder) isTraceGuard(s *ast.IfStmt) bool {
+	if s.Else != nil {
+		return false
+	}
+	bin, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return false
+	}
+	var operand ast.Expr
+	switch {
+	case isNilIdent(bin.Y):
+		operand = bin.X
+	case isNilIdent(bin.X):
+		operand = bin.Y
+	default:
+		return false
+	}
+	if b.info != nil {
+		if tv, ok := b.info.Types[operand]; ok && tv.Type != nil {
+			return isNamed(tv.Type, "internal/trace", "Tracer")
+		}
+	}
+	name := ""
+	switch e := operand.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	}
+	return name == "tr" || name == "tracer"
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isNoReturnStmt reports whether the statement is a call that never
+// returns: panic, os.Exit, log.Fatal*, runtime.Goexit, or a
+// testing.TB Fatal/Fatalf/FailNow/Skip variant.
+func isNoReturnStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			switch {
+			case pkg.Name == "os" && name == "Exit":
+				return true
+			case pkg.Name == "log" && strings.HasPrefix(name, "Fatal"):
+				return true
+			case pkg.Name == "runtime" && name == "Goexit":
+				return true
+			}
+		}
+		switch name {
+		case "Fatal", "Fatalf", "FailNow", "SkipNow":
+			return true
+		}
+	}
+	return false
+}
+
+// eachFuncBody calls fn for every function declaration in the file
+// that has a body (methods and functions alike), passing the
+// declaration for doc-comment conventions.
+func eachFuncBody(f *ast.File, fn func(decl *ast.FuncDecl)) {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn(fd)
+		}
+	}
+}
+
+// pathAvoiding reports whether some path from `from` (starting after
+// statement index startIdx within it) reaches a normal function exit
+// (explicit return or falling off the graph) without passing a
+// statement for which hit returns true. Blocks terminated by panic do
+// not count as exits. This is the shared "all paths must hit X"
+// primitive: a true result means X is missable.
+func (g *cfg) pathAvoiding(from *cfgBlock, startIdx int, hit func(ast.Stmt) bool) bool {
+	// Scan the remainder of the starting block first.
+	for i := startIdx; i < len(from.stmts); i++ {
+		if hit(from.stmts[i]) {
+			return false
+		}
+	}
+	if from.panics {
+		return false
+	}
+	if from.returns || len(from.succs) == 0 {
+		return true // reached an exit without hitting
+	}
+	seen := map[*cfgBlock]bool{}
+	var visit func(b *cfgBlock) bool
+	visit = func(b *cfgBlock) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.stmts {
+			if hit(s) {
+				return false
+			}
+		}
+		if b.panics {
+			return false
+		}
+		if b.returns || len(b.succs) == 0 {
+			return true
+		}
+		for _, s := range b.succs {
+			if visit(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range from.succs {
+		if visit(s) {
+			return true
+		}
+	}
+	return false
+}

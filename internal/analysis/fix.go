@@ -1,0 +1,164 @@
+package analysis
+
+// fix.go applies the mechanical rewrites attached to findings
+// (`xfdlint -fix`): byte-range edits grouped per file, applied
+// back-to-front so earlier offsets stay valid, missing imports
+// inserted, and the result gofmt'ed. Application is all-or-nothing
+// per file — a fixed file that no longer parses is a bug in the
+// analyzer, and the original is left untouched.
+
+import (
+	"fmt"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A FileFix is the planned rewrite of one file.
+type FileFix struct {
+	Filename string
+	// Fixed is the formatted post-fix content.
+	Fixed []byte
+	// Count is the number of findings whose fixes landed in the file.
+	Count int
+}
+
+// PlanFixes collects the fixes of the given findings into per-file
+// rewrites without touching disk. Findings without fixes are ignored.
+// Overlapping edits within a file abort that file's plan with an
+// error (two analyzers rewriting the same bytes need a human).
+func PlanFixes(findings []Finding) ([]FileFix, error) {
+	type fileEdits struct {
+		edits   []Edit
+		imports map[string]bool
+		count   int
+	}
+	byFile := map[string]*fileEdits{}
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		counted := map[string]bool{}
+		for _, e := range f.Fix.Edits {
+			fe := byFile[e.Filename]
+			if fe == nil {
+				fe = &fileEdits{imports: map[string]bool{}}
+				byFile[e.Filename] = fe
+			}
+			fe.edits = append(fe.edits, e)
+			if f.Fix.AddImport != "" {
+				fe.imports[f.Fix.AddImport] = true
+			}
+			if !counted[e.Filename] {
+				counted[e.Filename] = true
+				fe.count++
+			}
+		}
+	}
+
+	names := make([]string, 0, len(byFile))
+	for name := range byFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var out []FileFix
+	for _, name := range names {
+		fe := byFile[name]
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: reading %s for fixing: %w", name, err)
+		}
+		fixed, err := applyEdits(src, fe.edits)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fixing %s: %w", name, err)
+		}
+		for imp := range fe.imports {
+			fixed, err = ensureImport(fixed, imp)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: fixing %s: %w", name, err)
+			}
+		}
+		formatted, err := format.Source(fixed)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fixed %s does not parse: %w", name, err)
+		}
+		out = append(out, FileFix{Filename: name, Fixed: formatted, Count: fe.count})
+	}
+	return out, nil
+}
+
+// ApplyFixes writes the planned rewrites to disk and returns the
+// number of files changed.
+func ApplyFixes(plans []FileFix) (int, error) {
+	changed := 0
+	for _, p := range plans {
+		cur, err := os.ReadFile(p.Filename)
+		if err != nil {
+			return changed, err
+		}
+		if string(cur) == string(p.Fixed) {
+			continue
+		}
+		info, err := os.Stat(p.Filename)
+		if err != nil {
+			return changed, err
+		}
+		if err := os.WriteFile(p.Filename, p.Fixed, info.Mode().Perm()); err != nil {
+			return changed, err
+		}
+		changed++
+	}
+	return changed, nil
+}
+
+// applyEdits splices the edits into src, back to front.
+func applyEdits(src []byte, edits []Edit) ([]byte, error) {
+	sorted := append([]Edit(nil), edits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Offset > sorted[j].Offset })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].End > sorted[i-1].Offset {
+			return nil, fmt.Errorf("overlapping fixes at offsets %d and %d", sorted[i].Offset, sorted[i-1].Offset)
+		}
+	}
+	for _, e := range sorted {
+		if e.Offset < 0 || e.End > len(src) || e.Offset > e.End {
+			return nil, fmt.Errorf("edit range [%d,%d) outside file of %d bytes", e.Offset, e.End, len(src))
+		}
+		src = append(src[:e.Offset], append([]byte(e.NewText), src[e.End:]...)...)
+	}
+	return src, nil
+}
+
+// ensureImport adds the import path to the file when missing,
+// preferring an existing grouped import block.
+func ensureImport(src []byte, path string) ([]byte, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixed.go", src, parser.ImportsOnly)
+	if err != nil {
+		return nil, err
+	}
+	for _, imp := range f.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+			return src, nil // already imported
+		}
+	}
+	line := "\t" + strconv.Quote(path) + "\n"
+	// Grouped import block: insert as its first line and let gofmt
+	// re-sort.
+	if i := strings.Index(string(src), "import (\n"); i >= 0 {
+		at := i + len("import (\n")
+		return append(src[:at], append([]byte(line), src[at:]...)...), nil
+	}
+	// No block: add a standalone import after the package clause line.
+	pkgEnd := fset.Position(f.Name.End()).Offset
+	for pkgEnd < len(src) && src[pkgEnd] != '\n' {
+		pkgEnd++
+	}
+	decl := "\nimport " + strconv.Quote(path) + "\n"
+	return append(src[:pkgEnd], append([]byte(decl), src[pkgEnd:]...)...), nil
+}

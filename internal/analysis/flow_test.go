@@ -1,0 +1,390 @@
+package analysis
+
+// flow_test.go covers the flow-aware analyzers (lockguard,
+// spanbalance, errwrap, govleak) and the machinery they ride on: the
+// CFG builder, the fix planner/applier, the SARIF writer, and the
+// suppression audit.
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Each fixture runs under the full suite: the other analyzers must
+// stay silent on each discipline's fixture.
+
+func TestLockGuardFixture(t *testing.T) {
+	fixture(t, "discoverxfd/lockfix", All()...)
+}
+
+func TestSpanBalanceFixture(t *testing.T) {
+	fixture(t, "discoverxfd/spanfix", All()...)
+}
+
+func TestErrWrapFixture(t *testing.T) {
+	fixture(t, "discoverxfd/errfix", All()...)
+}
+
+func TestGovLeakFixture(t *testing.T) {
+	fixture(t, "discoverxfd/leakfix", All()...)
+}
+
+// parseBody builds a CFG for the body of the first function in src.
+func parseBody(t *testing.T, src string) (*cfg, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return buildCFG(fd.Body, nil), fset
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+func TestCFGGotoBailsOut(t *testing.T) {
+	g, _ := parseBody(t, `package p
+func f() {
+top:
+	if cond() {
+		goto top
+	}
+}
+func cond() bool { return false }
+`)
+	if !g.unanalyzable {
+		t.Fatal("goto should mark the CFG unanalyzable")
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	g, _ := parseBody(t, `package p
+func f() {
+	defer done()
+	if cond() {
+		defer done()
+	}
+}
+func done() {}
+func cond() bool { return false }
+`)
+	if g.unanalyzable || len(g.defers) != 2 {
+		t.Fatalf("defers = %d (unanalyzable=%v), want 2", len(g.defers), g.unanalyzable)
+	}
+}
+
+func TestPathAvoiding(t *testing.T) {
+	src := `package p
+func f(cond bool) {
+	mark()
+	if cond {
+		hit()
+		return
+	}
+	hit()
+}
+func mark() {}
+func hit()  {}
+`
+	g, _ := parseBody(t, src)
+	if g.unanalyzable {
+		t.Fatal("unexpectedly unanalyzable")
+	}
+	isCall := func(name string) func(ast.Stmt) bool {
+		return func(s ast.Stmt) bool {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				return false
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && id.Name == name
+		}
+	}
+	// Every path from the entry passes through hit() before any exit.
+	if g.pathAvoiding(g.entry, 0, isCall("hit")) {
+		t.Fatal("no exit should be reachable while avoiding hit()")
+	}
+	// But a path avoiding mark() does not exist from index 0 either.
+	if g.pathAvoiding(g.entry, 0, isCall("mark")) {
+		t.Fatal("mark() is the first statement; it cannot be avoided")
+	}
+	// Starting past mark(), exits are reachable without re-seeing it.
+	if !g.pathAvoiding(g.entry, 1, isCall("mark")) {
+		t.Fatal("after mark() there should be a mark()-free path to return")
+	}
+}
+
+// copyFixtureDir copies one fixture package directory (plus the
+// dependency packages it needs) into a fresh GOPATH so fixes can be
+// applied without touching the checked-in fixtures.
+func copyFixtureDir(t *testing.T, pkgs ...string) string {
+	t.Helper()
+	gopath := t.TempDir()
+	for _, pkg := range pkgs {
+		srcDir := filepath.Join("testdata", "src", pkg)
+		dstDir := filepath.Join(gopath, "src", pkg)
+		if err := os.MkdirAll(dstDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		ents, err := os.ReadDir(srcDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if e.IsDir() {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dstDir, e.Name()), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return gopath
+}
+
+// TestErrWrapFixesApply plans and applies errwrap's autofixes to a
+// copy of the errfix fixture, then reloads it: every errwrap finding
+// must be gone and the file must still compile.
+func TestErrWrapFixesApply(t *testing.T) {
+	gopath := copyFixtureDir(t, "discoverxfd/errfix", "discoverxfd/internal/relation")
+	pkg, err := LoadFixturePackage(gopath, "discoverxfd/errfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := pkg.Analyze([]*Analyzer{ErrWrap})
+	if len(findings) != 4 {
+		t.Fatalf("errwrap findings = %d, want 4:\n%v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Fix == nil {
+			t.Fatalf("finding has no fix: %s", f)
+		}
+	}
+	plans, err := PlanFixes(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := ApplyFixes(plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 1 {
+		t.Fatalf("changed files = %d, want 1", changed)
+	}
+	fixedPkg, err := LoadFixturePackage(gopath, "discoverxfd/errfix")
+	if err != nil {
+		t.Fatalf("fixed fixture no longer loads: %v", err)
+	}
+	if left := fixedPkg.Analyze([]*Analyzer{ErrWrap}); len(left) != 0 {
+		t.Fatalf("findings remain after fix: %v", left)
+	}
+	fixed, err := os.ReadFile(filepath.Join(gopath, "src", "discoverxfd/errfix", "errfix.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"errors.Is(err, relation.ErrEmptyTree)",
+		"!errors.Is(err, relation.ErrEmptyTree)",
+		"load failed: %w",
+		"stage %d: %w",
+	} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed source missing %q", want)
+		}
+	}
+}
+
+func TestApplyEditsRejectsOverlap(t *testing.T) {
+	_, err := applyEdits([]byte("abcdef"), []Edit{
+		{Offset: 1, End: 4, NewText: "X"},
+		{Offset: 3, End: 5, NewText: "Y"},
+	})
+	if err == nil {
+		t.Fatal("expected overlap error")
+	}
+}
+
+func TestEnsureImportVariants(t *testing.T) {
+	grouped := []byte("package p\n\nimport (\n\t\"fmt\"\n)\n\nvar _ = fmt.Sprint\n")
+	out, err := ensureImport(grouped, "errors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out, []byte("\t\"errors\"\n")) {
+		t.Fatalf("grouped import not inserted:\n%s", out)
+	}
+
+	bare := []byte("package p\n\nvar X = 1\n")
+	out, err = ensureImport(bare, "errors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out, []byte("import \"errors\"")) {
+		t.Fatalf("standalone import not inserted:\n%s", out)
+	}
+
+	already := []byte("package p\n\nimport \"errors\"\n\nvar X = errors.New(\"x\")\n")
+	out, err = ensureImport(already, "errors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, already) {
+		t.Fatalf("existing import duplicated:\n%s", out)
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	lit := `"a %d b %+v c %*.2f d %% e %s"`
+	verbs := formatVerbs(lit)
+	var got []string
+	for _, v := range verbs {
+		got = append(got, string(v.verb))
+	}
+	if strings.Join(got, "") != "dvfs" {
+		t.Fatalf("verbs = %v, want d v f s", got)
+	}
+	// The %*.2f consumes an extra operand for the width.
+	if verbs[2].operand != 3 {
+		t.Fatalf("star-width operand index = %d, want 3", verbs[2].operand)
+	}
+	if formatVerbs(`"explicit %[1]v index"`) != nil {
+		t.Fatal("explicit argument indexes should abort the scan")
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	findings := []Finding{{
+		Analyzer: "lockguard",
+		Pos:      token.Position{Filename: "/repo/internal/core/engine.go", Line: 42, Column: 7},
+		Message:  "field warm is guarded by e.mu but read without holding it",
+	}}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, All(), findings, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version/runs = %q/%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "xfdlint" {
+		t.Fatalf("driver = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(All()) {
+		t.Fatalf("rules = %d, want %d", len(run.Tool.Driver.Rules), len(All()))
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	loc := res.Locations[0].PhysicalLocation
+	if res.RuleID != "lockguard" || res.Level != "error" ||
+		loc.ArtifactLocation.URI != "internal/core/engine.go" ||
+		loc.Region.StartLine != 42 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+// TestSuppressionAudit checks used-vs-stale accounting: a suppression
+// that actually silences a finding is Used, one that silences nothing
+// is stale.
+func TestSuppressionAudit(t *testing.T) {
+	const src = `package p
+
+func spawn() {
+	//lint:governed test fixture spawn
+	go spawn()
+}
+
+func quiet() {
+	//lint:governed nothing here to silence
+	_ = 1
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "s.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	conf := types.Config{}
+	pkg, err := conf.Check(ModulePrefix+"/p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, records := RunAudit(All(), fset, []*ast.File{f}, pkg, info)
+	if len(findings) != 0 {
+		t.Fatalf("suppressed run still reported: %v", findings)
+	}
+	if len(records) != 2 {
+		t.Fatalf("records = %d, want 2", len(records))
+	}
+	byLine := map[int]SuppressionRecord{}
+	for _, r := range records {
+		byLine[r.Line] = r
+	}
+	if r := byLine[4]; !r.Used || r.Directive != "governed" || r.Reason == "" {
+		t.Fatalf("line 4 record = %+v, want used governed with reason", r)
+	}
+	if r := byLine[9]; r.Used {
+		t.Fatalf("line 9 record = %+v, want stale", r)
+	}
+}
+
+func TestKnownDirective(t *testing.T) {
+	if !KnownDirective(All(), "lockguard") || !KnownDirective(All(), "governed") {
+		t.Fatal("expected shipped directives to be known")
+	}
+	if KnownDirective(All(), "nosuchcheck") {
+		t.Fatal("unexpected directive recognized")
+	}
+}

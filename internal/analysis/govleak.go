@@ -1,0 +1,247 @@
+package analysis
+
+// govleak closes the gap govdiscipline leaves around resource
+// lifetimes: a channel made with make(chan T) or a trace.Feed created
+// with trace.NewFeed that stays local to one function must be closed
+// on every path to return (close(ch) / feed.Close(), deferred
+// counts). A receiver blocked on a never-closed local channel — or an
+// SSE poller waiting on a Feed that nobody will ever Close — is a
+// goroutine leak the race detector cannot see.
+//
+// A value that escapes the function — returned, stored into a field,
+// slice, map or composite literal, sent over a channel, captured by
+// address, or handed to another function — has its lifetime managed
+// elsewhere (typically registered with the governor or a server
+// registry), and is exempt.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var GovLeak = &Analyzer{
+	Name:      "govleak",
+	Directive: "govleak",
+	Doc: "a channel or trace.Feed that stays local to a function must be closed on " +
+		"every path (deferred close counts); escaping values are exempt",
+	Run: runGovLeak,
+}
+
+func runGovLeak(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		eachFuncBody(f, func(fd *ast.FuncDecl) {
+			checkLeaks(p, fd.Body)
+		})
+	}
+}
+
+func checkLeaks(p *Pass, body *ast.BlockStmt) {
+	g := buildCFG(body, p.Info)
+
+	// Pass 1: candidate creations — `v := make(chan T)` or
+	// `v := trace.NewFeed(...)` with v a plain new identifier.
+	type candidate struct {
+		obj   types.Object
+		ident *ast.Ident
+		block *cfgBlock
+		idx   int
+		what  string
+	}
+	var cands []candidate
+	if !g.unanalyzable {
+		for _, b := range g.blocks {
+			for i, s := range b.stmts {
+				as, ok := s.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					continue
+				}
+				for j, rhs := range as.Rhs {
+					what, _ := creationKind(p, rhs)
+					if what == "" {
+						continue
+					}
+					id, ok := as.Lhs[j].(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := p.Info.Defs[id]
+					if obj == nil {
+						obj = p.Info.Uses[id]
+					}
+					if obj == nil {
+						continue
+					}
+					cands = append(cands, candidate{obj: obj, ident: id, block: b, idx: i, what: what})
+				}
+			}
+		}
+	}
+	if len(cands) > 0 {
+		// Pass 2: escape analysis over the whole body.
+		escaped := map[types.Object]bool{}
+		markEscapes(p, body, escaped)
+
+		// Deferred closes anywhere in the function (directly or inside
+		// a deferred closure) satisfy every exit.
+		deferClosed := map[types.Object]bool{}
+		for _, d := range g.defers {
+			ast.Inspect(d, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if obj := closedObject(p, call); obj != nil {
+						deferClosed[obj] = true
+					}
+				}
+				return true
+			})
+		}
+
+		for _, c := range cands {
+			if escaped[c.obj] || deferClosed[c.obj] {
+				continue
+			}
+			obj := c.obj
+			if g.pathAvoiding(c.block, c.idx+1, func(later ast.Stmt) bool {
+				found := false
+				ast.Inspect(later, func(n ast.Node) bool {
+					if found {
+						return false
+					}
+					if _, isLit := n.(*ast.FuncLit); isLit {
+						return false
+					}
+					if call, ok := n.(*ast.CallExpr); ok && closedObject(p, call) == obj {
+						found = true
+						return false
+					}
+					return true
+				})
+				return found
+			}) {
+				p.Reportf(c.ident.Pos(), "%s %s stays local but is not closed on every path (close it, defer the close, or hand it to an owner)",
+					c.what, c.ident.Name)
+			}
+		}
+	}
+
+	// Function literals are their own scope.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkLeaks(p, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// creationKind classifies an expression as a tracked resource
+// creation: a channel make or a trace.NewFeed call.
+func creationKind(p *Pass, e ast.Expr) (what string, isFeed bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "make" && len(call.Args) > 0 {
+			if tv, ok := p.Info.Types[call.Args[0]]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					return "channel", false
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "NewFeed" {
+			if tv, ok := p.Info.Types[e]; ok && isNamed(tv.Type, "internal/trace", "Feed") {
+				return "trace.Feed", true
+			}
+		}
+	}
+	return "", false
+}
+
+// closedObject returns the object a close(ch) or v.Close() call
+// releases, or nil.
+func closedObject(p *Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "close" && len(call.Args) == 1 {
+			if id, ok := call.Args[0].(*ast.Ident); ok {
+				return p.Info.Uses[id]
+			}
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Close" {
+			if id, ok := fun.X.(*ast.Ident); ok {
+				return p.Info.Uses[id]
+			}
+		}
+	}
+	return nil
+}
+
+// markEscapes records every candidate-shaped identifier whose value
+// leaves the function's hands: returned, assigned into anything that
+// is not a plain local identifier, placed in a composite literal,
+// sent on a channel, address-taken, or passed to any call other than
+// close/len/cap.
+func markEscapes(p *Pass, body *ast.BlockStmt, escaped map[types.Object]bool) {
+	use := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil {
+				escaped[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				use(r)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				// v2 := v aliases; s.f = v stores. Either way the
+				// original identifier no longer solely owns the value.
+				if _, plain := lhs.(*ast.Ident); !plain {
+					use(n.Rhs[i])
+				} else if what, _ := creationKind(p, n.Rhs[i]); what == "" {
+					use(n.Rhs[i])
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					use(kv.Value)
+				} else {
+					use(elt)
+				}
+			}
+		case *ast.SendStmt:
+			use(n.Value)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				use(n.X)
+			}
+		case *ast.CallExpr:
+			name := ""
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				name = id.Name
+			}
+			if name != "close" && name != "len" && name != "cap" {
+				for _, a := range n.Args {
+					use(a)
+				}
+			}
+			// A method call on the value itself (v.Emit(...)) is fine;
+			// v.Close() is the release. Neither escapes v.
+		}
+		return true
+	})
+}

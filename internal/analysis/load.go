@@ -32,6 +32,12 @@ func (p *Package) Analyze(analyzers []*Analyzer) []Finding {
 	return Run(analyzers, p.Fset, p.Files, p.Types, p.Info)
 }
 
+// Audit is Analyze plus the package's suppression ledger (see
+// RunAudit).
+func (p *Package) Audit(analyzers []*Analyzer) ([]Finding, []SuppressionRecord) {
+	return RunAudit(analyzers, p.Fset, p.Files, p.Types, p.Info)
+}
+
 // NewInfo allocates the types.Info maps the analyzers rely on.
 func NewInfo() *types.Info {
 	return &types.Info{

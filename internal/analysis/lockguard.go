@@ -1,0 +1,505 @@
+package analysis
+
+// lockguard is the flow-aware lock-discipline analyzer. It enforces
+// three rules over the per-function CFG (cfg.go) with a must-hold
+// lock lattice:
+//
+//  1. A struct field annotated `// guarded by <mu>` (where <mu> is a
+//     sibling sync.Mutex/sync.RWMutex field) may only be read while
+//     the mutex is statically held, and only written while it is held
+//     exclusively (RLock does not license writes).
+//  2. mu.Lock() while mu is already held on every path is a
+//     self-deadlock and is flagged at the second acquisition.
+//  3. mu.Lock() with neither a deferred release nor a release on
+//     every path to return leaks the lock; the finding carries a
+//     mechanical fix inserting `defer mu.Unlock()`.
+//
+// Lock identity is the printed base expression plus the mutex field
+// ("e.mu", "run.eng.mu"), so receiver-qualified locks line up between
+// the Lock call and the guarded access. Two conventions extend the
+// lattice across call boundaries:
+//
+//   - a function whose doc comment says "Caller must hold x.mu" (or
+//     "caller holds x.mu") starts with that lock held;
+//   - function literals inherit the lock state at their definition
+//     point, except literals launched by a go statement, which start
+//     empty (a fresh goroutine holds nothing).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+var LockGuard = &Analyzer{
+	Name:      "lockguard",
+	Directive: "lockguard",
+	Doc: "fields annotated `// guarded by <mu>` must be accessed under their mutex; " +
+		"locks must not be re-acquired while held or leaked past return",
+	Run: runLockGuard,
+}
+
+var (
+	guardedByRe   = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+	callerHoldsRe = regexp.MustCompile(`[Cc]aller (?:must hold|holds) ([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)`)
+)
+
+// lockMode distinguishes a read-locked RWMutex from an exclusively
+// held one.
+type lockMode int
+
+const (
+	modeShared    lockMode = 1
+	modeExclusive lockMode = 2
+)
+
+// lockState is one held lock: how it is held, where it was acquired,
+// and the statement containing the acquisition (anchor for the
+// defer-insertion fix).
+type lockState struct {
+	mode lockMode
+	pos  token.Pos
+	stmt ast.Stmt
+}
+
+type lockSet map[string]lockState
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func runLockGuard(p *Pass) {
+	guarded := collectGuardedFields(p)
+	lg := &lockguardPass{p: p, guarded: guarded, leaked: map[token.Pos]bool{}}
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		eachFuncBody(f, func(fd *ast.FuncDecl) {
+			if isLockerWrapper(fd) {
+				// A Lock/RLock/Unlock/RUnlock method forwarding to an
+				// embedded or wrapped mutex exists to transfer lock
+				// ownership to its caller; holding-at-return is its
+				// contract, not a leak.
+				return
+			}
+			entry := lockSet{}
+			for _, key := range callerHeldLocks(fd.Doc) {
+				entry[key] = lockState{mode: modeExclusive, pos: fd.Pos()}
+			}
+			lg.analyze(fd.Body, entry)
+		})
+	}
+}
+
+// isLockerWrapper reports whether fd is a sync.Locker-style
+// forwarding method (named Lock/RLock/Unlock/RUnlock with a receiver).
+func isLockerWrapper(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return false
+	}
+	switch fd.Name.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return true
+	}
+	return false
+}
+
+// callerHeldLocks parses the "Caller must hold x.mu" doc convention.
+func callerHeldLocks(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var keys []string
+	for _, m := range callerHoldsRe.FindAllStringSubmatch(doc.Text(), -1) {
+		keys = append(keys, m[1])
+	}
+	return keys
+}
+
+// collectGuardedFields indexes every struct field in the package that
+// carries a `// guarded by <mu>` doc or line comment, by its types
+// object. Annotated fields are unexported in practice, so all their
+// accesses are inside this package and the index is complete.
+func collectGuardedFields(p *Pass) map[*types.Var]string {
+	out := map[*types.Var]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardAnnotation(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						out[v] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+type lockguardPass struct {
+	p       *Pass
+	guarded map[*types.Var]string
+	// leaked dedupes leak reports by acquisition position: a Lock
+	// reachable from several exits is one finding.
+	leaked map[token.Pos]bool
+}
+
+// analyze runs the full lockguard check over one function body with
+// the given entry lock set, recursing into contained function
+// literals with the state at their definition point.
+func (lg *lockguardPass) analyze(body *ast.BlockStmt, entry lockSet) {
+	g := buildCFG(body, lg.p.Info)
+	if g.unanalyzable {
+		return
+	}
+	deferred := deferredReleases(lg.p.Info, g)
+
+	// Must-analysis (intersection meet): licenses guarded accesses
+	// and detects re-acquisition.
+	mustIn := lg.fixpoint(g, entry, false)
+	for _, b := range g.blocks {
+		in, ok := mustIn[b]
+		if !ok {
+			continue // unreachable
+		}
+		set := in.clone()
+		for _, s := range b.stmts {
+			lg.checkStmt(s, set)
+		}
+	}
+
+	// May-analysis (union meet): a lock still possibly held at a
+	// normal exit, with no deferred release, leaks.
+	mayIn := lg.fixpoint(g, lockSet{}, true)
+	for _, b := range g.blocks {
+		in, ok := mayIn[b]
+		if !ok || b.panics {
+			continue
+		}
+		if !b.returns && len(b.succs) > 0 {
+			continue
+		}
+		out := in.clone()
+		for _, s := range b.stmts {
+			applyLockOps(lg.p.Info, s, out, true, nil)
+		}
+		for key, st := range out {
+			if deferred[key] || lg.leaked[st.pos] {
+				continue
+			}
+			lg.leaked[st.pos] = true
+			release := "Unlock"
+			if st.mode == modeShared {
+				release = "RUnlock"
+			}
+			var fix *Fix
+			if st.stmt != nil {
+				indent := strings.Repeat("\t", lg.p.Fset.Position(st.stmt.Pos()).Column-1)
+				fix = &Fix{
+					Message: "insert defer " + key + "." + release + "()",
+					Edits: []Edit{lg.p.EditAt(st.stmt.End(), st.stmt.End(),
+						"\n"+indent+"defer "+key+"."+release+"()")},
+				}
+			}
+			lg.p.ReportFixf(st.pos, fix, "%s is locked but not released on every path (add defer %s.%s() or release before return)", key, key, release)
+		}
+	}
+}
+
+// deferredReleases collects the lock keys released by deferred
+// statements — `defer mu.Unlock()` directly, or any release inside a
+// deferred closure. A deferred release satisfies every exit.
+func deferredReleases(info *types.Info, g *cfg) map[string]bool {
+	out := map[string]bool{}
+	for _, d := range g.defers {
+		ast.Inspect(d, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, op, _, ok := mutexOp(info, call); ok && op == "release" {
+					out[key] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fixpoint runs the forward lock dataflow over the CFG. may selects
+// the meet: false = intersection (must-hold), true = union
+// (may-hold). The returned map has an entry for every reachable
+// block; absence means unreachable.
+func (lg *lockguardPass) fixpoint(g *cfg, entry lockSet, may bool) map[*cfgBlock]lockSet {
+	in := map[*cfgBlock]lockSet{g.entry: entry}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		out := in[b].clone()
+		for _, s := range b.stmts {
+			applyLockOps(lg.p.Info, s, out, true, nil)
+		}
+		for _, succ := range b.succs {
+			var merged lockSet
+			cur, seen := in[succ]
+			if !seen {
+				merged = out.clone()
+			} else if may {
+				merged = cur.clone()
+				for k, v := range out {
+					if _, ok := merged[k]; !ok {
+						merged[k] = v
+					}
+				}
+			} else {
+				merged = lockSet{}
+				for k, v := range cur {
+					if o, ok := out[k]; ok {
+						if o.mode < v.mode {
+							v = o
+						}
+						merged[k] = v
+					}
+				}
+			}
+			if !seen || !sameLockSet(merged, in[succ]) {
+				in[succ] = merged
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+func sameLockSet(a, b lockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		o, ok := b[k]
+		if !ok || o.mode != v.mode {
+			return false
+		}
+	}
+	return true
+}
+
+// applyLockOps walks one statement in evaluation order applying mutex
+// acquire/release calls to set. Function literal bodies are skipped —
+// they execute elsewhere (onLit, when non-nil, receives each literal
+// with a snapshot of the state at its definition and whether it is
+// launched by a go statement). Deferred calls do not change the
+// in-line state; deferredReleases accounts for them at exits.
+func applyLockOps(info *types.Info, stmt ast.Stmt, set lockSet, skipDeferred bool, onLit func(lit *ast.FuncLit, at lockSet, inGo bool)) {
+	var deferredCall *ast.CallExpr
+	if d, ok := stmt.(*ast.DeferStmt); ok && skipDeferred {
+		deferredCall = d.Call
+	}
+	goLit := map[*ast.FuncLit]bool{}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				goLit[lit] = true
+			}
+		case *ast.FuncLit:
+			if onLit != nil {
+				onLit(n, set.clone(), goLit[n])
+			}
+			return false
+		case *ast.CallExpr:
+			if n == deferredCall {
+				// The deferred call itself runs at exit; its arguments
+				// are still evaluated here, so keep descending.
+				return true
+			}
+			if key, op, mode, ok := mutexOp(info, n); ok {
+				switch op {
+				case "acquire":
+					set[key] = lockState{mode: mode, pos: n.Pos(), stmt: stmt}
+				case "release":
+					delete(set, key)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp recognizes a Lock/Unlock/RLock/RUnlock call on a
+// sync.Mutex or sync.RWMutex and returns the lock key, the operation
+// class, and the mode.
+func mutexOp(info *types.Info, call *ast.CallExpr) (key, op string, mode lockMode, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		op, mode = "acquire", modeExclusive
+	case "RLock":
+		op, mode = "acquire", modeShared
+	case "Unlock":
+		op, mode = "release", modeExclusive
+	case "RUnlock":
+		op, mode = "release", modeShared
+	default:
+		return "", "", 0, false
+	}
+	tv, found := info.Types[sel.X]
+	if !found || tv.Type == nil {
+		return "", "", 0, false
+	}
+	if !isNamed(tv.Type, "sync", "Mutex") && !isNamed(tv.Type, "sync", "RWMutex") {
+		return "", "", 0, false
+	}
+	return types.ExprString(sel.X), op, mode, true
+}
+
+// checkStmt threads the evolving must-hold set through one statement,
+// reporting double-locks and unguarded accesses, and recursing into
+// function literals with the state at their definition point.
+func (lg *lockguardPass) checkStmt(stmt ast.Stmt, set lockSet) {
+	writes := writeTargets(stmt)
+	var deferredCall *ast.CallExpr
+	if d, ok := stmt.(*ast.DeferStmt); ok {
+		deferredCall = d.Call
+	}
+	goLit := map[*ast.FuncLit]bool{}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				goLit[lit] = true
+			}
+		case *ast.FuncLit:
+			entry := set.clone()
+			if goLit[n] {
+				entry = lockSet{}
+			}
+			lg.analyze(n.Body, entry)
+			return false
+		case *ast.CallExpr:
+			if n == deferredCall {
+				return true
+			}
+			if key, op, mode, ok := mutexOp(lg.p.Info, n); ok {
+				switch op {
+				case "acquire":
+					if held, already := set[key]; already {
+						if mode == modeExclusive || held.mode == modeExclusive {
+							lg.p.Reportf(n.Pos(), "%s is already held here; locking it again self-deadlocks", key)
+						}
+					}
+					set[key] = lockState{mode: mode, pos: n.Pos(), stmt: stmt}
+				case "release":
+					delete(set, key)
+				}
+			}
+		case *ast.SelectorExpr:
+			lg.checkAccess(n, set, writes[n])
+		}
+		return true
+	})
+}
+
+// checkAccess verifies one guarded-field access against the must-hold
+// set.
+func (lg *lockguardPass) checkAccess(sel *ast.SelectorExpr, set lockSet, isWrite bool) {
+	s, ok := lg.p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	guard, ok := lg.guarded[field]
+	if !ok {
+		return
+	}
+	key := types.ExprString(sel.X) + "." + guard
+	held, holds := set[key]
+	verb := "read"
+	if isWrite {
+		verb = "written"
+	}
+	if !holds {
+		lg.p.Reportf(sel.Sel.Pos(), "field %s is guarded by %s but %s without holding it", field.Name(), key, verb)
+		return
+	}
+	if isWrite && held.mode != modeExclusive {
+		lg.p.Reportf(sel.Sel.Pos(), "field %s is guarded by %s but written under RLock (writes need the exclusive lock)", field.Name(), key)
+	}
+}
+
+// writeTargets collects the selector expressions a statement mutates:
+// assignment left-hand sides (unwrapped through indexing and
+// dereference — writing s.m[k] mutates the map held in s.m), IncDec
+// operands, and address-taken fields (conservatively treated as
+// writes).
+func writeTargets(stmt ast.Stmt) map[*ast.SelectorExpr]bool {
+	out := map[*ast.SelectorExpr]bool{}
+	mark := func(e ast.Expr) {
+		for {
+			switch t := e.(type) {
+			case *ast.IndexExpr:
+				e = t.X
+			case *ast.StarExpr:
+				e = t.X
+			case *ast.ParenExpr:
+				e = t.X
+			case *ast.SelectorExpr:
+				out[t] = true
+				return
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,185 @@
+package analysis
+
+// spanbalance is the compile-time mirror of trace.ValidateJSONL's
+// span-nesting rule: every span-opening event the engine emits
+// (run_start, stage_start, relation_start) must be closed by the same
+// function — either by a deferred emit of the matching end kind, or
+// by an end emit on every path from the start to a normal return.
+// Trace guards (`if run.tr != nil { ... }`) are collapsed by the CFG
+// builder, so the correlated nil checks around start and end emits do
+// not read as unbalanced branches.
+//
+// An emit is recognized by the trace.Event composite literal with a
+// literal Kind field — the engine's emission idiom constructs the
+// event at the emit site (`trace.Emit(run.tr, &trace.Event{Kind:
+// trace.KindStageStart, ...})` or via a local variable emitted a line
+// later). Events with a computed Kind are invisible to the analyzer,
+// which errs toward silence.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+var SpanBalance = &Analyzer{
+	Name:      "spanbalance",
+	Directive: "spanbalance",
+	Doc: "every span-start trace emit (run_start/stage_start/relation_start) must be " +
+		"closed by a deferred or all-paths-reachable emit of the matching end kind",
+	Run: runSpanBalance,
+}
+
+// spanEnds maps each start kind constant name to its end kind.
+var spanEnds = map[string]string{
+	"KindRunStart":      "KindRunEnd",
+	"KindStageStart":    "KindStageEnd",
+	"KindRelationStart": "KindRelationEnd",
+}
+
+func runSpanBalance(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		eachFuncBody(f, func(fd *ast.FuncDecl) {
+			checkSpans(p, fd.Body)
+		})
+	}
+}
+
+// checkSpans verifies span pairing within one function body,
+// recursing into function literals (each closure is its own span
+// scope: a deferred closure that emits the end closes the span for
+// its parent via the defer registration, and any start the closure
+// itself emits must be closed within it).
+func checkSpans(p *Pass, body *ast.BlockStmt) {
+	g := buildCFG(body, p.Info)
+
+	// Ends emitted by deferred statements (directly or inside a
+	// deferred closure) close their kind for the whole function.
+	deferredEnds := map[string]bool{}
+	for _, d := range g.defers {
+		for _, kind := range emitKinds(p, d) {
+			deferredEnds[kind] = true
+		}
+	}
+
+	if !g.unanalyzable {
+		for _, b := range g.blocks {
+			for i, s := range b.stmts {
+				for _, kind := range emitKindsShallow(p, s) {
+					endKind, isStart := spanEnds[kind]
+					if !isStart || deferredEnds[endKind] {
+						continue
+					}
+					if g.pathAvoiding(b, i+1, func(later ast.Stmt) bool {
+						return hasEmitKindShallow(p, later, endKind)
+					}) {
+						p.Reportf(emitPos(p, s, kind), "%s span opened here can reach return without a %s emit (emit it on every path or defer it)",
+							strings.TrimPrefix(kind, "Kind"), endKind)
+					}
+				}
+			}
+		}
+	}
+
+	// Function literals get their own scope.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkSpans(p, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// emitKinds returns the Kind constant names of every trace.Event
+// composite literal anywhere under the node, including inside
+// function literals (used for deferred statements, where a deferred
+// closure's emits run at exit).
+func emitKinds(p *Pass, n ast.Node) []string {
+	var kinds []string
+	ast.Inspect(n, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.CompositeLit); ok {
+			if k := eventLitKind(p, lit); k != "" {
+				kinds = append(kinds, k)
+			}
+		}
+		return true
+	})
+	return kinds
+}
+
+// emitKindsShallow is emitKinds without descending into function
+// literals: a closure defined inline does not emit at its definition
+// point. Deferred statements are excluded too — the function-wide
+// deferred set accounts for them at exit.
+func emitKindsShallow(p *Pass, s ast.Stmt) []string {
+	if _, isDefer := s.(*ast.DeferStmt); isDefer {
+		return nil
+	}
+	var kinds []string
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CompositeLit:
+			if k := eventLitKind(p, n); k != "" {
+				kinds = append(kinds, k)
+			}
+		}
+		return true
+	})
+	return kinds
+}
+
+func hasEmitKindShallow(p *Pass, s ast.Stmt, kind string) bool {
+	for _, k := range emitKindsShallow(p, s) {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// eventLitKind digs the Kind field's constant name out of a
+// trace.Event composite literal; "" when the literal is not a trace
+// event or its Kind is not a named constant.
+func eventLitKind(p *Pass, lit *ast.CompositeLit) string {
+	tv, ok := p.Info.Types[lit]
+	if !ok || tv.Type == nil || !isNamed(tv.Type, "internal/trace", "Event") {
+		return ""
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Kind" {
+			continue
+		}
+		switch v := kv.Value.(type) {
+		case *ast.Ident:
+			return v.Name
+		case *ast.SelectorExpr:
+			return v.Sel.Name
+		}
+	}
+	return ""
+}
+
+// emitPos finds the position of the start emit with the given kind
+// inside the statement, for precise diagnostics.
+func emitPos(p *Pass, s ast.Stmt, kind string) (pos token.Pos) {
+	pos = s.Pos()
+	ast.Inspect(s, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.CompositeLit); ok && eventLitKind(p, lit) == kind {
+			pos = lit.Pos()
+			return false
+		}
+		return true
+	})
+	return pos
+}

@@ -1,0 +1,51 @@
+package trace
+
+// span.go extends the fixture trace package with the span vocabulary
+// the flow-aware analyzers key on: the Kind constants, the Tracer
+// interface and Emit helper (spanbalance), and a Feed with a Close
+// lifecycle (govleak). Shapes mirror the real internal/trace package.
+
+const (
+	KindRunStart      = "run_start"
+	KindRunEnd        = "run_end"
+	KindStageStart    = "stage_start"
+	KindStageEnd      = "stage_end"
+	KindRelationStart = "relation_start"
+	KindRelationEnd   = "relation_end"
+)
+
+// Tracer mirrors the real event sink interface.
+type Tracer interface {
+	Emit(ev *Event)
+}
+
+// Emit forwards ev to t, tolerating a nil tracer.
+func Emit(t Tracer, ev *Event) {
+	if t != nil {
+		t.Emit(ev)
+	}
+}
+
+// Feed is a cut-down mirror of the real SSE ring feed: created by
+// NewFeed, released by Close.
+type Feed struct {
+	events []*Event
+	done   bool
+}
+
+// NewFeed returns a feed with the given ring capacity.
+func NewFeed(n int) *Feed {
+	return &Feed{events: make([]*Event, 0, n)}
+}
+
+// Emit appends to the ring.
+func (f *Feed) Emit(ev *Event) {
+	if !f.done {
+		f.events = append(f.events, ev)
+	}
+}
+
+// Close marks the feed finished.
+func (f *Feed) Close() {
+	f.done = true
+}

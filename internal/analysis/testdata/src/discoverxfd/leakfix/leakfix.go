@@ -1,0 +1,85 @@
+// Package leakfix exercises the govleak analyzer: channels and
+// trace.Feeds that stay local to a function must be closed on every
+// path; values handed to an owner are exempt.
+package leakfix
+
+import "discoverxfd/internal/trace"
+
+type registry struct {
+	feed *trace.Feed
+	sink chan int
+}
+
+func leakChan(n int) int {
+	ch := make(chan int, n) // want "channel ch stays local but is not closed on every path"
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+func conditionalCloseBad(cond bool) {
+	ch := make(chan int) // want "channel ch stays local but is not closed on every path"
+	if cond {
+		close(ch)
+	}
+}
+
+func deferCloseGood() int {
+	ch := make(chan int, 1)
+	defer close(ch)
+	ch <- 1
+	return <-ch
+}
+
+func escapesBySendGood(sink chan chan int) {
+	ch := make(chan int)
+	sink <- ch
+}
+
+func allPathsCloseGood(cond bool) {
+	ch := make(chan int)
+	if cond {
+		close(ch)
+		return
+	}
+	close(ch)
+}
+
+func escapesByReturnGood() chan int {
+	ch := make(chan int, 4)
+	return ch
+}
+
+func escapesByFieldGood(r *registry) {
+	ch := make(chan int)
+	r.sink = ch
+}
+
+func escapesByArgGood() {
+	ch := make(chan int)
+	consume(ch)
+}
+
+func feedLeak() {
+	f := trace.NewFeed(8) // want "trace.Feed f stays local but is not closed on every path"
+	f.Emit(&trace.Event{Kind: "probe"})
+}
+
+func feedAllPathsGood(cond bool) {
+	f := trace.NewFeed(8)
+	if cond {
+		f.Close()
+		return
+	}
+	f.Emit(&trace.Event{Kind: "probe"})
+	f.Close()
+}
+
+func feedStoredGood(r *registry) {
+	f := trace.NewFeed(8)
+	r.feed = f
+}
+
+func consume(ch chan int) { close(ch) }

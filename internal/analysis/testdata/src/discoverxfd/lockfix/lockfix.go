@@ -1,0 +1,99 @@
+// Package lockfix exercises the lockguard analyzer: fields annotated
+// `guarded by <mu>` must only be touched while the mutex is statically
+// held, locks must be released on every path, and re-locking a held
+// mutex is a self-deadlock.
+package lockfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) deferGood() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) pairedGood() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) badRead() int {
+	return c.n // want "field n is guarded by c.mu but read without holding it"
+}
+
+func (c *counter) badWrite(v int) {
+	c.n = v // want "field n is guarded by c.mu but written without holding it"
+}
+
+func (c *counter) badAfterUnlock() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want "field n is guarded by c.mu but read without holding it"
+}
+
+func (c *counter) doubleLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock() // want "c.mu is already held here; locking it again self-deadlocks"
+	c.n++
+}
+
+func (c *counter) leakOnFallthrough(cond bool) {
+	c.mu.Lock() // want "c.mu is locked but not released on every path"
+	if cond {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+}
+
+func (c *counter) branchesGood(cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.n++
+	} else {
+		c.n--
+	}
+	c.mu.Unlock()
+}
+
+func (c *counter) closureInheritsGood() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bump := func() { c.n++ }
+	bump()
+}
+
+type gauge struct {
+	rw   sync.RWMutex
+	vals map[string]int // guarded by rw
+}
+
+func (g *gauge) readGood(k string) int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.vals[k]
+}
+
+func (g *gauge) badWriteUnderRLock(k string) {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	g.vals[k] = 1 // want "field vals is guarded by g.rw but written under RLock"
+}
+
+func (g *gauge) writeGood(k string, v int) {
+	g.rw.Lock()
+	defer g.rw.Unlock()
+	g.vals[k] = v
+}
+
+// resetLocked clears the map. Caller must hold g.rw.
+func (g *gauge) resetLocked() {
+	g.vals = map[string]int{}
+}

@@ -1,0 +1,80 @@
+// Package spanfix exercises the spanbalance analyzer: every start-kind
+// trace.Event emitted in a function must be closed by the matching end
+// kind on every path to return, or by a deferred emit.
+package spanfix
+
+import (
+	"errors"
+
+	"discoverxfd/internal/trace"
+)
+
+var errFail = errors.New("spanfix: stage failed")
+
+func deferGood(tr trace.Tracer) {
+	if tr != nil {
+		trace.Emit(tr, &trace.Event{Kind: trace.KindStageStart})
+		defer trace.Emit(tr, &trace.Event{Kind: trace.KindStageEnd})
+	}
+	work()
+}
+
+func deferClosureGood(tr trace.Tracer) {
+	trace.Emit(tr, &trace.Event{Kind: trace.KindRunStart})
+	defer func() {
+		ev := &trace.Event{Kind: trace.KindRunEnd}
+		trace.Emit(tr, ev)
+	}()
+	work()
+}
+
+func allPathsGood(tr trace.Tracer, fail bool) error {
+	trace.Emit(tr, &trace.Event{Kind: trace.KindRelationStart})
+	if fail {
+		trace.Emit(tr, &trace.Event{Kind: trace.KindRelationEnd})
+		return errFail
+	}
+	trace.Emit(tr, &trace.Event{Kind: trace.KindRelationEnd})
+	return nil
+}
+
+func missingOnError(tr trace.Tracer, fail bool) error {
+	trace.Emit(tr, &trace.Event{Kind: trace.KindStageStart}) // want "StageStart span opened here can reach return without a KindStageEnd emit"
+	if fail {
+		return errFail
+	}
+	trace.Emit(tr, &trace.Event{Kind: trace.KindStageEnd})
+	return nil
+}
+
+func neverClosed(tr trace.Tracer) {
+	trace.Emit(tr, &trace.Event{Kind: trace.KindRelationStart}) // want "RelationStart span opened here can reach return without a KindRelationEnd emit"
+	work()
+}
+
+// guardedEnds ends the span on both paths, each behind the usual
+// `if tr != nil` tracer guard; the CFG collapses those guards so the
+// pairing is still visible.
+func guardedEnds(tr trace.Tracer, fail bool) error {
+	if tr != nil {
+		trace.Emit(tr, &trace.Event{Kind: trace.KindRelationStart})
+	}
+	if fail {
+		if tr != nil {
+			trace.Emit(tr, &trace.Event{Kind: trace.KindRelationEnd})
+		}
+		return errFail
+	}
+	if tr != nil {
+		trace.Emit(tr, &trace.Event{Kind: trace.KindRelationEnd})
+	}
+	return nil
+}
+
+// panicExit never returns normally, so the open span is not a leak.
+func panicExit(tr trace.Tracer) {
+	trace.Emit(tr, &trace.Event{Kind: trace.KindStageStart})
+	panic("spanfix: unreachable stage")
+}
+
+func work() {}

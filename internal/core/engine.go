@@ -32,7 +32,7 @@ type Engine struct {
 	opts Options
 
 	mu   sync.Mutex
-	warm []*warmHierarchy
+	warm []*warmHierarchy // guarded by mu
 
 	// met is the engine's cumulative run instrumentation (see
 	// Metrics); all of its methods are nil-engine safe, so the legacy

@@ -34,8 +34,8 @@ type governor struct {
 	tr trace.Tracer
 
 	mu        sync.Mutex
-	truncated bool
-	reason    string
+	truncated bool   // guarded by mu
+	reason    string // guarded by mu
 }
 
 func newGovernor(ctx context.Context, opts *Options) *governor {
@@ -133,7 +133,7 @@ type workerGroup struct {
 	wg sync.WaitGroup
 
 	mu  sync.Mutex
-	err error
+	err error // guarded by mu
 }
 
 // Go runs fn on a new goroutine. A panic in fn is converted into an

@@ -53,20 +53,20 @@ type Metrics struct {
 // is mutex-guarded and touched once per finished run.
 type engineMetrics struct {
 	mu                  sync.Mutex
-	runsStarted         int64
-	runsFinished        int64
-	runsTruncated       int64
-	runsFailed          int64
-	warmSeeded          int64
-	evaluations         int64
-	updatesApplied      int64
-	updateOps           int64
-	updatesFailed       int64
-	partitionsPatched   int64
-	partitionsKept      int64
-	partitionsDropped   int64
-	cacheHighWaterBytes int64
-	totals              Stats
+	runsStarted         int64 // guarded by mu
+	runsFinished        int64 // guarded by mu
+	runsTruncated       int64 // guarded by mu
+	runsFailed          int64 // guarded by mu
+	warmSeeded          int64 // guarded by mu
+	evaluations         int64 // guarded by mu
+	updatesApplied      int64 // guarded by mu
+	updateOps           int64 // guarded by mu
+	updatesFailed       int64 // guarded by mu
+	partitionsPatched   int64 // guarded by mu
+	partitionsKept      int64 // guarded by mu
+	partitionsDropped   int64 // guarded by mu
+	cacheHighWaterBytes int64 // guarded by mu
+	totals              Stats // guarded by mu
 }
 
 // runStarted records a discovery run entering the pipeline.

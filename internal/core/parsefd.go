@@ -87,7 +87,7 @@ func parseConstraint(s string) (FD, bool, error) {
 		for _, p := range strings.Split(lhsText, ",") {
 			rp := schema.RelPath(strings.TrimSpace(p))
 			if err := checkRelPath(rp); err != nil {
-				return FD{}, false, fmt.Errorf("core: %v in %q", err, orig)
+				return FD{}, false, fmt.Errorf("core: %w in %q", err, orig)
 			}
 			lhs = append(lhs, rp)
 		}
@@ -119,7 +119,7 @@ func parseConstraint(s string) (FD, bool, error) {
 	}
 	rhs := schema.RelPath(fields[0])
 	if err := checkRelPath(rhs); err != nil {
-		return FD{}, false, fmt.Errorf("core: %v in %q", err, orig)
+		return FD{}, false, fmt.Errorf("core: %w in %q", err, orig)
 	}
 	class, err := parseClass(strings.Join(fields[2:], " "), orig)
 	if err != nil {

@@ -35,8 +35,8 @@ type partitionCache struct {
 	maxBytes int64
 
 	mu      sync.Mutex
-	rels    map[*relation.Relation]*relPartitions
-	retired []*relPartitions
+	rels    map[*relation.Relation]*relPartitions // guarded by mu
+	retired []*relPartitions                      // guarded by mu
 	bytes   atomic.Int64
 	peak    atomic.Int64
 
@@ -119,7 +119,6 @@ func (c *partitionCache) seed(warm map[*relation.Relation]map[AttrSet]*partition
 			gids:  make(map[AttrSet][]int32),
 			nulls: make(map[AttrSet][]bool),
 		}
-		//lint:detorder map-to-map copy is order-insensitive
 		for a, p := range parts {
 			rp.parts[a] = p
 			rp.bytes += p.MemBytes()
@@ -137,13 +136,12 @@ func (c *partitionCache) snapshot() map[*relation.Relation]map[AttrSet]*partitio
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make(map[*relation.Relation]map[AttrSet]*partition.Partition, len(c.rels))
-	//lint:detorder map-to-map copy is order-insensitive
+	//lint:detorder snapshot only fills per-relation maps keyed by relation; visit order cannot reach any output
 	for rel, rp := range c.rels {
 		if len(rp.parts) == 0 {
 			continue
 		}
 		parts := make(map[AttrSet]*partition.Partition, len(rp.parts))
-		//lint:detorder map-to-map copy is order-insensitive
 		for a, p := range rp.parts {
 			parts[a] = p
 		}

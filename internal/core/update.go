@@ -91,7 +91,6 @@ func (e *Engine) patchWarm(h *relation.Hierarchy, cs *relation.Changeset) []patc
 	}
 	var reports []patchReport
 	parts := make(map[*relation.Relation]map[AttrSet]*partition.Partition, len(w.parts))
-	//lint:detorder per-relation rewrite; map iteration order cannot reach any output
 	for rel, m := range w.parts {
 		var rc *relation.RelChange
 		if rel.Index < len(cs.Rels) {
@@ -108,7 +107,6 @@ func (e *Engine) patchWarm(h *relation.Hierarchy, cs *relation.Changeset) []patc
 			}
 		}
 		nm := make(map[AttrSet]*partition.Partition, len(m))
-		//lint:detorder per-partition keep/patch/drop; map iteration order cannot reach any output
 		for a, p := range m {
 			switch {
 			case a == 0:

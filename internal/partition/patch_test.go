@@ -84,6 +84,112 @@ func TestPatchNoTouchSharesGroups(t *testing.T) {
 	}
 }
 
+// TestPatchSpliceIntoEmpty grows a partition from zero rows: the
+// degenerate base every fresh document update starts from.
+func TestPatchSpliceIntoEmpty(t *testing.T) {
+	p := FromCodes(nil)
+	if p.NRows != 0 {
+		t.Fatalf("empty partition NRows = %d", p.NRows)
+	}
+	// Splice a first batch of rows into the empty partition.
+	codes := []int64{5, 5, 7}
+	requirePatchEqual(t, nil, p, codes, []int32{0, 1, 2})
+
+	// And the no-op splice: empty in, empty out, receiver shared.
+	if got := p.Patch(nil, nil); got != p {
+		t.Fatal("empty-to-empty patch should return the receiver")
+	}
+}
+
+// TestPatchEmptiesClass drives every member out of one equivalence
+// class in a single splice, so the class must vanish from the result
+// (a class with zero rows would corrupt group bookkeeping downstream).
+func TestPatchEmptiesClass(t *testing.T) {
+	old := []int64{1, 1, 2, 2, 2, 3, 3}
+	p := FromCodes(old)
+
+	// Move both members of class 1 into class 3: class 1 is emptied.
+	codes := append([]int64(nil), old...)
+	codes[0], codes[1] = 3, 3
+	requirePatchEqual(t, old, p, codes, []int32{0, 1})
+	got := p.Patch(codes, []int32{0, 1})
+	if len(got.Groups) != 2 {
+		t.Fatalf("emptied class still present: groups = %v", got.Groups)
+	}
+
+	// Empty a class by deletion: truncate away the whole tail class.
+	requirePatchEqual(t, old, p, old[:5], nil)
+	if got := p.Patch(old[:5], nil); len(got.Groups) != 2 {
+		t.Fatalf("truncated class still present: groups = %v", got.Groups)
+	}
+
+	// Combined: splice out the middle class via swap-deletes, emptying
+	// it while rows move under the new length.
+	shrunk := append([]int64(nil), old...)
+	shrunk[2], shrunk[3] = shrunk[6], shrunk[5] // move tail class 3 rows down
+	shrunk = shrunk[:5]                         // rows {1,1,3,3,2}... class 2 shrinks to one row
+	requirePatchEqual(t, old, p, shrunk, []int32{2, 3})
+}
+
+// TestPatchAfterResize patches immediately on top of a resized
+// partition — the differential path must keep composing after a
+// length change, not just from a cold FromCodes base.
+func TestPatchAfterResize(t *testing.T) {
+	base := []int64{1, 2, 1}
+	p := FromCodes(base)
+
+	grown := []int64{1, 2, 1, 2, 4}
+	p2 := p.Patch(grown, []int32{3, 4})
+	requirePatchEqual(t, base, p, grown, []int32{3, 4})
+
+	// Value change right after the append, against the patched result.
+	changed := append([]int64(nil), grown...)
+	changed[0] = 4
+	requirePatchEqual(t, grown, p2, changed, []int32{0})
+
+	// Shrink right after the append.
+	requirePatchEqual(t, grown, p2, grown[:2], nil)
+
+	// And a splice after a shrink.
+	p3 := p2.Patch(grown[:2], nil)
+	regrown := []int64{1, 2, 9, 9}
+	requirePatchEqual(t, grown[:2], p3, regrown, []int32{2, 3})
+}
+
+// TestPatchChainMatchesColdRebuild runs a deterministic multi-step
+// update chain differentially and checks every intermediate (and the
+// final state) against a cold FromCodes rebuild — the incremental
+// discovery invariant in miniature.
+func TestPatchChainMatchesColdRebuild(t *testing.T) {
+	steps := [][]struct {
+		row  int32
+		code int64
+	}{
+		{{0, 2}},                 // merge into class 2
+		{{3, 9}, {4, 9}},         // two rows leave for a fresh class
+		{{1, -2}},                // a value goes null (singleton)
+		{{2, 7}, {0, 7}, {5, 7}}, // build a new class from three others
+	}
+	codes := []int64{1, 2, 1, 3, 3, 2}
+	p := FromCodes(codes)
+	for i, step := range steps {
+		next := append([]int64(nil), codes...)
+		var touched []int32
+		for _, e := range step {
+			next[e.row] = e.code
+			touched = append(touched, e.row)
+		}
+		requirePatchEqual(t, codes, p, next, touched)
+		p = p.Patch(next, touched)
+		cold := FromCodes(next)
+		if !p.Equal(cold) {
+			t.Fatalf("step %d: differential state diverged from cold rebuild:\ngot  %v\nwant %v",
+				i, p.Groups, cold.Groups)
+		}
+		codes = next
+	}
+}
+
 // TestPatchRandomized drives long random edit sequences — value
 // changes, appends, swap-deletes — through Patch, checking the result
 // against a from-scratch rebuild at every step.

@@ -35,14 +35,14 @@ var (
 // the head of the queue, preserving arrival order.
 type admission struct {
 	mu       sync.Mutex
-	slots    int // concurrent run capacity
-	depth    int // max queued beyond running
-	quota    int // per-tenant running+queued cap; 0 = uncapped
-	running  int
-	queue    []*ticket
-	tenants  map[string]int // running+queued per tenant
-	draining bool
-	idle     chan struct{} // closed when draining and running hits 0
+	slots    int            // concurrent run capacity
+	depth    int            // max queued beyond running
+	quota    int            // per-tenant running+queued cap; 0 = uncapped
+	running  int            // guarded by mu
+	queue    []*ticket      // guarded by mu
+	tenants  map[string]int // running+queued per tenant; guarded by mu
+	draining bool           // guarded by mu
+	idle     chan struct{}  // closed when draining and running hits 0
 }
 
 // ticket is one queued admission request. ready is closed exactly
@@ -156,6 +156,8 @@ func (a *admission) releaseFunc(tenant string) func() {
 	}
 }
 
+// decTenant drops one running-or-queued count for the tenant,
+// forgetting tenants that reach zero. Caller must hold a.mu.
 func (a *admission) decTenant(tenant string) {
 	if a.tenants[tenant]--; a.tenants[tenant] <= 0 {
 		delete(a.tenants, tenant)

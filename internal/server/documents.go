@@ -30,10 +30,10 @@ type document struct {
 	h       *discoverxfd.Hierarchy
 	created time.Time
 
-	mu      sync.Mutex // guards the counters below
-	updates int64      // ApplyUpdate batches accepted
-	ops     int64      // update operations inside them
-	runs    int64      // discoveries served
+	mu      sync.Mutex
+	updates int64 // ApplyUpdate batches accepted; guarded by mu
+	ops     int64 // update operations inside them; guarded by mu
+	runs    int64 // discoveries served; guarded by mu
 }
 
 // docStore is the bounded registry of resident documents. Unlike the
@@ -43,8 +43,8 @@ type document struct {
 type docStore struct {
 	mu   sync.Mutex
 	max  int
-	next int
-	docs map[string]*document
+	next int                  // guarded by mu
+	docs map[string]*document // guarded by mu
 }
 
 func newDocStore(max int) *docStore {

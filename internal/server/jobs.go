@@ -38,12 +38,12 @@ type job struct {
 	feed    *trace.Feed
 
 	mu       sync.Mutex
-	state    string
-	result   []byte // rendered WriteJSON output (state done)
-	status   int    // HTTP status for result (state done/failed)
-	errMsg   string // state failed/cancelled
-	truncate bool   // Stats.Truncated of the finished run
-	finished time.Time
+	state    string    // guarded by mu
+	result   []byte    // rendered WriteJSON output (state done); guarded by mu
+	status   int       // HTTP status for result (state done/failed); guarded by mu
+	errMsg   string    // state failed/cancelled; guarded by mu
+	truncate bool      // Stats.Truncated of the finished run; guarded by mu
+	finished time.Time // guarded by mu
 }
 
 // view is the job's status document (GET /v1/jobs/{id}).
@@ -106,10 +106,10 @@ func (j *job) finish(state string, status int, result []byte, errMsg string, tru
 // beyond its cap, and owns the join point the drain path waits on.
 type registry struct {
 	mu    sync.Mutex
-	byID  map[string]*job
-	order []string // insertion order, for eviction
+	byID  map[string]*job // guarded by mu
+	order []string        // insertion order, for eviction; guarded by mu
 	cap   int
-	seq   int
+	seq   int // guarded by mu
 	//lint:governed drain join point for job goroutines: jobs outlive any single run, so they are joined per-server here rather than per-run by the engine's workerGroup; each spawn carries its own recover barrier.
 	wg sync.WaitGroup
 }
@@ -143,6 +143,7 @@ func (r *registry) add(tenant string, feedCap int, cancel context.CancelFunc) *j
 }
 
 // evictLocked drops the oldest terminal job; false if none is.
+// Caller must hold r.mu.
 func (r *registry) evictLocked() bool {
 	for i, id := range r.order {
 		j := r.byID[id]

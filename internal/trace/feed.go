@@ -25,10 +25,10 @@ import (
 // wake channel that Emit and Close close-and-replace.
 type Feed struct {
 	mu     sync.Mutex
-	ring   []Event
-	total  uint64 // events ever emitted; the next event's cursor
-	closed bool
-	wake   chan struct{} // closed and replaced on every state change
+	ring   []Event       // guarded by mu
+	total  uint64        // events ever emitted; the next event's cursor; guarded by mu
+	closed bool          // guarded by mu
+	wake   chan struct{} // closed and replaced on every state change; guarded by mu
 }
 
 // NewFeed returns a Feed retaining the most recent capacity events

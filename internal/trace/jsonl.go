@@ -20,7 +20,7 @@ import (
 type JSONL struct {
 	mu  sync.Mutex
 	enc *json.Encoder
-	err error
+	err error // guarded by mu
 	now func() time.Time
 }
 

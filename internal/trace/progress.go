@@ -32,7 +32,7 @@ type Progress struct {
 
 	mu       sync.Mutex
 	throttle time.Duration
-	last     map[string]time.Time // hot-path emission time per relation
+	last     map[string]time.Time // hot-path emission time per relation; guarded by mu
 	now      func() time.Time
 }
 

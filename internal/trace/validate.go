@@ -51,15 +51,15 @@ func ValidateJSONL(r io.Reader) (*Summary, error) {
 		dec := json.NewDecoder(bytes.NewReader(raw))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&ev); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		if err := checkEvent(runs, &order, &ev); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		sum.Events++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: %v", err)
+		return nil, fmt.Errorf("trace: %w", err)
 	}
 	for _, id := range order {
 		rs := runs[id]
