@@ -145,6 +145,75 @@ func TestCLIPipeline(t *testing.T) {
 	}
 }
 
+// TestCLIJSONFormat exercises the JSON document path end to end: a
+// .json spelling of the committed warehouse twin discovers the same
+// FDs by extension, by content sniffing, and under a forced -format,
+// while format misuse is classified as usage (exit 2).
+func TestCLIJSONFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	disc := buildCmd(t, "discoverxfd")
+	twin, err := os.ReadFile(jsonTwinPath)
+	if err != nil {
+		t.Fatalf("missing JSON twin fixture: %v", err)
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "wh.json")
+	if err := os.WriteFile(jsonPath, twin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Format detected from the extension.
+	report, code := run(t, disc, "", jsonPath)
+	if code != 0 || !strings.Contains(report, "{./ISBN} -> ./title") {
+		t.Fatalf("json by extension: code %d\n%.500s", code, report)
+	}
+	// Format sniffed from content when the extension says nothing.
+	extless := filepath.Join(dir, "wh.doc")
+	if err := os.WriteFile(extless, twin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report2, code := run(t, disc, "", extless)
+	if code != 0 || !strings.Contains(report2, "{./ISBN} -> ./title") {
+		t.Fatalf("json by sniffing: code %d\n%.500s", code, report2)
+	}
+	// Forced format overrides the extension.
+	report3, code := run(t, disc, "", "-format", "json", extless)
+	if code != 0 || !strings.Contains(report3, "{./ISBN} -> ./title") {
+		t.Fatalf("-format json: code %d\n%.500s", code, report3)
+	}
+	// The inferred schema prints the same set structure as the XML path.
+	schemaOut, code := run(t, disc, "", "-printschema", jsonPath)
+	if code != 0 || !strings.Contains(schemaOut, "book: SetOf Rcd") {
+		t.Fatalf("-printschema on json: code %d\n%s", code, schemaOut)
+	}
+
+	// Unrecognized content with no telling extension is a usage error.
+	plain := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(plain, []byte("plain text, neither format"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, disc, "", plain)
+	if code != 2 || !strings.Contains(out, "unknown document format") {
+		t.Fatalf("unknown format should exit 2: code %d\n%s", code, out)
+	}
+	// So is an unknown -format value, and -stream with JSON.
+	out, code = run(t, disc, "", "-format", "yaml", jsonPath)
+	if code != 2 || !strings.Contains(out, "-format") {
+		t.Fatalf("-format yaml should exit 2: code %d\n%s", code, out)
+	}
+	out, code = run(t, disc, "", "-stream", "-format", "json", "-schema", "irrelevant", jsonPath)
+	if code != 2 || !strings.Contains(out, "-stream") {
+		t.Fatalf("-stream -format json should exit 2: code %d\n%s", code, out)
+	}
+	// Forcing xml onto a JSON document is a runtime parse error.
+	_, code = run(t, disc, "", "-format", "xml", jsonPath)
+	if code != 1 {
+		t.Fatalf("-format xml on json input should exit 1: code %d", code)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

@@ -1,7 +1,7 @@
 // Command xfdbench runs the experiment harness reconstructing the
 // paper's evaluation (see DESIGN.md and EXPERIMENTS.md). With no
 // arguments it runs every experiment; otherwise it runs the named
-// ones (e1..e14). -json emits the machine-readable report consumed by
+// ones (e1..e16). -json emits the machine-readable report consumed by
 // the CI bench gate (cmd/benchgate) instead of the text tables.
 //
 // Usage:
@@ -21,12 +21,21 @@ func main() {
 	quick := flag.Bool("quick", false, "run scaled-down configurations (CI speed)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report (tables, per-experiment timings, metrics)")
+	format := flag.String("format", "all", "document formats the source-parity experiment (e16) ingests: all, xml, or json")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xfdbench [-quick] [-json] [-list] [e1 e2 ...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: xfdbench [-quick] [-json] [-list] [-format all|xml|json] [e1 e2 ...]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the DiscoverXFD experiment suite (default: all).\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	switch *format {
+	case "all":
+	case "xml", "json":
+		bench.SourceFormats = []string{*format}
+	default:
+		fmt.Fprintf(os.Stderr, "xfdbench: unknown -format %q (use all, xml, or json)\n", *format)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range bench.All() {

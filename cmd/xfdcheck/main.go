@@ -168,7 +168,7 @@ func fatal(err error) {
 	}
 	var rootErr *discoverxfd.RootMismatchError
 	if errors.As(err, &rootErr) || errors.Is(err, discoverxfd.ErrEmptyTree) ||
-		errors.Is(err, discoverxfd.ErrBadLimits) {
+		errors.Is(err, discoverxfd.ErrBadLimits) || errors.Is(err, discoverxfd.ErrUnknownFormat) {
 		os.Exit(2)
 	}
 	os.Exit(1)

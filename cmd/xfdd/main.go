@@ -55,6 +55,7 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "admitted requests that may wait beyond the running set (0 = 2x max-concurrent, negative = none)")
 	tenantQuota := flag.Int("tenant-quota", 0, "per-tenant cap on running+queued requests (0 = uncapped)")
 	maxBody := flag.Int64("max-body", 32<<20, "request body size cap in bytes")
+	format := flag.String("format", "xml", "document format assumed for bodies that do not declare one: xml or json")
 	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "per-request wall-clock budget when the request names none (0 = none)")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on the per-request ?timeout= budget (0 = uncapped)")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
@@ -77,6 +78,10 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 0 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *format != "xml" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "xfdd: unknown -format %q (use xml or json)\n", *format)
 		os.Exit(2)
 	}
 
@@ -111,6 +116,7 @@ func main() {
 		QueueDepth:     *queueDepth,
 		TenantQuota:    *tenantQuota,
 		MaxBodyBytes:   *maxBody,
+		DefaultFormat:  *format,
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
 		RetryAfter:     *retryAfter,

@@ -42,6 +42,8 @@ import (
 	"discoverxfd/internal/datatree"
 	"discoverxfd/internal/relation"
 	"discoverxfd/internal/schema"
+	"discoverxfd/internal/source"
+	"discoverxfd/internal/source/jsondoc"
 	"discoverxfd/internal/trace"
 )
 
@@ -101,6 +103,10 @@ var (
 	// ErrBuilderFinished is returned by streaming-builder methods
 	// invoked after the hierarchy has been finalized.
 	ErrBuilderFinished = relation.ErrBuilderFinished
+	// ErrUnknownFormat is returned by LoadDocumentFile when neither
+	// the file extension nor the content matches a registered document
+	// format (XML, JSON).
+	ErrUnknownFormat = source.ErrUnknownFormat
 )
 
 // Options configures Discover.
@@ -204,7 +210,10 @@ func LoadDocumentContext(ctx context.Context, r io.Reader, opts *Options) (*Docu
 	return NewEngine(opts).LoadDocument(ctx, r)
 }
 
-// LoadDocumentFile parses an XML document from a file.
+// LoadDocumentFile parses a document from a file, detecting the
+// format from the file extension (.xml, .json) or — when the
+// extension is not registered — from the first bytes of the content.
+// Unrecognized input fails with ErrUnknownFormat.
 func LoadDocumentFile(path string) (*Document, error) {
 	return LoadDocumentFileContext(context.Background(), path, nil)
 }
@@ -213,6 +222,24 @@ func LoadDocumentFile(path string) (*Document, error) {
 // cancellation (see LoadDocumentContext).
 func LoadDocumentFileContext(ctx context.Context, path string, opts *Options) (*Document, error) {
 	return NewEngine(opts).LoadDocumentFile(ctx, path)
+}
+
+// LoadJSON parses a JSON document from r into the same data-tree
+// model as LoadDocument, so everything downstream — schema inference,
+// hierarchy construction, discovery — is format-agnostic. Arrays
+// become set elements (declared repeatable even with one member),
+// nested objects become singleton records, scalars become leaves with
+// their literal spelling preserved, and explicit null stays
+// distinguishable from a missing member. See internal/source/jsondoc
+// for the full mapping.
+func LoadJSON(r io.Reader) (*Document, error) {
+	return jsondoc.Parse(r)
+}
+
+// LoadJSONContext is LoadJSON with parse limits and cancellation (see
+// LoadDocumentContext).
+func LoadJSONContext(ctx context.Context, r io.Reader, opts *Options) (*Document, error) {
+	return NewEngine(opts).LoadJSON(ctx, r)
 }
 
 // ParseDocument parses an XML document from a string.

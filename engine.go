@@ -10,6 +10,8 @@ import (
 
 	"discoverxfd/internal/core"
 	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/source"
+	"discoverxfd/internal/source/jsondoc"
 	"discoverxfd/internal/trace"
 )
 
@@ -130,15 +132,55 @@ func (e *Engine) LoadDocument(ctx context.Context, r io.Reader) (*Document, erro
 	return datatree.ParseXMLContext(ctx, r, e.opts.Limits.parseLimits())
 }
 
-// LoadDocumentFile parses an XML document from a file under the
-// engine's parse limits.
+// LoadJSON parses a JSON document from r into the same data-tree
+// model as LoadDocument, under the engine's parse limits. Arrays
+// become set elements (repeated children, declared repeatable even
+// with one member), nested objects become singleton records, scalars
+// become leaf values with their literal spelling preserved, and
+// explicit null stays distinguishable from a missing member (a
+// present, valueless node). See internal/source/jsondoc for the full
+// mapping.
+func (e *Engine) LoadJSON(ctx context.Context, r io.Reader) (*Document, error) {
+	if err := e.opts.Limits.Validate(); err != nil {
+		return nil, err
+	}
+	return jsondoc.ParseContext(ctx, r, e.opts.Limits.parseLimits())
+}
+
+// LoadDocumentFile parses a document from a file under the engine's
+// parse limits, detecting the format from the file extension (.xml,
+// .json) or, when the extension is not registered, from the first
+// bytes of the content. Unrecognized input fails with
+// ErrUnknownFormat.
 func (e *Engine) LoadDocumentFile(ctx context.Context, path string) (*Document, error) {
+	return e.LoadDocumentFileAs(ctx, path, "auto")
+}
+
+// LoadDocumentFileAs is LoadDocumentFile with the format forced:
+// "xml" or "json" bypasses detection (unregistered formats fail with
+// ErrUnknownFormat), while "auto" or "" detects as LoadDocumentFile
+// does.
+func (e *Engine) LoadDocumentFileAs(ctx context.Context, path, format string) (*Document, error) {
+	if err := e.opts.Limits.Validate(); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	doc, err := e.LoadDocument(ctx, f)
+
+	var src source.Source
+	var r io.Reader = f
+	if format == "" || format == "auto" {
+		src, r, err = source.Detect(path, f)
+	} else {
+		src, err = source.ByFormat(format)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	doc, err := src.Load(ctx, r, e.opts.Limits.parseLimits())
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

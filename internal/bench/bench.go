@@ -33,6 +33,11 @@ type Table struct {
 	// the counters behind the table's derived cells. Informational
 	// only: the CI gate never compares Stats.
 	Stats map[string]core.Stats
+	// Latencies carries per-case latency distributions over the
+	// experiment's repeated runs (nearest-rank p50/p95/p99/max).
+	// Informational only, like Stats: absolute latencies are
+	// machine-dependent and never gated.
+	Latencies map[string]LatencySummary
 }
 
 // Fprint renders the table with aligned columns.
@@ -107,6 +112,7 @@ func All() []Experiment {
 		{ID: "e13", Title: "Partition-engine fast path vs naive engine", Run: E13Partition},
 		{ID: "e14", Title: "Engine reuse: warm repeated discovery vs cold one-shot", Run: E14EngineReuse},
 		{ID: "e15", Title: "E-update: incremental discovery under document mutations", Run: E15UpdateIncremental},
+		{ID: "e16", Title: "Source parity: one corpus ingested per document format", Run: E16SourceParity},
 	}
 }
 

@@ -67,7 +67,7 @@ func E14EngineReuse(quick bool) *Table {
 		}
 		opts := core.Options{PropagatePartial: true, ApproxError: 0.05}
 
-		coldDur, _, _ := bestDiscover(h, opts)
+		coldDur, _, _, _ := bestDiscover(h, opts)
 
 		eng := core.NewEngine(opts)
 		if _, err := eng.Discover(context.Background(), h); err != nil {

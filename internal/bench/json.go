@@ -41,6 +41,9 @@ type ExperimentResult struct {
 	Notes   []string              `json:"notes,omitempty"`
 	Metrics map[string]float64    `json:"metrics,omitempty"`
 	Stats   map[string]core.Stats `json:"stats,omitempty"`
+	// Latencies is additive like Stats: per-case nearest-rank
+	// percentile summaries of the experiment's repeated runs.
+	Latencies map[string]LatencySummary `json:"latencies,omitempty"`
 }
 
 // Run executes the experiments and collects a Report.
@@ -55,14 +58,15 @@ func Run(exps []Experiment, quick bool) *Report {
 		start := time.Now()
 		tbl := e.Run(quick)
 		rep.Results = append(rep.Results, ExperimentResult{
-			ID:      tbl.ID,
-			Title:   tbl.Title,
-			Seconds: time.Since(start).Seconds(),
-			Columns: tbl.Columns,
-			Rows:    tbl.Rows,
-			Notes:   tbl.Notes,
-			Metrics: tbl.Metrics,
-			Stats:   tbl.Stats,
+			ID:        tbl.ID,
+			Title:     tbl.Title,
+			Seconds:   time.Since(start).Seconds(),
+			Columns:   tbl.Columns,
+			Rows:      tbl.Rows,
+			Notes:     tbl.Notes,
+			Metrics:   tbl.Metrics,
+			Stats:     tbl.Stats,
+			Latencies: tbl.Latencies,
 		})
 	}
 	return rep

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"sort"
+	"time"
+)
+
+// LatencySummary is a per-case latency distribution over an
+// experiment's repeated runs, reported in the JSON report alongside
+// the headline (best-of) cells. Percentiles use the nearest-rank
+// method, so every reported value is an actually observed sample.
+// Absolute milliseconds are machine-dependent and informational: the
+// CI gate compares only within-run speedup ratios, never latencies.
+type LatencySummary struct {
+	N     int     `json:"n"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// summarizeLatency condenses run samples into a LatencySummary; an
+// empty sample set yields the zero summary.
+func summarizeLatency(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return LatencySummary{
+		N:     len(sorted),
+		P50Ms: ms(nearestRank(sorted, 50)),
+		P95Ms: ms(nearestRank(sorted, 95)),
+		P99Ms: ms(nearestRank(sorted, 99)),
+		MaxMs: ms(sorted[len(sorted)-1]),
+	}
+}
+
+// nearestRank returns the p-th percentile of the sorted samples by
+// the nearest-rank definition: the smallest sample such that at least
+// p% of the set is at or below it.
+func nearestRank(sorted []time.Duration, p int) time.Duration {
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

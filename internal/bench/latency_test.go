@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSummarizeLatency(t *testing.T) {
+	if got := summarizeLatency(nil); got != (LatencySummary{}) {
+		t.Fatalf("empty samples = %+v, want zero", got)
+	}
+
+	// 100 samples of 1ms..100ms: nearest-rank percentiles are exact.
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		// Reverse order, to check sorting.
+		samples[i] = time.Duration(100-i) * time.Millisecond
+	}
+	s := summarizeLatency(samples)
+	if s.N != 100 || s.P50Ms != 50 || s.P95Ms != 95 || s.P99Ms != 99 || s.MaxMs != 100 {
+		t.Fatalf("percentiles = %+v, want n=100 p50=50 p95=95 p99=99 max=100", s)
+	}
+
+	// Every percentile of a single sample is that sample.
+	s = summarizeLatency([]time.Duration{7 * time.Millisecond})
+	if s.N != 1 || s.P50Ms != 7 || s.P95Ms != 7 || s.P99Ms != 7 || s.MaxMs != 7 {
+		t.Fatalf("single sample = %+v, want all 7ms", s)
+	}
+
+	// Three samples (the best-of-3 experiments): p50 is the middle,
+	// p95/p99 the max.
+	s = summarizeLatency([]time.Duration{3 * time.Millisecond, time.Millisecond, 2 * time.Millisecond})
+	if s.P50Ms != 2 || s.P95Ms != 3 || s.P99Ms != 3 || s.MaxMs != 3 {
+		t.Fatalf("three samples = %+v, want p50=2 p95=p99=max=3", s)
+	}
+}

@@ -33,8 +33,9 @@ func E13Partition(quick bool) *Table {
 		Title: "Partition-engine fast path vs naive engine",
 		Columns: []string{"dataset", "tuples", "naive", "fast", "speedup",
 			"cache hits", "cache misses", "par products", "naive allocs", "fast allocs"},
-		Metrics: map[string]float64{},
-		Stats:   map[string]core.Stats{},
+		Metrics:   map[string]float64{},
+		Stats:     map[string]core.Stats{},
+		Latencies: map[string]LatencySummary{},
 		Notes: []string{
 			"naive = Options.NaivePartitions: hashed partition builds, serial products, evaluator-only verification",
 			"fast = interned dense builds + run-wide partition cache + parallel level products",
@@ -67,8 +68,10 @@ func E13Partition(quick bool) *Table {
 		naiveOpts := core.Options{PropagatePartial: true, ApproxError: 0.05, NaivePartitions: true}
 		fastOpts := core.Options{PropagatePartial: true, ApproxError: 0.05, Parallel: true}
 
-		naiveDur, naiveAllocs, _ := bestDiscover(h, naiveOpts)
-		fastDur, fastAllocs, fastRes := bestDiscover(h, fastOpts)
+		naiveDur, naiveAllocs, _, naiveSamples := bestDiscover(h, naiveOpts)
+		fastDur, fastAllocs, fastRes, fastSamples := bestDiscover(h, fastOpts)
+		t.Latencies["naive_"+c.key] = summarizeLatency(naiveSamples)
+		t.Latencies["fast_"+c.key] = summarizeLatency(fastSamples)
 
 		speedup := float64(naiveDur) / float64(fastDur)
 		st := fastRes.Stats
@@ -99,7 +102,7 @@ func E13Partition(quick bool) *Table {
 		if c.key == "e1_discovery" {
 			tracedOpts := fastOpts
 			tracedOpts.Tracer = trace.Discard
-			tracedDur, _, _ := bestDiscover(h, tracedOpts)
+			tracedDur, _, _, _ := bestDiscover(h, tracedOpts)
 			t.Metrics["traced_overhead_"+c.key] = float64(tracedDur) / float64(fastDur)
 		}
 	}
@@ -107,11 +110,13 @@ func E13Partition(quick bool) *Table {
 }
 
 // bestDiscover runs Discover three times and returns the best wall
-// time, that run's heap allocation count, and its result.
-func bestDiscover(h *relation.Hierarchy, opts core.Options) (time.Duration, uint64, *core.Result) {
+// time, that run's heap allocation count, its result, and every run's
+// wall time (for latency summaries).
+func bestDiscover(h *relation.Hierarchy, opts core.Options) (time.Duration, uint64, *core.Result, []time.Duration) {
 	bestD := time.Duration(1<<62 - 1)
 	var bestAllocs uint64
 	var bestRes *core.Result
+	samples := make([]time.Duration, 0, 3)
 	for i := 0; i < 3; i++ {
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
@@ -122,9 +127,10 @@ func bestDiscover(h *relation.Hierarchy, opts core.Options) (time.Duration, uint
 		}
 		d := time.Since(start)
 		runtime.ReadMemStats(&after)
+		samples = append(samples, d)
 		if d < bestD {
 			bestD, bestAllocs, bestRes = d, after.Mallocs-before.Mallocs, res
 		}
 	}
-	return bestD, bestAllocs, bestRes
+	return bestD, bestAllocs, bestRes, samples
 }

@@ -12,7 +12,9 @@ import (
 // inference follows the conventions of the paper's data model:
 //
 //   - an element is a set element (SetOf) if any parent node in the
-//     data has two or more children with its label;
+//     data has two or more children with its label, or if the document
+//     source declared the path repeatable (Tree.HintSet — a JSON array
+//     is a set element even when observed with one member everywhere);
 //   - an element that ever has element children is a record (Choice
 //     types are not inferable from a single document and are inferred
 //     as Rcd — a Choice instance conforms to the corresponding Rcd
@@ -84,6 +86,7 @@ func InferSchema(t *Tree) (*schema.Schema, error) {
 	rootPath := schema.PathOf(t.Root.Label)
 	rec(t.Root, rootPath)
 
+	tree := t // build's local t shadows the parameter
 	var build func(p schema.Path) *schema.Type
 	build = func(p schema.Path) *schema.Type {
 		in := infos[p]
@@ -106,7 +109,7 @@ func InferSchema(t *Tree) (*schema.Schema, error) {
 				t = schema.Simple(schema.String)
 			}
 		}
-		if in.set {
+		if in.set || tree.SetHinted(p) {
 			t = schema.SetOf(t)
 		}
 		return t

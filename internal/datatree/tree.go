@@ -45,6 +45,40 @@ type Tree struct {
 	// updates depend on that — while preserving the parent-before-
 	// descendant key order NodeByKey's pruning relies on.
 	next int
+	// setHints records element paths the document source declared
+	// repeatable independent of the observed occurrence counts — a
+	// JSON array is a set element even when every instance happens to
+	// hold one member, which bare repetition counting cannot see.
+	// InferSchema unions these hints with the observed repetition.
+	// XML carries no such declaration, so XML trees leave this nil.
+	setHints map[schema.Path]bool
+}
+
+// HintSet marks the element path as declared-repeatable by the
+// document source (see Tree.setHints). The root path cannot be a set
+// element and is ignored.
+func (t *Tree) HintSet(p schema.Path) {
+	if t.Root != nil && p == schema.PathOf(t.Root.Label) {
+		return
+	}
+	if t.setHints == nil {
+		t.setHints = make(map[schema.Path]bool)
+	}
+	t.setHints[p] = true
+}
+
+// SetHinted reports whether the path carries a declared-repeatable
+// hint.
+func (t *Tree) SetHinted(p schema.Path) bool { return t.setHints[p] }
+
+// SetHints returns the declared-repeatable paths in sorted order.
+func (t *Tree) SetHints() []schema.Path {
+	out := make([]schema.Path, 0, len(t.setHints))
+	for p := range t.setHints {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // NewTree wraps a constructed root node into a tree and assigns

@@ -33,6 +33,7 @@ import (
 	"discoverxfd/internal/datatree"
 	"discoverxfd/internal/partition"
 	"discoverxfd/internal/schema"
+	"discoverxfd/internal/source"
 )
 
 // AttrKind classifies relation attributes.
@@ -366,54 +367,10 @@ func Build(t *datatree.Tree, s *schema.Schema, opts Options) (*Hierarchy, error)
 // Options.MaxTuples or Options.Deadline instead stops ingestion early
 // and returns a structurally consistent hierarchy with Truncated set.
 func BuildContext(ctx context.Context, t *datatree.Tree, s *schema.Schema, opts Options) (*Hierarchy, error) {
-	if t == nil || t.Root == nil {
+	if t == nil {
 		return nil, ErrEmptyTree
 	}
-	if t.Root.Label != s.Root {
-		return nil, &RootMismatchError{What: "tree", Root: t.Root.Label, SchemaRoot: s.Root}
-	}
-
-	h, err := layoutHierarchy(s, opts)
-	if err != nil {
-		return nil, err
-	}
-
-	// Pass 2: populate tuples top-down. The encoding state (encoder,
-	// interners, densifier remaps) is retained on the hierarchy so
-	// later Apply calls can re-encode mutated tuples consistently with
-	// the original build — that retention is what makes an in-memory
-	// hierarchy updatable.
-	ps := newPatchState(t, len(h.Relations))
-	bb := &buildBudget{ctx: ctx, opts: &opts, h: h}
-	h.Root.nodes = []*datatree.Node{t.Root}
-	h.Root.Keys = []int{t.Root.Key}
-	h.Root.ParentIdx = []int32{-1}
-	for _, r := range h.Relations {
-		if r != h.Root {
-			if err := populateTuples(r, bb); err != nil {
-				return nil, err
-			}
-		}
-		if err := populateColumns(bb, r, ps); err != nil {
-			return nil, err
-		}
-	}
-
-	// Pass 3: set pseudo-attributes need the child tuples, so fill
-	// them after all relations are populated. A deadline truncation
-	// does not skip this pass: the truncated snapshot must still be
-	// structurally consistent (every relation's columns filled), so
-	// only explicit cancellation aborts here.
-	if !opts.DisableSetAttrs {
-		for _, r := range h.Relations {
-			if err := bb.cancelled(); err != nil {
-				return nil, err
-			}
-			fillSetColumns(h, r, ps, opts.OrderedSets)
-		}
-	}
-	h.upd = ps
-	return h, nil
+	return Ingest(ctx, source.Input{Tree: t}, s, opts)
 }
 
 // layoutHierarchy lays out the relation tree and each relation's

@@ -9,6 +9,7 @@ import (
 
 	"discoverxfd/internal/datatree"
 	"discoverxfd/internal/schema"
+	"discoverxfd/internal/source"
 )
 
 // errBudgetExhausted aborts the streaming parse once the tuple or
@@ -299,16 +300,10 @@ func BuildStream(r io.Reader, s *schema.Schema, opts Options) (*Hierarchy, error
 // the parse early and returns the hierarchy built so far with
 // Truncated set.
 func BuildStreamContext(ctx context.Context, r io.Reader, s *schema.Schema, opts Options) (*Hierarchy, error) {
-	b, err := NewBuilderContext(ctx, s, opts)
-	if err != nil {
-		return nil, err
-	}
-	rootLabel, err := datatree.StreamRootChildrenContext(ctx, r, opts.parseLimits(), b.AddRootChild)
-	if err != nil && !errors.Is(err, errBudgetExhausted) {
-		return nil, err
-	}
-	if rootLabel != s.Root {
-		return nil, &RootMismatchError{What: "document", Root: rootLabel, SchemaRoot: s.Root}
-	}
-	return b.Finish()
+	return Ingest(ctx, source.Input{
+		Format: "xml",
+		Stream: func(ctx context.Context, fn func(*datatree.Node) error) (string, error) {
+			return datatree.StreamRootChildrenContext(ctx, r, opts.parseLimits(), fn)
+		},
+	}, s, opts)
 }

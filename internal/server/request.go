@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -40,12 +42,15 @@ func (r *request) fire(point string) {
 	}
 }
 
-// envelope is the JSON request body form: the XML document as a
-// string plus an optional schema in the nested-relational text
-// notation. Raw XML bodies skip the envelope entirely.
+// envelope is the JSON request body form: the document as a string
+// plus an optional schema in the nested-relational text notation and
+// an optional format naming how the document string should be parsed
+// ("xml" or "json"; default xml, the historical envelope payload).
+// Raw document bodies skip the envelope entirely.
 type envelope struct {
 	Document string `json:"document"`
 	Schema   string `json:"schema,omitempty"`
+	Format   string `json:"format,omitempty"`
 }
 
 // httpError is an error with a fixed HTTP status, produced by the
@@ -111,20 +116,34 @@ func (s *Server) decodeParams(r *http.Request) (*request, error) {
 }
 
 // decodeBody reads and parses the document (and optional schema) into
-// req. The body is either raw XML (schema inferred) or, when
-// Content-Type is application/json, an envelope naming document and
-// schema. Parsing runs under ctx — the request context bounded by the
-// effective timeout — so a disconnected or out-of-budget client
-// aborts the parse, and under http.MaxBytesReader, so an oversized
-// body fails with 413. A deadline that fires during parse is an
-// error even in degrade=truncate mode: no partial result exists yet.
+// req. A body with Content-Type application/json is either an
+// envelope — a top-level object whose "document" member is a string,
+// parsed per its "format" member — or, failing that shape, a raw JSON
+// document (schema inferred); any other content type is a raw
+// document in the server's default format. Parsing runs under ctx —
+// the request context bounded by the effective timeout — so a
+// disconnected or out-of-budget client aborts the parse, and under
+// http.MaxBytesReader, so an oversized body fails with 413. A
+// deadline that fires during parse is an error even in
+// degrade=truncate mode: no partial result exists yet.
 func (s *Server) decodeBody(ctx context.Context, w http.ResponseWriter, r *http.Request, req *request) error {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	ct := r.Header.Get("Content-Type")
 	var err error
 	if ct == "application/json" || strings.HasPrefix(ct, "application/json;") {
+		data, rerr := io.ReadAll(body)
+		if rerr != nil {
+			return decodeErr("request body", rerr)
+		}
+		if !isEnvelope(data) {
+			req.doc, err = discoverxfd.LoadJSONContext(ctx, bytes.NewReader(data), &req.opts)
+			if err != nil {
+				return decodeErr("document", err)
+			}
+			return nil
+		}
 		var env envelope
-		dec := json.NewDecoder(body)
+		dec := json.NewDecoder(bytes.NewReader(data))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&env); err != nil {
 			return decodeErr("request envelope", err)
@@ -139,9 +158,9 @@ func (s *Server) decodeBody(ctx context.Context, w http.ResponseWriter, r *http.
 			}
 			req.schema = sch
 		}
-		req.doc, err = discoverxfd.LoadDocumentContext(ctx, strings.NewReader(env.Document), &req.opts)
+		req.doc, err = s.loadAs(ctx, env.Format, strings.NewReader(env.Document), &req.opts)
 	} else {
-		req.doc, err = discoverxfd.LoadDocumentContext(ctx, body, &req.opts)
+		req.doc, err = s.loadAs(ctx, "", body, &req.opts)
 	}
 	if err != nil {
 		return decodeErr("document", err)
@@ -149,10 +168,45 @@ func (s *Server) decodeBody(ctx context.Context, w http.ResponseWriter, r *http.
 	return nil
 }
 
+// isEnvelope reports whether a JSON body has the envelope shape: a
+// top-level object whose "document" member is a string. Everything
+// else — including objects with a complex "document" member — is a
+// raw JSON document.
+func isEnvelope(data []byte) bool {
+	var probe struct {
+		Document json.RawMessage `json:"document"`
+	}
+	if json.Unmarshal(data, &probe) != nil {
+		return false
+	}
+	d := bytes.TrimSpace(probe.Document)
+	return len(d) > 0 && d[0] == '"'
+}
+
+// loadAs parses one document in the named format; "" falls back to
+// the server's default.
+func (s *Server) loadAs(ctx context.Context, format string, r io.Reader, opts *discoverxfd.Options) (*discoverxfd.Document, error) {
+	if format == "" {
+		format = s.cfg.DefaultFormat
+	}
+	switch format {
+	case "xml":
+		return discoverxfd.LoadDocumentContext(ctx, r, opts)
+	case "json":
+		return discoverxfd.LoadJSONContext(ctx, r, opts)
+	default:
+		return nil, badRequest("unknown document format %q (use \"xml\" or \"json\")", format)
+	}
+}
+
 // decodeErr classifies a body/parse failure: client-caused problems
 // are 400s (413 for an oversized body), everything else keeps its
 // error for the generic mapping in writeError.
 func decodeErr(what string, err error) error {
+	var httpErr *httpError
+	if errors.As(err, &httpErr) {
+		return httpErr // already classified at the error site
+	}
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
 		return &httpError{status: http.StatusRequestEntityTooLarge,

@@ -67,6 +67,12 @@ type Config struct {
 	// MaxBodyBytes caps the request body; larger uploads fail with
 	// 413. Default 32 MiB.
 	MaxBodyBytes int64
+	// DefaultFormat is the document format assumed for request bodies
+	// that do not declare one ("xml" or "json"; default "xml"). Bodies
+	// with Content-Type application/json negotiate for themselves: an
+	// envelope's "format" member names its embedded document's format,
+	// and a bare JSON body is a JSON document.
+	DefaultFormat string
 	// DefaultTimeout is the per-request wall-clock budget applied
 	// when the request names none (?timeout=). 0 means none.
 	DefaultTimeout time.Duration
@@ -124,6 +130,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
+	}
+	if c.DefaultFormat == "" {
+		c.DefaultFormat = "xml"
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second

@@ -204,13 +204,21 @@ func TestBadRequests(t *testing.T) {
 		{"negative max_lattice_level", "/v1/discover?max_lattice_level=-2", nil, xml, http.StatusBadRequest},
 		{"malformed xml", "/v1/discover", nil, "<library><shelf></library>", http.StatusBadRequest},
 		{"malformed envelope", "/v1/discover", map[string]string{"Content-Type": "application/json"},
-			`{"document": 7}`, http.StatusBadRequest},
+			`{"document": "<a/>", "schema": 7}`, http.StatusBadRequest},
 		{"unknown envelope field", "/v1/discover", map[string]string{"Content-Type": "application/json"},
-			`{"doc": "<a/>"}`, http.StatusBadRequest},
-		{"empty envelope", "/v1/discover", map[string]string{"Content-Type": "application/json"},
-			`{}`, http.StatusBadRequest},
+			`{"document": "<a/>", "doc": 2}`, http.StatusBadRequest},
+		{"empty envelope document", "/v1/discover", map[string]string{"Content-Type": "application/json"},
+			`{"document": ""}`, http.StatusBadRequest},
 		{"bad schema", "/v1/discover", map[string]string{"Content-Type": "application/json"},
 			`{"document": "<a/>", "schema": "Rcd ((("}`, http.StatusBadRequest},
+		{"bad envelope format", "/v1/discover", map[string]string{"Content-Type": "application/json"},
+			`{"document": "<a/>", "format": "yaml"}`, http.StatusBadRequest},
+		{"format document mismatch", "/v1/discover", map[string]string{"Content-Type": "application/json"},
+			`{"document": "<a/>", "format": "json"}`, http.StatusBadRequest},
+		{"malformed json document", "/v1/discover", map[string]string{"Content-Type": "application/json"},
+			`{"library": {"shelf": [1,}}`, http.StatusBadRequest},
+		{"json document bad label", "/v1/discover", map[string]string{"Content-Type": "application/json"},
+			`{"library": {"a b": 1}}`, http.StatusBadRequest},
 		{"oversized body", "/v1/discover", nil, libraryXML(200), http.StatusRequestEntityTooLarge},
 	}
 	for _, c := range cases {
@@ -220,6 +228,64 @@ func TestBadRequests(t *testing.T) {
 				t.Errorf("status = %d, want %d (body %s)", rec.Code, c.want, rec.Body)
 			}
 		})
+	}
+}
+
+// libraryJSONDoc is the JSON spelling of a small library corpus.
+const libraryJSONDoc = `{"library": {"shelf": [
+	{"room": "r1", "book": [
+		{"isbn": "i1", "title": "t1", "publisher": "p1"},
+		{"isbn": "j1", "title": "t1", "publisher": "p1"}]},
+	{"room": "r2", "book": [
+		{"isbn": "i2", "title": "t2", "publisher": "p1"},
+		{"isbn": "j2", "title": "t2", "publisher": "p1"}]}
+]}}`
+
+// TestJSONDocumentNegotiation pins the JSON document paths: a raw
+// JSON body and a format=json envelope both serve exactly the bytes
+// the library path renders for LoadJSON + inferred schema, and a
+// DefaultFormat=json server treats undeclared bodies as JSON.
+func TestJSONDocumentNegotiation(t *testing.T) {
+	doc, err := discoverxfd.LoadJSON(strings.NewReader(libraryJSONDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := libraryJSON(t, doc, nil, discoverxfd.Options{})
+
+	env, err := json.Marshal(envelope{Document: libraryJSONDoc, Format: "json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		hdr  map[string]string
+		body string
+	}{
+		{"raw json body", Config{}, map[string]string{"Content-Type": "application/json"}, libraryJSONDoc},
+		{"format json envelope", Config{}, map[string]string{"Content-Type": "application/json"}, string(env)},
+		{"default format json", Config{DefaultFormat: "json"}, nil, libraryJSONDoc},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := newTestServer(t, c.cfg)
+			rec := do(s, "POST", "/v1/discover", c.hdr, strings.NewReader(c.body))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("discover = %d, body %s", rec.Code, rec.Body)
+			}
+			if got := normalizeTimes(rec.Body.Bytes()); !bytes.Equal(got, want) {
+				t.Errorf("served result differs from library path\nserved: %s\nwant:   %s", got, want)
+			}
+		})
+	}
+
+	// A raw JSON document whose top level has a string-valued
+	// "document" member is indistinguishable from an envelope and is
+	// decoded as one — pin that edge so the precedence is deliberate.
+	rec := do(newTestServer(t, Config{}), "POST", "/v1/discover",
+		map[string]string{"Content-Type": "application/json"}, strings.NewReader(`{"document": "not xml"}`))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("envelope-shaped document = %d, want 400 (envelope precedence)", rec.Code)
 	}
 }
 

@@ -1,0 +1,479 @@
+// Package jsondoc is the JSON document source: it parses JSON
+// documents into the same data-tree model the XML front-end produces,
+// so schema inference, the hierarchical representation, and discovery
+// run unchanged (the nested-dependency mapping of Mior 2021 lands
+// exactly on the paper's set-element model). The mapping:
+//
+//	object member k: {...}   →  one child node labeled k (a singleton
+//	                            record element)
+//	object member k: [...]   →  one child labeled k per array member,
+//	                            and the path is hinted repeatable
+//	                            (arrays → set elements, even with one
+//	                            member)
+//	object member k: scalar  →  a leaf child labeled k carrying the
+//	                            value (numbers keep their literal
+//	                            spelling, booleans become "true"/
+//	                            "false")
+//	object member k: null    →  a valueless leaf child — present but
+//	                            null, distinct from a missing member
+//	                            (the key still shapes the inferred
+//	                            schema; an absent key does not)
+//	array inside an array    →  a wrapper record whose members are
+//	                            children labeled "item" (hinted
+//	                            repeatable)
+//	empty array              →  no node at all (the member is missing;
+//	                            sibling occurrences still shape the
+//	                            schema)
+//
+// The document root follows the common export convention: a top-level
+// object with exactly one member whose value is an object names the
+// root element; any other top-level object or array becomes the
+// payload of a synthetic root labeled "document".
+//
+// Mixed arrays such as [1, {"a": 2}] hold scalars and records at one
+// path; the scalar members are normalized into records carrying their
+// value under "@text" — the same convention the XML front-end uses
+// for mixed content — so the inferred schema always accepts the tree.
+//
+// Member names become element labels and must survive the path and
+// schema-text notations, so names that are empty, ".", "..", start
+// with '#', or contain '/', ':', ',', '{', '}', whitespace, or
+// control characters are rejected as unrepresentable.
+package jsondoc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"unicode"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/schema"
+)
+
+// SyntheticRoot is the root label given to documents whose top level
+// does not name one (a bare array, or an object with several
+// members).
+const SyntheticRoot = "document"
+
+// ItemLabel is the element label given to the members of an array
+// nested directly inside another array, which JSON leaves unnamed.
+const ItemLabel = "item"
+
+// Doc is the JSON source backend.
+type Doc struct{}
+
+// New returns the JSON source backend.
+func New() Doc { return Doc{} }
+
+// Format returns "json".
+func (Doc) Format() string { return "json" }
+
+// Extensions returns the file extensions the JSON format claims.
+func (Doc) Extensions() []string { return []string{".json"} }
+
+// Sniff reports whether the content prefix looks like a JSON
+// document: the first non-whitespace byte opens an object or array.
+func (Doc) Sniff(prefix []byte) bool {
+	for _, b := range prefix {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '{', '[':
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// Load parses a JSON document into a data tree (ParseContext).
+func (Doc) Load(ctx context.Context, r io.Reader, lim datatree.ParseLimits) (*datatree.Tree, error) {
+	return ParseContext(ctx, r, lim)
+}
+
+// Parse reads a JSON document from r under the parser's default
+// limits; use ParseContext for explicit limits or cancellation.
+func Parse(r io.Reader) (*datatree.Tree, error) {
+	return ParseContext(context.Background(), r, datatree.DefaultLimits())
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*datatree.Tree, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// ctxCheckInterval is how many decoder tokens are processed between
+// context-cancellation checks.
+const ctxCheckInterval = 1024
+
+// parser carries the decoding state: the token stream, the resource
+// guard, and the set-element hints collected from arrays.
+type parser struct {
+	ctx    context.Context
+	dec    *json.Decoder
+	lim    datatree.ParseLimits
+	nodes  int
+	tokens int
+	hints  map[schema.Path]bool
+}
+
+// ParseContext is Parse with explicit resource limits and a context.
+// Cancellation is checked periodically between decoder tokens;
+// exceeding a limit, malformed JSON, or an unrepresentable member
+// name aborts the parse with a "jsondoc:" error.
+func ParseContext(ctx context.Context, r io.Reader, lim datatree.ParseLimits) (*datatree.Tree, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber() // keep number literals verbatim (and member order deterministic)
+	p := &parser{ctx: ctx, dec: dec, lim: lim, hints: make(map[schema.Path]bool)}
+
+	tok, err := p.next()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("jsondoc: document is empty")
+		}
+		return nil, err
+	}
+	var root *datatree.Node
+	switch d, ok := tok.(json.Delim); {
+	case ok && d == '{':
+		if root, err = p.rootObject(); err != nil {
+			return nil, err
+		}
+	case ok && d == '[':
+		root = &datatree.Node{Label: SyntheticRoot}
+		p.nodes++
+		if err := p.array(root, ItemLabel, schema.PathOf(SyntheticRoot).Child(ItemLabel), 2); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("jsondoc: top-level value must be an object or array, got %v", tok)
+	}
+	if _, err := p.dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("jsondoc: trailing data after the document (offset %d)", p.dec.InputOffset())
+	}
+	if err := p.normalizeMixed(root); err != nil {
+		return nil, err
+	}
+	t := datatree.NewTree(root)
+	paths := make([]schema.Path, 0, len(p.hints))
+	for h := range p.hints {
+		paths = append(paths, h)
+	}
+	sort.Slice(paths, func(i, j int) bool { return paths[i] < paths[j] })
+	for _, h := range paths {
+		t.HintSet(h)
+	}
+	return t, nil
+}
+
+// rootObject parses the top-level object (its '{' already consumed):
+// a single member holding an object names the root element, anything
+// else lands under the synthetic root. The decoder has no lookahead,
+// so the first member is parsed as the root candidate and demoted
+// under the synthetic root if a second member follows.
+func (p *parser) rootObject() (*datatree.Node, error) {
+	rootPath := schema.PathOf(SyntheticRoot)
+	if !p.dec.More() { // {}
+		if err := p.addNodes(1); err != nil {
+			return nil, err
+		}
+		return &datatree.Node{Label: SyntheticRoot}, p.closeObject()
+	}
+	key, err := p.memberKey()
+	if err != nil {
+		return nil, err
+	}
+	tok, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if d, ok := tok.(json.Delim); ok && d == '{' {
+		// Candidate {"label": {...}}: parse the object as if it were
+		// the root element, then check for a second member.
+		if err := p.addNodes(1); err != nil {
+			return nil, err
+		}
+		cand := &datatree.Node{Label: key}
+		if err := p.members(cand, schema.PathOf(key), 2); err != nil {
+			return nil, err
+		}
+		if !p.dec.More() {
+			return cand, p.closeObject()
+		}
+		// A second member follows: demote the candidate under the
+		// synthetic root, re-anchoring the hints its subtree recorded.
+		if err := p.addNodes(1); err != nil {
+			return nil, err
+		}
+		root := &datatree.Node{Label: SyntheticRoot}
+		cand.Parent = root
+		root.Children = append(root.Children, cand)
+		p.reprefixHints(rootPath)
+		return root, p.members(root, rootPath, 2)
+	}
+	if err := p.addNodes(1); err != nil {
+		return nil, err
+	}
+	root := &datatree.Node{Label: SyntheticRoot}
+	if err := p.member(root, key, tok, rootPath, 2); err != nil {
+		return nil, err
+	}
+	return root, p.members(root, rootPath, 2)
+}
+
+// reprefixHints re-anchors every recorded hint path under prefix —
+// needed when the root-candidate subtree turns out to live below the
+// synthetic root.
+func (p *parser) reprefixHints(prefix schema.Path) {
+	moved := make(map[schema.Path]bool, len(p.hints))
+	for h := range p.hints {
+		moved[schema.Path(string(prefix)+string(h))] = true
+	}
+	p.hints = moved
+}
+
+// members parses the remaining members of an object whose '{' has
+// been consumed, attaching children to parent, and consumes the
+// closing '}'.
+func (p *parser) members(parent *datatree.Node, path schema.Path, depth int) error {
+	for p.dec.More() {
+		key, err := p.memberKey()
+		if err != nil {
+			return err
+		}
+		tok, err := p.next()
+		if err != nil {
+			return err
+		}
+		if err := p.member(parent, key, tok, path, depth); err != nil {
+			return err
+		}
+	}
+	return p.closeObject()
+}
+
+// member attaches one object member (its key and first value token
+// already read) to parent. Array values attach one child per array
+// member directly — no wrapper node — and hint the path repeatable.
+func (p *parser) member(parent *datatree.Node, key string, tok json.Token, path schema.Path, depth int) error {
+	if d, ok := tok.(json.Delim); ok && d == '[' {
+		return p.array(parent, key, path.Child(key), depth)
+	}
+	return p.value(tok, parent, key, path.Child(key), depth)
+}
+
+// array parses the members of an array (its '[' consumed), attaching
+// each as a child of parent labeled label, and hints the element path
+// repeatable. An empty array attaches nothing: the element is
+// missing.
+func (p *parser) array(parent *datatree.Node, label string, path schema.Path, depth int) error {
+	if err := validLabel(label); err != nil {
+		return err
+	}
+	p.hints[path] = true
+	for p.dec.More() {
+		tok, err := p.next()
+		if err != nil {
+			return err
+		}
+		if err := p.value(tok, parent, label, path, depth); err != nil {
+			return err
+		}
+	}
+	tok, err := p.next()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != ']' {
+		return fmt.Errorf("jsondoc: offset %d: expected ']', got %v", p.dec.InputOffset(), tok)
+	}
+	return nil
+}
+
+// value attaches one JSON value (its first token already read) as a
+// child of parent labeled label.
+func (p *parser) value(tok json.Token, parent *datatree.Node, label string, path schema.Path, depth int) error {
+	if err := validLabel(label); err != nil {
+		return err
+	}
+	if err := p.checkDepth(depth); err != nil {
+		return err
+	}
+	if err := p.addNodes(1); err != nil {
+		return err
+	}
+	switch v := tok.(type) {
+	case json.Delim:
+		switch v {
+		case '{':
+			child := parent.AddChild(label)
+			return p.members(child, path, depth+1)
+		case '[':
+			// An array directly inside an array: JSON gives its
+			// members no name, so wrap them in a record of "item"s.
+			child := parent.AddChild(label)
+			return p.array(child, ItemLabel, path.Child(ItemLabel), depth+1)
+		default:
+			return fmt.Errorf("jsondoc: offset %d: unexpected %q", p.dec.InputOffset(), v.String())
+		}
+	case string:
+		parent.AddLeaf(label, v)
+	case json.Number:
+		parent.AddLeaf(label, v.String())
+	case bool:
+		if v {
+			parent.AddLeaf(label, "true")
+		} else {
+			parent.AddLeaf(label, "false")
+		}
+	case nil:
+		parent.AddChild(label) // present but null: a valueless leaf
+	default:
+		return fmt.Errorf("jsondoc: offset %d: unexpected token %v", p.dec.InputOffset(), tok)
+	}
+	return nil
+}
+
+// memberKey reads an object member key and validates it as an element
+// label.
+func (p *parser) memberKey() (string, error) {
+	tok, err := p.next()
+	if err != nil {
+		return "", err
+	}
+	key, ok := tok.(string)
+	if !ok {
+		return "", fmt.Errorf("jsondoc: offset %d: expected object key, got %v", p.dec.InputOffset(), tok)
+	}
+	return key, validLabel(key)
+}
+
+// closeObject consumes a '}' token.
+func (p *parser) closeObject() error {
+	tok, err := p.next()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '}' {
+		return fmt.Errorf("jsondoc: offset %d: expected '}', got %v", p.dec.InputOffset(), tok)
+	}
+	return nil
+}
+
+// next reads one decoder token, ticking the cancellation check.
+func (p *parser) next() (json.Token, error) {
+	p.tokens++
+	if p.tokens%ctxCheckInterval == 0 && p.ctx != nil {
+		if err := p.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("jsondoc: parse cancelled: %w", err)
+		}
+	}
+	tok, err := p.dec.Token()
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("jsondoc: JSON parse error: %w", err)
+	}
+	return tok, nil
+}
+
+// checkDepth enforces ParseLimits.MaxDepth (the root node is depth 1,
+// like the XML parser's element nesting).
+func (p *parser) checkDepth(depth int) error {
+	if p.lim.MaxDepth > 0 && depth > p.lim.MaxDepth {
+		return fmt.Errorf("jsondoc: maximum nesting depth %d exceeded", p.lim.MaxDepth)
+	}
+	return nil
+}
+
+// addNodes counts freshly built nodes against ParseLimits.MaxNodes.
+func (p *parser) addNodes(n int) error {
+	p.nodes += n
+	if p.lim.MaxNodes > 0 && p.nodes > p.lim.MaxNodes {
+		return fmt.Errorf("jsondoc: maximum node count %d exceeded", p.lim.MaxNodes)
+	}
+	return nil
+}
+
+// validLabel rejects member names that cannot travel through the path
+// notation (/a/b, ./a, ../a) or the schema-text notation (label:
+// type, '#' comments) unambiguously.
+func validLabel(label string) error {
+	switch label {
+	case "":
+		return fmt.Errorf("jsondoc: empty member name cannot be an element label")
+	case ".", "..":
+		return fmt.Errorf("jsondoc: member name %q collides with the relative-path notation", label)
+	}
+	if label[0] == '#' {
+		return fmt.Errorf("jsondoc: member name %q would read as a comment in the schema notation", label)
+	}
+	for _, r := range label {
+		if unicode.IsSpace(r) || unicode.IsControl(r) || strings.ContainsRune("/:,{}", r) {
+			return fmt.Errorf("jsondoc: member name %q contains %q, which the path and schema notations cannot represent", label, r)
+		}
+	}
+	return nil
+}
+
+// normalizeMixed rewrites heterogeneous paths — paths holding both
+// valued leaves and record nodes, as a mixed array like [1, {"a": 2}]
+// produces — by moving each leaf's value into an "@text" child, the
+// XML front-end's mixed-content convention. Without this the inferred
+// schema (which must pick one payload kind per path) could not accept
+// the tree. Conversions can cascade one level (the new "@text" leaf
+// may itself share a path with records from the data), so the pass
+// repeats until it converges; each round strictly moves values deeper
+// along paths that already existed, so the depth of the original
+// document bounds the rounds.
+func (p *parser) normalizeMixed(root *datatree.Node) error {
+	const valued, complex_ = 1, 2
+	for {
+		flags := make(map[schema.Path]int)
+		var scan func(n *datatree.Node, path schema.Path)
+		scan = func(n *datatree.Node, path schema.Path) {
+			if n.HasValue {
+				flags[path] |= valued
+			}
+			if len(n.Children) > 0 {
+				flags[path] |= complex_
+			}
+			for _, c := range n.Children {
+				scan(c, path.Child(c.Label))
+			}
+		}
+		rootPath := schema.PathOf(root.Label)
+		scan(root, rootPath)
+
+		converted := false
+		var rewrite func(n *datatree.Node, path schema.Path) error
+		rewrite = func(n *datatree.Node, path schema.Path) error {
+			if n.HasValue && flags[path] == valued|complex_ {
+				if err := p.addNodes(1); err != nil {
+					return err
+				}
+				n.AddLeaf(datatree.TextLabel, n.Value)
+				n.Value, n.HasValue = "", false
+				converted = true
+			}
+			for _, c := range n.Children {
+				if err := rewrite(c, path.Child(c.Label)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := rewrite(root, rootPath); err != nil {
+			return err
+		}
+		if !converted {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package jsondoc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/schema"
+)
+
+// Write serializes a data tree as an indented JSON document under the
+// schema's declarations, inverting the Parse mapping: the root
+// element becomes the single member of the top-level object, declared
+// set elements become arrays (even with one member), singleton
+// records become objects, and simple leaves become scalars —
+// int/float values as number literals when their spelling is a valid
+// JSON number (as strings otherwise), str values as strings, and
+// valueless leaves as null. Same-label children are grouped at their
+// label's first occurrence, so documents whose set members are
+// interleaved with other labels reorder; document order within one
+// label is preserved.
+//
+// The root element must be record-typed: a scalar root could not
+// carry its label through the single-member-object convention that
+// Parse uses to recover it.
+func Write(w io.Writer, t *datatree.Tree, s *schema.Schema) error {
+	if t == nil || t.Root == nil {
+		return fmt.Errorf("jsondoc: empty tree")
+	}
+	if s == nil {
+		return fmt.Errorf("jsondoc: Write requires a schema (sets and leaf types are declarations)")
+	}
+	if t.Root.Label != s.Root {
+		return fmt.Errorf("jsondoc: root label %q does not match schema root %q", t.Root.Label, s.Root)
+	}
+	rootEl, err := s.Resolve(schema.PathOf(s.Root))
+	if err != nil {
+		return err
+	}
+	if rootEl.Payload.Kind != schema.Record && rootEl.Payload.Kind != schema.Choice {
+		return fmt.Errorf("jsondoc: root element %q is %s-typed; only a record root round-trips its label", s.Root, rootEl.Payload.Kind)
+	}
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	writeString(&buf, t.Root.Label)
+	buf.WriteByte(':')
+	if err := writeValue(&buf, t.Root, rootEl.Path, rootEl.Payload, s); err != nil {
+		return err
+	}
+	buf.WriteByte('}')
+
+	var out bytes.Buffer
+	if err := json.Indent(&out, buf.Bytes(), "", "  "); err != nil {
+		return fmt.Errorf("jsondoc: internal serialization error: %w", err)
+	}
+	out.WriteByte('\n')
+	_, err = w.Write(out.Bytes())
+	return err
+}
+
+// writeValue renders one node's payload: a scalar for simple-typed
+// elements, an object for records.
+func writeValue(buf *bytes.Buffer, n *datatree.Node, path schema.Path, payload *schema.Type, s *schema.Schema) error {
+	if payload.Kind.IsSimple() {
+		if len(n.Children) > 0 {
+			return fmt.Errorf("jsondoc: node %s declared %s but has children", n.Path(), payload.Kind)
+		}
+		if !n.HasValue {
+			buf.WriteString("null")
+			return nil
+		}
+		v := n.Value
+		if payload.Kind != schema.String && isJSONNumber(v) {
+			buf.WriteString(strings.TrimSpace(v))
+		} else {
+			writeString(buf, v)
+		}
+		return nil
+	}
+	if n.HasValue {
+		return fmt.Errorf("jsondoc: complex node %s carries a direct value (fold it under %s first)", n.Path(), datatree.TextLabel)
+	}
+	declared := make(map[string]schema.Field, len(payload.Fields))
+	for _, f := range payload.Fields {
+		declared[f.Label] = f
+	}
+	// Group children by label at first occurrence, preserving document
+	// order within each label.
+	var order []string
+	groups := make(map[string][]*datatree.Node)
+	for _, c := range n.Children {
+		if len(groups[c.Label]) == 0 {
+			order = append(order, c.Label)
+		}
+		groups[c.Label] = append(groups[c.Label], c)
+	}
+	buf.WriteByte('{')
+	for i, label := range order {
+		f, ok := declared[label]
+		if !ok {
+			return fmt.Errorf("jsondoc: node %s: undeclared child %q", n.Path(), label)
+		}
+		if err := validLabel(label); err != nil {
+			return err
+		}
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		writeString(buf, label)
+		buf.WriteByte(':')
+		members := groups[label]
+		childPath := path.Child(label)
+		if f.Type.Kind == schema.Set {
+			buf.WriteByte('[')
+			for j, m := range members {
+				if j > 0 {
+					buf.WriteByte(',')
+				}
+				if err := writeValue(buf, m, childPath, f.Type.Elem, s); err != nil {
+					return err
+				}
+			}
+			buf.WriteByte(']')
+			continue
+		}
+		if len(members) > 1 {
+			return fmt.Errorf("jsondoc: node %s: non-set child %q occurs %d times", n.Path(), label, len(members))
+		}
+		if err := writeValue(buf, members[0], childPath, f.Type, s); err != nil {
+			return err
+		}
+	}
+	buf.WriteByte('}')
+	return nil
+}
+
+// writeString appends a JSON string literal.
+func writeString(buf *bytes.Buffer, s string) {
+	b, err := json.Marshal(s)
+	if err != nil { // strings cannot fail to marshal
+		panic(err)
+	}
+	buf.Write(b)
+}
+
+// isJSONNumber reports whether the value's exact spelling is a valid
+// JSON number literal, so it can be emitted raw and reload with its
+// spelling (and inferred type) intact.
+func isJSONNumber(v string) bool {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return false
+	}
+	var n json.Number
+	dec := json.NewDecoder(strings.NewReader(v))
+	dec.UseNumber()
+	if err := dec.Decode(&n); err != nil {
+		return false
+	}
+	return string(n) == v
+}

@@ -1,0 +1,98 @@
+package jsondoc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"discoverxfd/internal/datatree"
+	"discoverxfd/internal/schema"
+)
+
+// TestWriteRoundTrip pins the Parse∘Write identity: serializing a
+// parsed tree under its inferred schema and reparsing must reproduce
+// the tree (values, structure, and inferred schema).
+func TestWriteRoundTrip(t *testing.T) {
+	docs := []string{
+		`{"warehouse": {"state": [{"name": "CA", "store": [{"contact": {"name": "n", "address": "a"}}]}]}}`,
+		`{"r": {"f": 1.50, "i": 42, "b": true, "s": "x \"q\" y", "nul": null}}`,
+		`{"r": {"xs": [5], "m": [[1, 2], [3]], "o": {}}}`,
+		`{"a": 1, "b": 2}`,
+		`{"r": {"rows": [{"a": 1, "b": null}, {"a": 2, "b": "z"}]}}`,
+	}
+	for _, src := range docs {
+		tree := mustParse(t, src)
+		s, err := datatree.InferSchema(tree)
+		if err != nil {
+			t.Fatalf("InferSchema(%q): %v", src, err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tree, s); err != nil {
+			t.Fatalf("Write(%q): %v", src, err)
+		}
+		tree2, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v\nserialized:\n%s", src, err, buf.String())
+		}
+		if got, want := tree2.String(), tree.String(); got != want {
+			t.Fatalf("round trip of %q changed the tree\nserialized:\n%s\ngot:\n%s\nwant:\n%s", src, buf.String(), got, want)
+		}
+		s2, err := datatree.InferSchema(tree2)
+		if err != nil {
+			t.Fatalf("re-infer: %v", err)
+		}
+		if s2.String() != s.String() {
+			t.Fatalf("round trip of %q changed the schema\ngot:\n%s\nwant:\n%s", src, s2, s)
+		}
+	}
+}
+
+// TestWriteStable pins that Write is deterministic byte-for-byte.
+func TestWriteStable(t *testing.T) {
+	tree := mustParse(t, `{"r": {"xs": [1, 2], "y": "a", "xs": [3]}}`)
+	s, err := datatree.InferSchema(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first string
+	for i := 0; i < 5; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, tree, s); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf.String()
+		} else if buf.String() != first {
+			t.Fatalf("Write not deterministic:\n%s\nvs\n%s", first, buf.String())
+		}
+	}
+	if !strings.HasSuffix(first, "\n") {
+		t.Error("Write output must end in a newline")
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	tree := mustParse(t, `{"r": {"a": 1}}`)
+	s, err := datatree.InferSchema(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nil, s); err == nil {
+		t.Error("nil tree accepted")
+	}
+	if err := Write(&buf, tree, nil); err == nil {
+		t.Error("nil schema accepted")
+	}
+	other := schema.MustParse("q: Rcd\n  a: int")
+	if err := Write(&buf, tree, other); err == nil {
+		t.Error("root mismatch accepted")
+	}
+	// A scalar root cannot carry its label through the top-level
+	// object convention.
+	scalarRoot := &datatree.Tree{Root: &datatree.Node{Label: "r", Value: "5", HasValue: true}}
+	ss := schema.MustParse("r: int")
+	if err := Write(&buf, scalarRoot, ss); err == nil {
+		t.Error("scalar root accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package source
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"discoverxfd/internal/source/jsondoc"
+	"discoverxfd/internal/source/xmldoc"
+)
+
+// All returns the registered document sources in priority order (the
+// order Detect sniffs unrecognized content in). The registry is a
+// fixed function rather than mutable global state: formats are
+// compiled in, so there is nothing to race on.
+func All() []Source {
+	return []Source{xmldoc.New(), jsondoc.New()}
+}
+
+// ByFormat returns the source with the given canonical format name
+// (case-insensitive), or ErrUnknownFormat.
+func ByFormat(format string) (Source, error) {
+	f := strings.ToLower(strings.TrimSpace(format))
+	for _, s := range All() {
+		if s.Format() == f {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q (registered: %s)", ErrUnknownFormat, format, formatNames())
+}
+
+// ByExtension returns the source claiming the file name's extension,
+// if any.
+func ByExtension(name string) (Source, bool) {
+	ext := strings.ToLower(filepath.Ext(name))
+	if ext == "" {
+		return nil, false
+	}
+	for _, s := range All() {
+		for _, e := range s.Extensions() {
+			if e == ext {
+				return s, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// formatNames renders the registered format names for error messages.
+func formatNames() string {
+	names := make([]string, 0, 2)
+	for _, s := range All() {
+		names = append(names, s.Format())
+	}
+	return strings.Join(names, ", ")
+}
