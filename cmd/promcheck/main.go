@@ -1,0 +1,67 @@
+// Command promcheck validates a Prometheus text exposition (format
+// 0.0.4) — the output of xfdd's GET /metrics — with the promlint-style
+// checker in internal/telemetry: comment structure (HELP before TYPE
+// before samples), known TYPE values, metric and label name grammar,
+// parsable sample values, histogram shape (_bucket/_sum/_count, le
+// bounds ascending and cumulative, +Inf matching _count), counter
+// naming, and no duplicate samples.
+//
+// Usage:
+//
+//	promcheck metrics.txt
+//	curl -s localhost:8080/metrics | promcheck -
+//
+// On success it prints a one-line summary (family and sample counts)
+// and exits 0. An invalid exposition prints the first violation with
+// its line number and exits 1; a missing argument or unreadable file
+// exits 2. CI's server-smoke job runs it over a live xfdd scrape, so
+// a formatting regression in the exposition writer cannot ship.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"discoverxfd/internal/telemetry"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: promcheck metrics.txt  (or - for stdin)\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	var r io.Reader = os.Stdin
+	if name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		// A directory opens successfully but is not readable input; that
+		// is a usage error (exit 2), not an invalid exposition (exit 1).
+		if fi, err := f.Stat(); err != nil || fi.IsDir() {
+			if err == nil {
+				err = fmt.Errorf("%s is a directory", name)
+			}
+			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+			os.Exit(2)
+		}
+		r = f
+	}
+	sum, err := telemetry.Lint(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid exposition: %d familie(s), %d sample(s)\n",
+		name, sum.Families, sum.Samples)
+}

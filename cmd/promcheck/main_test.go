@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildPromcheck(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "promcheck")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building promcheck: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runPromcheck(t *testing.T, bin string, stdin string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), string(out)
+	}
+	t.Fatalf("running promcheck: %v\n%s", err, out)
+	return -1, ""
+}
+
+const validExposition = `# HELP xfd_http_requests_total HTTP requests served.
+# TYPE xfd_http_requests_total counter
+xfd_http_requests_total{route="/v1/discover",tenant="",code="2xx"} 4
+# HELP xfd_queue_depth Admission queue depth.
+# TYPE xfd_queue_depth gauge
+xfd_queue_depth 0
+`
+
+// TestExitCodes pins the documented contract: 0 for a valid
+// exposition (file or stdin), 1 for an invalid one, 2 for usage
+// errors — including input that opens but cannot be read, like a
+// directory.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the command")
+	}
+	bin := buildPromcheck(t)
+	dir := t.TempDir()
+
+	valid := filepath.Join(dir, "ok.prom")
+	if err := os.WriteFile(valid, []byte(validExposition), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := runPromcheck(t, bin, "", valid); code != 0 || !strings.Contains(out, "2 familie(s)") {
+		t.Fatalf("valid file exit = %d\n%s", code, out)
+	}
+	if code, out := runPromcheck(t, bin, validExposition, "-"); code != 0 || !strings.Contains(out, "2 sample(s)") {
+		t.Fatalf("valid stdin exit = %d\n%s", code, out)
+	}
+
+	// TYPE after samples is a structural violation.
+	invalid := filepath.Join(dir, "bad.prom")
+	bad := strings.Replace(validExposition,
+		"# TYPE xfd_http_requests_total counter\nxfd_http_requests_total",
+		"xfd_http_requests_total", 1)
+	if err := os.WriteFile(invalid, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := runPromcheck(t, bin, "", invalid); code != 1 {
+		t.Fatalf("invalid file exit = %d, want 1\n%s", code, out)
+	}
+
+	if code, _ := runPromcheck(t, bin, ""); code != 2 {
+		t.Fatalf("no-arg exit = %d, want 2", code)
+	}
+	if code, _ := runPromcheck(t, bin, "", filepath.Join(dir, "missing.prom")); code != 2 {
+		t.Fatalf("missing-file exit = %d, want 2", code)
+	}
+	if code, _ := runPromcheck(t, bin, "", dir); code != 2 {
+		t.Fatalf("directory exit = %d, want 2", code)
+	}
+}

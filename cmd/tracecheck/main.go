@@ -4,7 +4,12 @@
 // strictly, span nesting must be well-formed (run ⊃ stages ⊃
 // relations), every successfully-ended run must contain all five
 // pipeline stages, and enumerated fields (target actions, governor
-// actions, check outcomes) must use their documented values.
+// actions, check outcomes) must use their documented values. Traces
+// written by xfdd additionally carry request correlation, which is
+// checked too: trace_id/request_id must be well-formed lowercase hex
+// (32 and 16 digits) and constant within a run, and every
+// request_start span must be closed by a request_end with a valid
+// HTTP status.
 //
 // Usage:
 //
@@ -54,5 +59,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", flag.Arg(0), err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: valid trace: %d event(s), %d run(s)\n", flag.Arg(0), sum.Events, sum.Runs)
+	fmt.Printf("%s: valid trace: %d event(s), %d run(s), %d request(s)\n",
+		flag.Arg(0), sum.Events, sum.Runs, sum.Requests)
 }

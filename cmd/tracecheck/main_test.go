@@ -59,6 +59,33 @@ func TestExitCodes(t *testing.T) {
 		t.Fatalf("valid trace exit = %d\n%s", code, out)
 	}
 
+	// A trace with request correlation: a request span bracketing a
+	// failed run, all stamped with one trace_id/request_id pair.
+	ids := `"trace_id":"0af7651916cd43dd8448eb211c80319c","request_id":"b7ad6b7169203331"`
+	correlated := filepath.Join(dir, "req.trace")
+	reqEvents := []string{
+		`{"event":"request_start","t":"2026-08-08T00:00:00Z",` + ids + `,"action":"POST","detail":"/v1/discover"}`,
+		`{"event":"run_start","t":"2026-08-08T00:00:01Z","run":"r1",` + ids + `}`,
+		`{"event":"run_end","t":"2026-08-08T00:00:02Z","run":"r1",` + ids + `,"error":"boom"}`,
+		`{"event":"request_end","t":"2026-08-08T00:00:03Z",` + ids + `,"action":"POST","detail":"/v1/discover","status":500}`,
+	}
+	if err := os.WriteFile(correlated, []byte(strings.Join(reqEvents, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := exitCode(t, bin, correlated); code != 0 || !strings.Contains(out, "1 request(s)") {
+		t.Fatalf("correlated trace exit = %d\n%s", code, out)
+	}
+
+	// The same trace with a malformed request_id must be rejected.
+	badID := filepath.Join(dir, "badid.trace")
+	if err := os.WriteFile(badID, []byte(strings.ReplaceAll(
+		strings.Join(reqEvents, "\n")+"\n", "b7ad6b7169203331", "nothex")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := exitCode(t, bin, badID); code != 1 || !strings.Contains(out, "malformed request_id") {
+		t.Fatalf("malformed request_id exit = %d\n%s", code, out)
+	}
+
 	malformed := filepath.Join(dir, "bad.trace")
 	if err := os.WriteFile(malformed, []byte("{\"event\":\"stage_end\"}\n"), 0o644); err != nil {
 		t.Fatal(err)

@@ -17,6 +17,15 @@
 //	DELETE /v1/jobs/{id}       cancel the job's run
 //	GET  /healthz, /readyz     liveness / readiness
 //	GET  /v1/stats, /debug/vars  operational counters
+//	GET  /metrics              Prometheus text exposition (RED metrics,
+//	                           admission gauges, engine counters; see
+//	                           docs/INTERNALS.md §17)
+//
+// Every response carries a W3C traceparent (joining the caller's
+// trace when the request carried one) and an X-Request-Id; run events
+// in the -trace JSONL are stamped with the same ids. -slow-run
+// enables a per-stage timing report for requests over the threshold;
+// cmd/xfdtop is a live terminal view over /metrics and /v1/stats.
 //
 // Request parameters: ?timeout= bounds the run's wall clock (clamped
 // to -max-timeout), ?degrade=truncate serves partial results on
@@ -68,6 +77,7 @@ func main() {
 	maxTuples := flag.Int("maxtuples", 0, "ingest at most this many tuples per run, truncating the result (0 = unlimited)")
 	maxLevel := flag.Int("maxlevel", 0, "cap the lattice level explored per relation (0 = unbounded)")
 	tracePath := flag.String("trace", "", "write every run's trace events to this file as JSONL")
+	slowRun := flag.Duration("slow-run", 0, "log a slow-request report with per-stage timings for requests outliving this threshold (0 = off)")
 	verbose := flag.Bool("v", false, "log run/stage/relation progress to stderr")
 	veryVerbose := flag.Bool("vv", false, "like -v plus throttled per-level and per-target detail")
 	metrics := flag.Bool("metrics", false, "print the server's stats snapshot as JSON on stderr after drain")
@@ -125,6 +135,7 @@ func main() {
 		Options:        discoverxfd.Options{Parallel: *parallel, MaxLHS: *maxLHS},
 		Trace:          tracing.Tracer(),
 		Log:            log,
+		SlowRun:        *slowRun,
 	})
 	srv.PublishExpvar("xfdd")
 

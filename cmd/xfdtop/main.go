@@ -1,0 +1,88 @@
+// Command xfdtop is a polling terminal view over a running xfdd: it
+// scrapes GET /metrics and GET /v1/stats every interval and repaints
+// one screenful — live request rate, latency quantiles interpolated
+// from the duration histogram (over the window between polls),
+// admission load (running/queued), job and resident-document counts,
+// the drain state, and a per-tenant table of load and sheds by
+// reason.
+//
+// Usage:
+//
+//	xfdtop -addr http://localhost:8080
+//	xfdtop -addr http://localhost:8080 -interval 1s -count 10 -plain
+//
+// -count 0 polls until interrupted. -plain appends frames instead of
+// clearing the screen (for logs and pipes). A failed poll prints the
+// error and keeps polling; xfdtop exits non-zero only for bad usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "base URL of the xfdd server")
+	interval := flag.Duration("interval", 2*time.Second, "polling interval")
+	count := flag.Int("count", 0, "number of polls (0 = until interrupted)")
+	plain := flag.Bool("plain", false, "append frames instead of clearing the screen")
+	flag.Parse()
+	if flag.NArg() != 0 || *interval <= 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base := strings.TrimSuffix(*addr, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+	var prev *snapshot
+	for i := 0; *count == 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		cur, err := poll(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xfdtop: %v\n", err)
+			continue
+		}
+		frame := derive(prev, cur).render()
+		if !*plain {
+			fmt.Print("\x1b[H\x1b[2J") // cursor home + clear
+		}
+		fmt.Print(frame)
+		prev = cur
+	}
+}
+
+// poll scrapes both endpoints. /v1/stats failing is tolerated (the
+// frame shows metrics only); /metrics failing fails the poll.
+func poll(client *http.Client, base string) (*snapshot, error) {
+	metrics, err := get(client, base+"/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer metrics.Close()
+	when := time.Now()
+	stats, err := get(client, base+"/v1/stats")
+	if err != nil {
+		return parseSnapshot(when, metrics, nil)
+	}
+	defer stats.Close()
+	return parseSnapshot(when, metrics, stats)
+}
+
+func get(client *http.Client, url string) (io.ReadCloser, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return resp.Body, nil
+}

@@ -1,0 +1,230 @@
+package main
+
+// view.go is xfdtop's pure half: parse one scrape (a /metrics
+// exposition plus a /v1/stats document) into a snapshot, derive the
+// displayed rates and quantiles from two consecutive snapshots, and
+// render the result as a text block. Everything here is deterministic
+// and covered by tests; main.go only polls and repaints.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"discoverxfd/internal/server"
+	"discoverxfd/internal/telemetry"
+	"encoding/json"
+)
+
+// snapshot is one observation of the server: the parsed exposition
+// and the stats document, stamped with the local scrape time.
+type snapshot struct {
+	when    time.Time
+	samples []telemetry.Sample
+	stats   server.StatsSnapshot
+}
+
+// parseSnapshot decodes one scrape. Either reader may be nil when the
+// corresponding endpoint failed; the snapshot then carries only the
+// other half.
+func parseSnapshot(when time.Time, metrics, stats io.Reader) (*snapshot, error) {
+	s := &snapshot{when: when}
+	if metrics != nil {
+		samples, err := telemetry.ParseExposition(metrics)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: %w", err)
+		}
+		s.samples = samples
+	}
+	if stats != nil {
+		if err := json.NewDecoder(stats).Decode(&s.stats); err != nil {
+			return nil, fmt.Errorf("stats: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// sum adds up every sample with the given name, regardless of labels.
+func (s *snapshot) sum(name string) float64 {
+	var total float64
+	for _, smp := range s.samples {
+		if smp.Name == name {
+			total += smp.Value
+		}
+	}
+	return total
+}
+
+// buckets folds the named histogram's _bucket series (summed across
+// label sets) into le → cumulative count, returning the bounds sorted
+// ascending with +Inf last.
+func (s *snapshot) buckets(name string) (bounds []float64, counts map[float64]float64) {
+	counts = map[float64]float64{}
+	for _, smp := range s.samples {
+		if smp.Name != name+"_bucket" {
+			continue
+		}
+		le, err := strconv.ParseFloat(strings.Replace(smp.Label("le"), "+Inf", "inf", 1), 64)
+		if err != nil {
+			continue
+		}
+		if _, seen := counts[le]; !seen {
+			bounds = append(bounds, le)
+		}
+		counts[le] += smp.Value
+	}
+	sort.Float64s(bounds)
+	return bounds, counts
+}
+
+// view is one rendered frame's data.
+type view struct {
+	When     time.Time
+	RPS      float64 // requests per second over the window
+	Requests float64 // lifetime total
+	P50Ms    float64 // window quantiles (lifetime on the first frame)
+	P95Ms    float64
+	P99Ms    float64
+	Running  int
+	Queued   int
+	Jobs     int
+	Docs     int
+	Draining bool
+	Tenants  []tenantRow
+}
+
+// tenantRow is one tenant's line: live load plus cumulative sheds by
+// reason.
+type tenantRow struct {
+	Name    string
+	Running int
+	Queued  int
+	Sheds   int64
+	Reasons string // "tenant_quota:3 queue_full:1", sorted by reason
+}
+
+const durationMetric = "xfd_http_request_duration_seconds"
+
+// derive computes a frame from the current snapshot and the previous
+// one (nil on the first poll: rates read 0 and quantiles cover the
+// server's lifetime instead of the window).
+func derive(prev, cur *snapshot) view {
+	v := view{
+		When:     cur.when,
+		Requests: cur.sum("xfd_http_requests_total"),
+		Running:  cur.stats.Running,
+		Queued:   cur.stats.Queued,
+		Jobs:     cur.stats.Jobs,
+		Docs:     cur.stats.Documents,
+		Draining: cur.stats.Draining,
+	}
+	bounds, counts := cur.buckets(durationMetric)
+	if prev != nil {
+		if dt := cur.when.Sub(prev.when).Seconds(); dt > 0 {
+			v.RPS = (v.Requests - prev.sum("xfd_http_requests_total")) / dt
+		}
+		// Window quantiles: the histogram is cumulative, so the window's
+		// distribution is the bucket-wise difference.
+		_, prevCounts := prev.buckets(durationMetric)
+		for le := range counts {
+			counts[le] -= prevCounts[le]
+		}
+	}
+	v.P50Ms = quantileMs(0.50, bounds, counts)
+	v.P95Ms = quantileMs(0.95, bounds, counts)
+	v.P99Ms = quantileMs(0.99, bounds, counts)
+
+	names := make([]string, 0, len(cur.stats.Tenants))
+	for name := range cur.stats.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := cur.stats.Tenants[name]
+		row := tenantRow{Name: name, Running: ts.Running, Queued: ts.Queued}
+		reasons := make([]string, 0, len(ts.Sheds))
+		for reason := range ts.Sheds {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		var parts []string
+		for _, reason := range reasons {
+			row.Sheds += ts.Sheds[reason]
+			parts = append(parts, fmt.Sprintf("%s:%d", reason, ts.Sheds[reason]))
+		}
+		row.Reasons = strings.Join(parts, " ")
+		v.Tenants = append(v.Tenants, row)
+	}
+	return v
+}
+
+// quantileMs estimates the q-th latency quantile in milliseconds from
+// a cumulative histogram, with Prometheus's histogram_quantile
+// interpolation: linear within the bucket that crosses the target
+// rank, the highest finite bound when the rank lands in +Inf, and NaN
+// for an empty histogram.
+func quantileMs(q float64, bounds []float64, counts map[float64]float64) float64 {
+	if len(bounds) == 0 {
+		return math.NaN()
+	}
+	// The last bound's cumulative count is the total — whether it is
+	// +Inf or the histogram was scraped without one.
+	total := counts[bounds[len(bounds)-1]]
+	if total <= 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	lower, lowerCount := 0.0, 0.0
+	for _, le := range bounds {
+		c := counts[le]
+		if c >= rank {
+			if math.IsInf(le, 1) {
+				// The rank lands past every finite bound; report the
+				// highest finite one, as histogram_quantile does.
+				return lower * 1000
+			}
+			if c == lowerCount {
+				return le * 1000
+			}
+			return (lower + (le-lower)*(rank-lowerCount)/(c-lowerCount)) * 1000
+		}
+		lower, lowerCount = le, c
+	}
+	return lower * 1000
+}
+
+// fmtMs renders a millisecond value for the frame ("-" when no data).
+func fmtMs(ms float64) string {
+	if math.IsNaN(ms) {
+		return "-"
+	}
+	return strconv.FormatFloat(ms, 'f', 1, 64) + "ms"
+}
+
+// render draws one frame.
+func (v view) render() string {
+	var b strings.Builder
+	state := "serving"
+	if v.Draining {
+		state = "DRAINING"
+	}
+	fmt.Fprintf(&b, "xfdtop  %s  [%s]\n", v.When.Format("15:04:05"), state)
+	fmt.Fprintf(&b, "req %.0f total  %.1f rps   p50 %s  p95 %s  p99 %s\n",
+		v.Requests, v.RPS, fmtMs(v.P50Ms), fmtMs(v.P95Ms), fmtMs(v.P99Ms))
+	fmt.Fprintf(&b, "running %d  queued %d  jobs %d  documents %d\n", v.Running, v.Queued, v.Jobs, v.Docs)
+	if len(v.Tenants) > 0 {
+		fmt.Fprintf(&b, "%-16s %7s %7s %7s  %s\n", "TENANT", "RUN", "QUEUE", "SHED", "REASONS")
+		for _, row := range v.Tenants {
+			name := row.Name
+			if name == "" {
+				name = "(default)"
+			}
+			fmt.Fprintf(&b, "%-16s %7d %7d %7d  %s\n", name, row.Running, row.Queued, row.Sheds, row.Reasons)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"discoverxfd/internal/server"
+)
+
+const scrapeT0 = `# HELP xfd_http_requests_total HTTP requests served.
+# TYPE xfd_http_requests_total counter
+xfd_http_requests_total{route="/v1/discover",tenant="a",code="2xx"} 10
+xfd_http_requests_total{route="/healthz",tenant="",code="2xx"} 5
+# HELP xfd_http_request_duration_seconds Request latency.
+# TYPE xfd_http_request_duration_seconds histogram
+xfd_http_request_duration_seconds_bucket{route="/v1/discover",le="0.01"} 0
+xfd_http_request_duration_seconds_bucket{route="/v1/discover",le="0.1"} 0
+xfd_http_request_duration_seconds_bucket{route="/v1/discover",le="+Inf"} 0
+xfd_http_request_duration_seconds_sum{route="/v1/discover"} 0
+xfd_http_request_duration_seconds_count{route="/v1/discover"} 0
+`
+
+const scrapeT1 = `# HELP xfd_http_requests_total HTTP requests served.
+# TYPE xfd_http_requests_total counter
+xfd_http_requests_total{route="/v1/discover",tenant="a",code="2xx"} 25
+xfd_http_requests_total{route="/healthz",tenant="",code="2xx"} 10
+# HELP xfd_http_request_duration_seconds Request latency.
+# TYPE xfd_http_request_duration_seconds histogram
+xfd_http_request_duration_seconds_bucket{route="/v1/discover",le="0.01"} 50
+xfd_http_request_duration_seconds_bucket{route="/v1/discover",le="0.1"} 100
+xfd_http_request_duration_seconds_bucket{route="/v1/discover",le="+Inf"} 100
+xfd_http_request_duration_seconds_sum{route="/v1/discover"} 4.2
+xfd_http_request_duration_seconds_count{route="/v1/discover"} 100
+`
+
+const statsT1 = `{"running":2,"queued":1,"jobs":3,"documents":1,"draining":true,
+  "tenants":{"a":{"running":2,"queued":1,"sheds":{"tenant_quota":3,"queue_full":1}},
+             "b":{"running":0,"queued":0,"sheds":{"draining":2}}}}`
+
+func snap(t *testing.T, when time.Time, metrics, stats string) *snapshot {
+	t.Helper()
+	var statsReader *strings.Reader
+	if stats != "" {
+		statsReader = strings.NewReader(stats)
+	}
+	var s *snapshot
+	var err error
+	if statsReader == nil {
+		s, err = parseSnapshot(when, strings.NewReader(metrics), nil)
+	} else {
+		s, err = parseSnapshot(when, strings.NewReader(metrics), statsReader)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDeriveRatesAndQuantiles(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	prev := snap(t, t0, scrapeT0, "")
+	cur := snap(t, t0.Add(10*time.Second), scrapeT1, statsT1)
+
+	v := derive(prev, cur)
+	// 30 requests total arrived over 10s.
+	if v.RPS != 2.0 {
+		t.Errorf("rps = %v, want 2.0 ((25+10-10-5)/10s)", v.RPS)
+	}
+	if v.Requests != 35 {
+		t.Errorf("requests = %v, want 35", v.Requests)
+	}
+	// Window histogram: 50 ≤ 10ms, 100 ≤ 100ms. The median rank (50)
+	// lands exactly on the 10ms bound; p95 interpolates to 91ms.
+	if v.P50Ms != 10 {
+		t.Errorf("p50 = %v, want 10ms", v.P50Ms)
+	}
+	if math.Abs(v.P95Ms-91) > 0.01 {
+		t.Errorf("p95 = %v, want 91ms", v.P95Ms)
+	}
+	if !v.Draining || v.Running != 2 || v.Queued != 1 || v.Jobs != 3 || v.Docs != 1 {
+		t.Errorf("gauges = %+v, want the stats document's values", v)
+	}
+
+	if len(v.Tenants) != 2 || v.Tenants[0].Name != "a" || v.Tenants[1].Name != "b" {
+		t.Fatalf("tenants = %+v, want sorted a, b", v.Tenants)
+	}
+	if v.Tenants[0].Sheds != 4 || v.Tenants[0].Reasons != "queue_full:1 tenant_quota:3" {
+		t.Errorf("tenant a = %+v, want 4 sheds with sorted reasons", v.Tenants[0])
+	}
+}
+
+func TestDeriveFirstFrame(t *testing.T) {
+	cur := snap(t, time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC), scrapeT1, statsT1)
+	v := derive(nil, cur)
+	if v.RPS != 0 {
+		t.Errorf("first-frame rps = %v, want 0", v.RPS)
+	}
+	if v.P50Ms != 10 { // lifetime histogram
+		t.Errorf("first-frame p50 = %v, want 10ms", v.P50Ms)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if q := quantileMs(0.5, nil, nil); !math.IsNaN(q) {
+		t.Errorf("no buckets → %v, want NaN", q)
+	}
+	inf := math.Inf(1)
+	empty := map[float64]float64{0.01: 0, inf: 0}
+	if q := quantileMs(0.5, []float64{0.01, inf}, empty); !math.IsNaN(q) {
+		t.Errorf("empty histogram → %v, want NaN", q)
+	}
+	// Everything beyond the last finite bound: report that bound.
+	tail := map[float64]float64{0.01: 0, inf: 7}
+	if q := quantileMs(0.99, []float64{0.01, inf}, tail); q != 10 {
+		t.Errorf("+Inf-only histogram → %v, want the 10ms bound", q)
+	}
+}
+
+func TestRenderFrame(t *testing.T) {
+	cur := snap(t, time.Date(2026, 8, 8, 12, 0, 10, 0, time.UTC), scrapeT1, statsT1)
+	out := derive(nil, cur).render()
+	for _, want := range []string{
+		"DRAINING", "req 35 total", "running 2", "queued 1",
+		"TENANT", "queue_full:1 tenant_quota:3", "draining:2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// The empty-string tenant renders with a placeholder name.
+	v := view{Tenants: []tenantRow{{Name: ""}}}
+	if out := v.render(); !strings.Contains(out, "(default)") {
+		t.Errorf("empty tenant not renamed:\n%s", out)
+	}
+}
+
+// TestPollLiveServer points poll at a real in-process xfdd and checks
+// a frame derives end to end from live scrapes.
+func TestPollLiveServer(t *testing.T) {
+	srv := server.New(context.Background(), server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := "<library><shelf><room>r</room><book><isbn>i</isbn></book></shelf></library>"
+	resp, err := http.Post(ts.URL+"/v1/discover", "application/xml", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("discover = %d", resp.StatusCode)
+	}
+
+	cur, err := poll(http.DefaultClient, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := derive(nil, cur)
+	if v.Requests < 1 {
+		t.Errorf("live requests = %v, want ≥ 1", v.Requests)
+	}
+	if out := v.render(); !strings.Contains(out, "serving") {
+		t.Errorf("live frame:\n%s", out)
+	}
+}

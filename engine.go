@@ -2,7 +2,6 @@ package discoverxfd
 
 import (
 	"context"
-	"expvar"
 	"fmt"
 	"io"
 	"os"
@@ -12,6 +11,7 @@ import (
 	"discoverxfd/internal/datatree"
 	"discoverxfd/internal/source"
 	"discoverxfd/internal/source/jsondoc"
+	"discoverxfd/internal/telemetry"
 	"discoverxfd/internal/trace"
 )
 
@@ -63,10 +63,12 @@ func (e *Engine) Metrics() Metrics { return e.core.Metrics() }
 // PublishExpvar publishes the engine's live Metrics under the given
 // name in the process's expvar registry (rendered at /debug/vars when
 // the expvar HTTP handler is installed). Each scrape takes a fresh
-// snapshot. Like expvar.Publish, it panics if the name is already
-// registered — publish each engine once, under a unique name.
+// snapshot. Publication is idempotent per name: re-publishing —
+// another engine in the same process, or the same engine twice —
+// replaces the earlier publisher instead of panicking, so restarts
+// and tests that build many engines stay safe.
 func (e *Engine) PublishExpvar(name string) {
-	expvar.Publish(name, expvar.Func(func() any { return e.Metrics() }))
+	telemetry.PublishExpvar(name, func() any { return e.Metrics() })
 }
 
 // Discover runs DiscoverXFD on the document: it finds all minimal

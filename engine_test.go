@@ -295,3 +295,34 @@ func TestEnginePublishExpvar(t *testing.T) {
 		t.Errorf("published snapshot = %+v, want 1 run", m)
 	}
 }
+
+// TestPublishExpvarIdempotent is the duplicate-name regression: two
+// engines publishing under one name in one process must not trip
+// expvar's duplicate-name panic, and the later publisher must win the
+// name.
+func TestPublishExpvarIdempotent(t *testing.T) {
+	ds := xmlgen.Warehouse(xmlgen.DefaultWarehouse())
+	first := discoverxfd.NewEngine(nil)
+	first.PublishExpvar("xfd_engine_idempotent_test")
+
+	second := discoverxfd.NewEngine(nil)
+	second.PublishExpvar("xfd_engine_idempotent_test") // must not panic
+	if _, err := second.Discover(context.Background(), ds.Tree, ds.Schema); err != nil {
+		t.Fatal(err)
+	}
+
+	v := expvar.Get("xfd_engine_idempotent_test")
+	if v == nil {
+		t.Fatal("metrics var not published")
+	}
+	var m discoverxfd.Metrics
+	if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+		t.Fatalf("published metrics are not JSON: %v\n%s", err, v.String())
+	}
+	if m.RunsFinished != 1 {
+		t.Errorf("published RunsFinished = %d, want the second engine's run", m.RunsFinished)
+	}
+	if got := first.Metrics().RunsFinished; got != 0 {
+		t.Errorf("first engine ran %d times, want 0 — scrape must read the latest publisher", got)
+	}
+}

@@ -35,6 +35,7 @@ var spanEnds = map[string]string{
 	"KindRunStart":      "KindRunEnd",
 	"KindStageStart":    "KindStageEnd",
 	"KindRelationStart": "KindRelationEnd",
+	"KindRequestStart":  "KindRequestEnd",
 }
 
 func runSpanBalance(p *Pass) {

@@ -12,6 +12,8 @@ const (
 	KindStageEnd      = "stage_end"
 	KindRelationStart = "relation_start"
 	KindRelationEnd   = "relation_end"
+	KindRequestStart  = "request_start"
+	KindRequestEnd    = "request_end"
 )
 
 // Tracer mirrors the real event sink interface.

@@ -71,6 +71,25 @@ func guardedEnds(tr trace.Tracer, fail bool) error {
 	return nil
 }
 
+// requestMiddleware mirrors the server's instrumentation middleware:
+// the request span opens before the handler and closes unconditionally
+// after it, so the pairing holds on the straight-line path.
+func requestMiddleware(tr trace.Tracer, handler func()) {
+	trace.Emit(tr, &trace.Event{Kind: trace.KindRequestStart})
+	handler()
+	trace.Emit(tr, &trace.Event{Kind: trace.KindRequestEnd})
+}
+
+// requestEarlyShed forgets to close the request span on the shed path.
+func requestEarlyShed(tr trace.Tracer, shed bool) {
+	trace.Emit(tr, &trace.Event{Kind: trace.KindRequestStart}) // want "RequestStart span opened here can reach return without a KindRequestEnd emit"
+	if shed {
+		return
+	}
+	work()
+	trace.Emit(tr, &trace.Event{Kind: trace.KindRequestEnd})
+}
+
 // panicExit never returns normally, so the open span is not a leak.
 func panicExit(tr trace.Tracer) {
 	trace.Emit(tr, &trace.Event{Kind: trace.KindStageStart})

@@ -3,6 +3,8 @@ package bench
 import (
 	"sort"
 	"time"
+
+	"discoverxfd/internal/telemetry"
 )
 
 // LatencySummary is a per-case latency distribution over an
@@ -11,12 +13,30 @@ import (
 // method, so every reported value is an actually observed sample.
 // Absolute milliseconds are machine-dependent and informational: the
 // CI gate compares only within-run speedup ratios, never latencies.
+//
+// Buckets is the cumulative histogram of the samples over
+// telemetry.DurationBuckets converted to milliseconds — the same
+// boundaries xfdd's xfd_http_request_duration_seconds histogram uses,
+// so a bench distribution lines up bucket-for-bucket with a service
+// scrape. Buckets[i] counts samples ≤ BucketBoundsMs()[i]; samples
+// beyond the last bound appear only in N (the implicit +Inf bucket).
 type LatencySummary struct {
-	N     int     `json:"n"`
-	P50Ms float64 `json:"p50_ms"`
-	P95Ms float64 `json:"p95_ms"`
-	P99Ms float64 `json:"p99_ms"`
-	MaxMs float64 `json:"max_ms"`
+	N       int     `json:"n"`
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+	Buckets []int   `json:"buckets,omitempty"`
+}
+
+// BucketBoundsMs returns the shared latency bucket upper bounds in
+// milliseconds (telemetry.DurationBuckets is declared in seconds).
+func BucketBoundsMs() []float64 {
+	out := make([]float64, len(telemetry.DurationBuckets))
+	for i, b := range telemetry.DurationBuckets {
+		out[i] = b * 1000
+	}
+	return out
 }
 
 // summarizeLatency condenses run samples into a LatencySummary; an
@@ -29,12 +49,21 @@ func summarizeLatency(samples []time.Duration) LatencySummary {
 	copy(sorted, samples)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	bounds := BucketBoundsMs()
+	buckets := make([]int, len(bounds))
+	for i, bound := range bounds {
+		// Cumulative (le-inclusive), like a Prometheus _bucket series.
+		buckets[i] = sort.Search(len(sorted), func(j int) bool {
+			return ms(sorted[j]) > bound
+		})
+	}
 	return LatencySummary{
-		N:     len(sorted),
-		P50Ms: ms(nearestRank(sorted, 50)),
-		P95Ms: ms(nearestRank(sorted, 95)),
-		P99Ms: ms(nearestRank(sorted, 99)),
-		MaxMs: ms(sorted[len(sorted)-1]),
+		N:       len(sorted),
+		P50Ms:   ms(nearestRank(sorted, 50)),
+		P95Ms:   ms(nearestRank(sorted, 95)),
+		P99Ms:   ms(nearestRank(sorted, 99)),
+		MaxMs:   ms(sorted[len(sorted)-1]),
+		Buckets: buckets,
 	}
 }
 

@@ -1,12 +1,15 @@
 package bench
 
 import (
+	"reflect"
 	"testing"
 	"time"
+
+	"discoverxfd/internal/telemetry"
 )
 
 func TestSummarizeLatency(t *testing.T) {
-	if got := summarizeLatency(nil); got != (LatencySummary{}) {
+	if got := summarizeLatency(nil); !reflect.DeepEqual(got, LatencySummary{}) {
 		t.Fatalf("empty samples = %+v, want zero", got)
 	}
 
@@ -32,5 +35,44 @@ func TestSummarizeLatency(t *testing.T) {
 	s = summarizeLatency([]time.Duration{3 * time.Millisecond, time.Millisecond, 2 * time.Millisecond})
 	if s.P50Ms != 2 || s.P95Ms != 3 || s.P99Ms != 3 || s.MaxMs != 3 {
 		t.Fatalf("three samples = %+v, want p50=2 p95=p99=max=3", s)
+	}
+}
+
+func TestLatencyBuckets(t *testing.T) {
+	bounds := BucketBoundsMs()
+	if len(bounds) != len(telemetry.DurationBuckets) {
+		t.Fatalf("bounds = %d entries, want %d", len(bounds), len(telemetry.DurationBuckets))
+	}
+	if bounds[0] != 1 || bounds[len(bounds)-1] != 60000 {
+		t.Fatalf("bounds = %v, want 1ms..60000ms (telemetry.DurationBuckets × 1000)", bounds)
+	}
+
+	// Samples straddling the bucket boundaries: cumulative counts are
+	// le-inclusive, exactly like a Prometheus _bucket series.
+	s := summarizeLatency([]time.Duration{
+		time.Millisecond,      // lands in the 1ms bucket (inclusive)
+		2 * time.Millisecond,  // 2.5ms bucket
+		30 * time.Millisecond, // 50ms bucket
+		2 * time.Second,       // 2.5s bucket
+		120 * time.Second,     // beyond the last bound: only in N
+	})
+	if len(s.Buckets) != len(bounds) {
+		t.Fatalf("buckets = %d entries, want %d", len(s.Buckets), len(bounds))
+	}
+	want := map[float64]int{1: 1, 2.5: 2, 5: 2, 25: 2, 50: 3, 1000: 3, 2500: 4, 60000: 4}
+	for i, bound := range bounds {
+		if exp, ok := want[bound]; ok && s.Buckets[i] != exp {
+			t.Errorf("bucket le=%vms = %d, want %d", bound, s.Buckets[i], exp)
+		}
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; s.N-last != 1 {
+		t.Errorf("n=%d minus last bucket %d: want exactly the +Inf straggler", s.N, last)
+	}
+
+	// Monotone non-decreasing, as any cumulative histogram must be.
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i] < s.Buckets[i-1] {
+			t.Fatalf("buckets not cumulative at %d: %v", i, s.Buckets)
+		}
 	}
 }

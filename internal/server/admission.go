@@ -199,3 +199,28 @@ func (a *admission) Load() (running, queued int) {
 	defer a.mu.Unlock()
 	return a.running, len(a.queue)
 }
+
+// tenantLoad is one tenant's share of the admission state.
+type tenantLoad struct {
+	Running int
+	Queued  int
+}
+
+// PerTenant reports each live tenant's running and queued counts (for
+// the stats snapshot and the per-tenant metrics gauges). The tenants
+// map counts running+queued combined, so the split is derived by
+// counting the queue.
+func (a *admission) PerTenant() map[string]tenantLoad {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	queued := make(map[string]int, len(a.tenants))
+	for _, t := range a.queue {
+		queued[t.tenant]++
+	}
+	out := make(map[string]tenantLoad, len(a.tenants))
+	for tenant, n := range a.tenants {
+		q := queued[tenant]
+		out[tenant] = tenantLoad{Running: n - q, Queued: q}
+	}
+	return out
+}

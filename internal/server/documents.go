@@ -162,16 +162,23 @@ func (s *Server) handleCreateDocument(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	s.stats.accepted.Add(1)
 
+	// The engine outlives this request as the document's resident
+	// engine, so it traces to the bare backend: stamping it with this
+	// request's trace ids would mislabel every later run. Runs over
+	// resident documents correlate with their requests through the
+	// request span's timing instead.
 	req.opts.Trace = s.cfg.Trace
 	eng := discoverxfd.NewEngine(&req.opts)
 	h, err := eng.BuildHierarchy(ctx, req.doc, req.schema)
 	if err != nil {
 		s.stats.failed.Add(1)
+		s.met.retire(eng) // never became resident
 		s.writeError(w, r, decodeErr("document", err))
 		return
 	}
 	d, err := s.docs.add(eng, h)
 	if err != nil {
+		s.met.retire(eng) // store full: the engine dies with the request
 		s.writeError(w, r, err)
 		return
 	}
@@ -207,6 +214,9 @@ func (s *Server) handleDeleteDocument(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, docNotFound(r.PathValue("id")))
 		return
 	}
+	// Fold the retired engine's final counters so the bridged engine
+	// totals stay monotonic across the deletion.
+	s.met.retire(d.eng)
 	s.stats.docsDeleted.Add(1)
 	writeJSONStatus(w, http.StatusOK, map[string]string{"deleted": d.id})
 }

@@ -205,12 +205,14 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		cancel()
 		s.stats.rejectedOverload.Add(1)
+		noteReason(r, "jobs_full")
+		s.observeShed(req.tenant, "jobs_full")
 		w.Header().Set("Retry-After", retryAfterValue(s.cfg.RetryAfter))
 		writeJSONStatus(w, http.StatusTooManyRequests,
 			map[string]string{"error": "job registry full; retry later"})
 		return
 	}
-	req.opts.Trace = trace.Multi(s.cfg.Trace, j.feed)
+	req.opts.Trace = trace.Multi(s.requestTracer(r), j.feed)
 
 	s.jobs.wg.Add(1)
 	//lint:governed job goroutines are joined by registry.wait on the drain path, and runJob's recover barrier turns their panics into failed jobs.
@@ -246,7 +248,9 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, 
 	s.stats.accepted.Add(1)
 	req.fire("admitted")
 	j.setState(stateRunning)
-	res, err := discoverxfd.NewEngine(&req.opts).Discover(ctx, req.doc, req.schema)
+	eng := discoverxfd.NewEngine(&req.opts)
+	defer s.met.retire(eng) // one-shot engine: fold its counters on the way out
+	res, err := eng.Discover(ctx, req.doc, req.schema)
 	if err != nil {
 		s.stats.failed.Add(1)
 		s.jobFailed(j, err)

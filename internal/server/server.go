@@ -108,6 +108,11 @@ type Config struct {
 	Trace trace.Tracer
 	// Log receives the server's operational log; nil discards it.
 	Log *slog.Logger
+	// SlowRun, when positive, is the latency threshold beyond which a
+	// request earns a slow-request log line carrying its per-stage
+	// timings (collected from the run's stage_end trace events). 0
+	// disables the report and its stage recorder entirely.
+	SlowRun time.Duration
 	// Fault, when non-nil, is invoked at the server's named fault
 	// points with the request headers — the chaos-test seam (see
 	// faultinject.HeaderFaultHook and the fault-point table in
@@ -163,6 +168,7 @@ type Server struct {
 	jobs  *registry
 	docs  *docStore
 	stats *counters
+	met   *serverMetrics
 	mux   *http.ServeMux
 
 	draining  atomic.Bool
@@ -187,6 +193,7 @@ func New(ctx context.Context, cfg Config) *Server {
 	}
 	s.jobs = newRegistry(cfg.MaxJobs)
 	s.docs = newDocStore(cfg.MaxDocuments)
+	s.met = newServerMetrics(s)
 	s.mux = s.routes()
 	return s
 }
@@ -195,25 +202,33 @@ func New(ctx context.Context, cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // routes wires the endpoint table. Method+wildcard patterns need Go
-// 1.22's ServeMux.
+// 1.22's ServeMux. Every route passes through the instrumentation
+// middleware (outermost, so sheds and contained panics are observed
+// too); the route label is the pattern path, keeping per-id URLs out
+// of the metric label space.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.Handle("GET /debug/vars", expvar.Handler())
-	mux.Handle("POST /v1/discover", s.guard(s.handleDiscover))
-	mux.Handle("POST /v1/jobs", s.guard(s.handleSubmitJob))
-	mux.Handle("GET /v1/jobs/{id}", s.recovered(s.handleJobStatus))
-	mux.Handle("GET /v1/jobs/{id}/result", s.recovered(s.handleJobResult))
-	mux.Handle("GET /v1/jobs/{id}/events", s.recovered(s.handleJobEvents))
-	mux.Handle("DELETE /v1/jobs/{id}", s.recovered(s.handleJobCancel))
-	mux.Handle("POST /v1/documents", s.guard(s.handleCreateDocument))
-	mux.Handle("GET /v1/documents", s.recovered(s.handleListDocuments))
-	mux.Handle("GET /v1/documents/{id}", s.recovered(s.handleGetDocument))
-	mux.Handle("DELETE /v1/documents/{id}", s.recovered(s.handleDeleteDocument))
-	mux.Handle("PATCH /v1/documents/{id}", s.guard(s.handleUpdateDocument))
-	mux.Handle("POST /v1/documents/{id}/discover", s.guard(s.handleDiscoverDocument))
+	handle := func(pattern string, h http.Handler) {
+		_, route, _ := strings.Cut(pattern, " ")
+		mux.Handle(pattern, s.instrument(route, h))
+	}
+	handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
+	handle("GET /readyz", http.HandlerFunc(s.handleReadyz))
+	handle("GET /v1/stats", http.HandlerFunc(s.handleStats))
+	handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+	handle("GET /debug/vars", expvar.Handler())
+	handle("POST /v1/discover", s.guard(s.handleDiscover))
+	handle("POST /v1/jobs", s.guard(s.handleSubmitJob))
+	handle("GET /v1/jobs/{id}", s.recovered(s.handleJobStatus))
+	handle("GET /v1/jobs/{id}/result", s.recovered(s.handleJobResult))
+	handle("GET /v1/jobs/{id}/events", s.recovered(s.handleJobEvents))
+	handle("DELETE /v1/jobs/{id}", s.recovered(s.handleJobCancel))
+	handle("POST /v1/documents", s.guard(s.handleCreateDocument))
+	handle("GET /v1/documents", s.recovered(s.handleListDocuments))
+	handle("GET /v1/documents/{id}", s.recovered(s.handleGetDocument))
+	handle("DELETE /v1/documents/{id}", s.recovered(s.handleDeleteDocument))
+	handle("PATCH /v1/documents/{id}", s.guard(s.handleUpdateDocument))
+	handle("POST /v1/documents/{id}/discover", s.guard(s.handleDiscoverDocument))
 	return mux
 }
 
@@ -290,8 +305,10 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 
 	s.stats.accepted.Add(1)
 	req.fire("admitted")
-	req.opts.Trace = s.cfg.Trace
-	res, err := discoverxfd.NewEngine(&req.opts).Discover(ctx, req.doc, req.schema)
+	req.opts.Trace = s.requestTracer(r)
+	eng := discoverxfd.NewEngine(&req.opts)
+	defer s.met.retire(eng) // one-shot engine: fold its counters on the way out
+	res, err := eng.Discover(ctx, req.doc, req.schema)
 	if err != nil {
 		s.stats.failed.Add(1)
 		s.writeError(w, r, err)
@@ -400,11 +417,20 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	switch status {
 	case http.StatusTooManyRequests:
 		s.stats.rejectedOverload.Add(1)
+		reason := "queue_full"
+		if errors.Is(err, ErrTenantOverQuota) {
+			reason = "tenant_quota"
+		}
+		noteReason(r, reason)
+		s.observeShed(tenantOf(r), reason)
 		w.Header().Set("Retry-After", retryAfterValue(s.cfg.RetryAfter))
 	case http.StatusServiceUnavailable:
+		noteReason(r, "draining")
+		s.observeShed(tenantOf(r), "draining")
 		w.Header().Set("Retry-After", retryAfterValue(s.cfg.RetryAfter))
 	case http.StatusGatewayTimeout:
 		s.stats.deadline.Add(1)
+		noteReason(r, "deadline")
 	}
 	if status >= http.StatusInternalServerError {
 		s.cfg.Log.Error("request failed", "path", r.URL.Path, "status", status, "err", err)

@@ -1,8 +1,11 @@
 package server
 
 import (
-	"expvar"
+	"sort"
+	"sync"
 	"sync/atomic"
+
+	"discoverxfd/internal/telemetry"
 )
 
 // counters is the server's cumulative operational state, updated
@@ -25,11 +28,55 @@ type counters struct {
 	docUpdates         atomic.Int64 // accepted PATCH update batches
 	docUpdateOps       atomic.Int64 // update operations inside them
 	docUpdatesRejected atomic.Int64 // 422s: rejected update scripts
+
+	shedMu sync.Mutex
+	// sheds counts declined requests per tenant: reason → count, keyed
+	// by tenant. Guarded by shedMu — sheds are already the slow path.
+	sheds map[string]map[string]int64 // guarded by shedMu
+}
+
+// shedTenant counts one declined request against its tenant.
+func (c *counters) shedTenant(tenant, reason string) {
+	c.shedMu.Lock()
+	if c.sheds == nil {
+		c.sheds = make(map[string]map[string]int64)
+	}
+	byReason := c.sheds[tenant]
+	if byReason == nil {
+		byReason = make(map[string]int64)
+		c.sheds[tenant] = byReason
+	}
+	byReason[reason]++
+	c.shedMu.Unlock()
+}
+
+// shedSnapshot copies the per-tenant shed counts.
+func (c *counters) shedSnapshot() map[string]map[string]int64 {
+	c.shedMu.Lock()
+	defer c.shedMu.Unlock()
+	out := make(map[string]map[string]int64, len(c.sheds))
+	for tenant, byReason := range c.sheds {
+		m := make(map[string]int64, len(byReason))
+		for reason, n := range byReason {
+			m[reason] = n
+		}
+		out[tenant] = m
+	}
+	return out
+}
+
+// TenantStats is one tenant's view in the stats snapshot: its live
+// admission load and its cumulative shed counts by reason.
+type TenantStats struct {
+	Running int              `json:"running"`
+	Queued  int              `json:"queued"`
+	Sheds   map[string]int64 `json:"sheds,omitempty"`
 }
 
 // StatsSnapshot is one observation of the server (GET /v1/stats, and
-// the xfdd expvar). Gauges (Running, Queued, Jobs, Draining) are
-// read at snapshot time; everything else is cumulative.
+// the xfdd expvar). Gauges (Running, Queued, Jobs, Draining, and the
+// per-tenant load inside Tenants) are read at snapshot time;
+// everything else is cumulative.
 type StatsSnapshot struct {
 	Accepted         int64 `json:"accepted"`
 	Completed        int64 `json:"completed"`
@@ -53,21 +100,28 @@ type StatsSnapshot struct {
 	Jobs      int  `json:"jobs"`
 	Documents int  `json:"documents"`
 	Draining  bool `json:"draining"`
+
+	// Tenants maps each tenant with live admission load or recorded
+	// sheds to its per-tenant view (encoding/json renders map keys
+	// sorted, so the document is deterministic).
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
 
 // PublishExpvar publishes the live stats snapshot under name in the
-// process's expvar registry (served at /debug/vars). Like
-// expvar.Publish it panics on a duplicate name, so xfdd publishes its
-// one server exactly once; tests exercising many Servers skip it.
+// process's expvar registry (served at /debug/vars). Publication is
+// idempotent: re-publishing under a name replaces the earlier
+// publisher instead of panicking, so a process can build many Servers
+// (tests, restarts behind one mux) without tripping expvar's
+// duplicate-name panic.
 func (s *Server) PublishExpvar(name string) {
-	expvar.Publish(name, expvar.Func(func() any { return s.Stats() }))
+	telemetry.PublishExpvar(name, func() any { return s.Stats() })
 }
 
 // Stats returns a consistent-enough snapshot of the server's counters
 // and load gauges. Safe to call concurrently with traffic.
 func (s *Server) Stats() StatsSnapshot {
 	running, queued := s.adm.Load()
-	return StatsSnapshot{
+	snap := StatsSnapshot{
 		Accepted:         s.stats.accepted.Load(),
 		Completed:        s.stats.completed.Load(),
 		Failed:           s.stats.failed.Load(),
@@ -89,4 +143,29 @@ func (s *Server) Stats() StatsSnapshot {
 		Documents:        s.docs.count(),
 		Draining:         s.draining.Load(),
 	}
+	load := s.adm.PerTenant()
+	sheds := s.stats.shedSnapshot()
+	if len(load)+len(sheds) > 0 {
+		snap.Tenants = make(map[string]TenantStats, len(load)+len(sheds))
+		tenants := make(map[string]bool, len(load)+len(sheds))
+		for tenant := range load {
+			tenants[tenant] = true
+		}
+		for tenant := range sheds {
+			tenants[tenant] = true
+		}
+		names := make([]string, 0, len(tenants))
+		for tenant := range tenants {
+			names = append(names, tenant)
+		}
+		sort.Strings(names)
+		for _, tenant := range names {
+			snap.Tenants[tenant] = TenantStats{
+				Running: load[tenant].Running,
+				Queued:  load[tenant].Queued,
+				Sheds:   sheds[tenant],
+			}
+		}
+	}
+	return snap
 }

@@ -1,0 +1,46 @@
+package telemetry
+
+// expvar.go makes expvar publication idempotent. expvar.Publish
+// panics on a duplicate name and offers no unpublish, which turns
+// innocent patterns — two Engines published under one default name,
+// a server restarted inside one test process — into crashes. The
+// indirection here publishes each name to expvar exactly once, with
+// the expvar.Func reading through a registry slot that later
+// PublishExpvar calls for the same name overwrite (latest wins: the
+// newest publisher is the live object the operator cares about).
+
+import (
+	"expvar"
+	"sync"
+)
+
+var expvarMu sync.Mutex
+
+// expvarSlots maps each published name to its current snapshot
+// function; guarded by expvarMu.
+var expvarSlots = make(map[string]func() any)
+
+// PublishExpvar publishes f's result under name in the process-wide
+// expvar registry (rendered at /debug/vars). Unlike expvar.Publish it
+// is idempotent: republishing a name replaces its snapshot function
+// instead of panicking, so two engines (or a restarted server) may
+// publish under one name within a process — the latest call wins.
+func PublishExpvar(name string, f func() any) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	_, republish := expvarSlots[name]
+	expvarSlots[name] = f
+	if republish {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return readSlot(name) }))
+}
+
+// readSlot reads through the registry slot at scrape time — after
+// PublishExpvar has returned, never under its lock.
+func readSlot(name string) any {
+	expvarMu.Lock()
+	g := expvarSlots[name]
+	expvarMu.Unlock()
+	return g()
+}

@@ -1,0 +1,366 @@
+package telemetry
+
+// lint.go is the scrape-side mirror of the exposition writer: a small
+// promlint-style checker that validates Prometheus text format
+// (0.0.4) structurally. The CI server-smoke job scrapes xfdd's
+// /metrics and fails on the first violation, so a formatting
+// regression in the writer cannot ship — writer and checker are
+// deliberately separate code paths over the same grammar.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintSummary reports what a validated exposition contained.
+type LintSummary struct {
+	Families int
+	Samples  int
+}
+
+// Lint validates a Prometheus text exposition: comment structure
+// (HELP before TYPE before samples, at most one of each per family),
+// known TYPE values, metric and label name grammar, parsable sample
+// values, histogram shape (_bucket/_sum/_count present, le bounds
+// ascending and cumulative, +Inf bucket matching _count), counter
+// naming (_total or a known-cumulative suffix), and no duplicate
+// sample lines. The first violation is returned with its line number.
+func Lint(r io.Reader) (*LintSummary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	sum := &LintSummary{}
+	seen := make(map[string]bool)        // full sample keys (name+labels)
+	typed := make(map[string]string)     // family → TYPE
+	helped := make(map[string]bool)      // family → HELP seen
+	hists := make(map[string]*histCheck) // histogram family → state
+	sampled := make(map[string]bool)     // family → sample lines seen
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " ")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if err := lintComment(text, typed, helped, sampled); err != nil {
+				return nil, fmt.Errorf("metrics: line %d: %w", line, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", line, err)
+		}
+		fam := familyOf(name, typed)
+		if typed[fam] == "" {
+			return nil, fmt.Errorf("metrics: line %d: sample %s before its # TYPE line", line, name)
+		}
+		key := name + "{" + canonicalLabels(labels) + "}"
+		if seen[key] {
+			return nil, fmt.Errorf("metrics: line %d: duplicate sample %s", line, key)
+		}
+		seen[key] = true
+		sampled[fam] = true
+		if typed[fam] == "counter" && !strings.HasSuffix(fam, "_total") &&
+			!strings.HasSuffix(fam, "_seconds") && !strings.HasSuffix(fam, "_bytes") {
+			return nil, fmt.Errorf("metrics: line %d: counter %s should end in _total", line, fam)
+		}
+		if typed[fam] == "histogram" {
+			h := hists[fam]
+			if h == nil {
+				h = &histCheck{}
+				hists[fam] = h
+			}
+			if err := h.observe(name, fam, labels, value); err != nil {
+				return nil, fmt.Errorf("metrics: line %d: %w", line, err)
+			}
+		}
+		sum.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	for fam, h := range hists {
+		if err := h.complete(fam); err != nil {
+			return nil, fmt.Errorf("metrics: %w", err)
+		}
+	}
+	sum.Families = len(typed)
+	return sum, nil
+}
+
+// lintComment validates one # line and records family metadata.
+func lintComment(text string, typed map[string]string, helped, sampled map[string]bool) error {
+	fields := strings.SplitN(text, " ", 4)
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed comment %q", text)
+	}
+	switch fields[1] {
+	case "HELP":
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("HELP for invalid metric name %q", name)
+		}
+		if helped[name] {
+			return fmt.Errorf("second HELP for %s", name)
+		}
+		helped[name] = true
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", text)
+		}
+		name, kind := fields[2], fields[3]
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %s", kind, name)
+		}
+		if typed[name] != "" {
+			return fmt.Errorf("second TYPE for %s", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		typed[name] = kind
+	default:
+		// Free-form comments are legal.
+	}
+	return nil
+}
+
+// histCheck accumulates one histogram family's shape obligations.
+type histCheck struct {
+	bounds    []float64 // per series-run, reset is not needed: le must ascend within equal label sets
+	prevCum   float64
+	prevLabel string // labels sans le of the previous bucket line
+	infSeen   bool
+	infCum    float64
+	count     float64
+	hasSum    bool
+	hasCount  bool
+}
+
+// observe folds one histogram sample line into the check.
+func (h *histCheck) observe(name, fam string, labels map[string]string, value float64) error {
+	switch {
+	case name == fam+"_sum":
+		h.hasSum = true
+	case name == fam+"_count":
+		h.hasCount = true
+		h.count += value
+	case name == fam+"_bucket":
+		le, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("histogram bucket %s without le label", fam)
+		}
+		rest := canonicalLabelsExcept(labels, "le")
+		if rest != h.prevLabel {
+			h.prevLabel = rest
+			h.bounds = h.bounds[:0]
+			h.prevCum = 0
+		}
+		if le == "+Inf" {
+			h.infSeen = true
+			h.infCum += value
+			return nil
+		}
+		b, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("histogram %s has unparsable le %q", fam, le)
+		}
+		if n := len(h.bounds); n > 0 && b <= h.bounds[n-1] {
+			return fmt.Errorf("histogram %s buckets not ascending (le %q)", fam, le)
+		}
+		if value < h.prevCum {
+			return fmt.Errorf("histogram %s bucket counts not cumulative at le %q", fam, le)
+		}
+		h.bounds = append(h.bounds, b)
+		h.prevCum = value
+	case name == fam:
+		return fmt.Errorf("bare sample %s for histogram family", fam)
+	}
+	return nil
+}
+
+// complete checks family-wide obligations once all lines are read.
+func (h *histCheck) complete(fam string) error {
+	if !h.infSeen {
+		return fmt.Errorf("histogram %s has no +Inf bucket", fam)
+	}
+	if !h.hasSum || !h.hasCount {
+		return fmt.Errorf("histogram %s missing _sum or _count", fam)
+	}
+	if h.infCum != h.count {
+		return fmt.Errorf("histogram %s +Inf buckets (%v) disagree with _count (%v)",
+			fam, h.infCum, h.count)
+	}
+	return nil
+}
+
+// familyOf strips histogram sample suffixes when the base name has a
+// histogram TYPE, so xfd_foo_bucket resolves to family xfd_foo.
+func familyOf(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && typed[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSample splits one sample line into name, labels, and value.
+func parseSample(text string) (string, map[string]string, float64, error) {
+	rest := text
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", text)
+	}
+	name := rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels := map[string]string{}
+	if rest[i] == '{' {
+		end := labelSetEnd(rest, i+1)
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", text)
+		}
+		var err error
+		if labels, err = parseLabels(rest[i+1 : end]); err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", nil, 0, fmt.Errorf("malformed sample %q", text)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparsable value %q: %w", fields[0], err)
+	}
+	return name, labels, v, nil
+}
+
+// parseValue accepts the exposition value grammar (Go floats plus
+// +Inf/-Inf/NaN spellings).
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("nan", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// labelSetEnd returns the index of the '}' closing the label set that
+// starts at from (just past the '{'), honoring quoted values — a
+// literal '}' inside a label value (route="/v1/jobs/{id}") does not
+// close the set. -1 when unterminated.
+func labelSetEnd(s string, from int) int {
+	inQuote := false
+	for i := from; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseLabels parses k="v",... with exposition escaping.
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if name != "le" && !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[i])
+				default:
+					return nil, fmt.Errorf("bad escape in label %q", name)
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %q", name)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+// canonicalLabels renders a label map sorted, for duplicate detection.
+func canonicalLabels(labels map[string]string) string {
+	return canonicalLabelsExcept(labels, "")
+}
+
+func canonicalLabelsExcept(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k + "=" + labels[k])
+	}
+	return b.String()
+}

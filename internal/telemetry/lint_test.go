@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintErr(t *testing.T, exposition, wantSubstr string) {
+	t.Helper()
+	_, err := Lint(strings.NewReader(exposition))
+	if err == nil {
+		t.Fatalf("Lint accepted:\n%s", exposition)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("Lint error %q, want substring %q", err, wantSubstr)
+	}
+}
+
+func TestLintAcceptsWriterOutput(t *testing.T) {
+	r := NewRegistry()
+	req := r.NewCounter("xfd_http_requests_total", "requests", "route", "tenant", "code")
+	req.With("POST /v1/discover", "acme", "2xx").Add(10)
+	req.With("POST /v1/discover", "acme", "4xx").Add(2)
+	r.NewGauge("xfd_admission_queue_depth", "queued").With().Set(3)
+	h := r.NewHistogram("xfd_http_request_duration_seconds", "latency", nil, "route")
+	h.With("POST /v1/discover").Observe(0.004)
+	h.With("POST /v1/jobs").Observe(2)
+	r.NewGaugeFunc("go_goroutines", "goroutines", func() float64 { return 12 })
+
+	sum, err := Lint(strings.NewReader(r.Render()))
+	if err != nil {
+		t.Fatalf("Lint rejected writer output: %v\n%s", err, r.Render())
+	}
+	if sum.Families != 4 {
+		t.Errorf("families = %d, want 4", sum.Families)
+	}
+	if sum.Samples == 0 {
+		t.Error("no samples counted")
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	for name, tc := range map[string]struct{ in, want string }{
+		"sample before TYPE": {
+			"a_total 1\n", "before its # TYPE"},
+		"unknown type": {
+			"# TYPE a_total widget\na_total 1\n", "unknown TYPE"},
+		"second TYPE": {
+			"# TYPE a_total counter\n# TYPE a_total counter\na_total 1\n", "second TYPE"},
+		"second HELP": {
+			"# HELP a x\n# HELP a x\n", "second HELP"},
+		"TYPE after samples": {
+			"# TYPE a gauge\na 1\n# TYPE a counter\n", "second TYPE"},
+		"bad metric name": {
+			"# TYPE 9bad counter\n", "invalid metric name"},
+		"counter naming": {
+			"# TYPE a counter\na 1\n", "should end in _total"},
+		"duplicate sample": {
+			"# TYPE a gauge\na 1\na 2\n", "duplicate sample"},
+		"duplicate label": {
+			"# TYPE a gauge\na{x=\"1\",x=\"2\"} 1\n", "duplicate label"},
+		"bad value": {
+			"# TYPE a gauge\na pants\n", "unparsable value"},
+		"unterminated labels": {
+			"# TYPE a gauge\na{x=\"1\" 2\n", "unterminated"},
+		"histogram without Inf": {
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n", "no +Inf"},
+		"histogram non-cumulative": {
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n", "not cumulative"},
+		"histogram descending bounds": {
+			"# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\n", "not ascending"},
+		"histogram Inf/count mismatch": {
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n", "disagree with _count"},
+		"histogram missing sum": {
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n", "missing _sum"},
+	} {
+		t.Run(name, func(t *testing.T) { lintErr(t, tc.in, tc.want) })
+	}
+}
+
+func TestLintAcceptsEdgeForms(t *testing.T) {
+	ok := `# random comment
+# HELP a_total things
+# TYPE a_total counter
+a_total{v="esc\"aped\\np"} 4
+a_total{v="/v1/jobs/{id}"} 2
+# TYPE inf_gauge gauge
+inf_gauge +Inf
+# TYPE t_gauge gauge
+t_gauge 1 1712345678
+`
+	if _, err := Lint(strings.NewReader(ok)); err != nil {
+		t.Fatalf("Lint rejected legal exposition: %v", err)
+	}
+}
+
+// TestLintPerSeriesBucketRuns checks that a histogram with several
+// label sets restarts its bound/cumulative tracking per series.
+func TestLintPerSeriesBucketRuns(t *testing.T) {
+	in := `# TYPE h histogram
+h_bucket{r="a",le="1"} 5
+h_bucket{r="a",le="+Inf"} 5
+h_bucket{r="b",le="1"} 2
+h_bucket{r="b",le="+Inf"} 2
+h_sum{r="a"} 1
+h_count{r="a"} 5
+h_sum{r="b"} 1
+h_count{r="b"} 2
+`
+	if _, err := Lint(strings.NewReader(in)); err != nil {
+		t.Fatalf("per-series runs rejected: %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+package telemetry
+
+// parse.go is the read side of the exposition format for consumers —
+// xfdtop scrapes /metrics and needs samples back as values, not text.
+// It shares the sample grammar with the linter (parseSample), so what
+// the linter accepts this parser returns.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label set
+// (possibly empty, never nil), and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for the named label ("" when
+// absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// ParseExposition reads a Prometheus text exposition and returns its
+// samples in order, skipping comments and blank lines. It parses the
+// sample grammar strictly but does not enforce the structural rules
+// Lint checks (comment ordering, histogram shape); scrape a server you
+// trust, or Lint first.
+func ParseExposition(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var out []Sample
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		name, labels, v, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if labels == nil {
+			labels = map[string]string{}
+		}
+		out = append(out, Sample{Name: name, Labels: labels, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,462 @@
+// Package telemetry is the service-level metrics layer: a hand-rolled,
+// stdlib-only implementation of the Prometheus text exposition format
+// (version 0.0.4) — counters, gauges, and cumulative histograms,
+// optionally labelled, collected in a Registry and rendered by one
+// scrape of GET /metrics.
+//
+// It exists because xfdd needs fleet-grade telemetry (per-tenant RED
+// metrics, admission gauges, engine counters) without taking a
+// dependency: the exposition format is a small, stable, line-oriented
+// text protocol, and the subset here — no summaries, no exemplars, no
+// protobuf — is everything a Prometheus or OpenMetrics scraper needs.
+//
+// Concurrency: every metric type is safe for concurrent use. The hot
+// write path (Counter.Add, Histogram.Observe) is lock-free atomics;
+// label-vector lookup takes a short per-family mutex, and callers on
+// hot paths hold on to the resolved series (With once, Add many).
+//
+// The library discovery path does not touch this package at all —
+// telemetry is a serving-layer concern, and the engine's own
+// counters (Engine.Metrics) are bridged into a Registry by the server
+// rather than instrumented directly — so the nil-tracer fast path the
+// E13 bench gate pins is unaffected.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DurationBuckets is the shared latency bucket scheme, in seconds:
+// roughly logarithmic from 1 ms to 60 s, chosen so the same
+// boundaries serve HTTP request histograms (sub-second for cached
+// runs, tens of seconds for cold wide documents) and the bench
+// report's per-case latency distributions
+// (internal/bench.LatencySummary reuses these, converted to
+// milliseconds). Keeping one scheme makes service histograms and bench
+// histograms directly comparable.
+var DurationBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// metricKind is the TYPE line vocabulary.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// family is one named metric family: its metadata plus every labelled
+// series created under it. Series are rendered sorted by label value
+// so scrapes are deterministic.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]renderable // label-values key → series; guarded by mu
+	gauge  func() float64        // kind gauge with nil series: a GaugeFunc
+}
+
+// renderable is one series' contribution to the exposition.
+type renderable interface {
+	render(w *strings.Builder, fam *family, labelPairs string)
+}
+
+// Registry collects metric families and renders them as Prometheus
+// text exposition. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family // registration order preserved; guarded by mu
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register adds a family, panicking on a duplicate or invalid name —
+// metric registration is program structure, not input, so a clash is
+// a bug worth failing loudly on (mirroring expvar.Publish).
+func (r *Registry) register(f *family) {
+	if !validMetricName(f.name) {
+		panic("telemetry: invalid metric name " + f.name)
+	}
+	for _, l := range f.labels {
+		if !validLabelName(l) {
+			panic("telemetry: invalid label name " + l + " on " + f.name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[f.name] != nil {
+		panic("telemetry: duplicate metric " + f.name)
+	}
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+}
+
+// NewCounter registers a counter family. With no label names the
+// family is a single series; otherwise obtain series with
+// CounterVec.With.
+func (r *Registry) NewCounter(name, help string, labelNames ...string) *CounterVec {
+	f := &family{name: name, help: help, kind: kindCounter,
+		labels: labelNames, series: make(map[string]renderable)}
+	r.register(f)
+	return &CounterVec{fam: f}
+}
+
+// NewGauge registers a gauge family.
+func (r *Registry) NewGauge(name, help string, labelNames ...string) *GaugeVec {
+	f := &family{name: name, help: help, kind: kindGauge,
+		labels: labelNames, series: make(map[string]renderable)}
+	r.register(f)
+	return &GaugeVec{fam: f}
+}
+
+// NewGaugeFunc registers a gauge whose value is read at scrape time —
+// the bridge for state owned elsewhere (queue depths, runtime stats).
+func (r *Registry) NewGaugeFunc(name, help string, f func() float64) {
+	fam := &family{name: name, help: help, kind: kindGauge, gauge: f}
+	r.register(fam)
+}
+
+// NewCounterFunc registers a counter whose value is read at scrape
+// time — the bridge for monotonic state owned elsewhere (the server
+// folds Engine.Metrics counters this way). The function must be
+// monotonically non-decreasing; the registry does not enforce it.
+func (r *Registry) NewCounterFunc(name, help string, f func() float64) {
+	fam := &family{name: name, help: help, kind: kindCounter, gauge: f}
+	r.register(fam)
+}
+
+// NewHistogram registers a cumulative-histogram family over the given
+// bucket upper bounds (ascending; +Inf is implicit). Nil buckets use
+// DurationBuckets.
+func (r *Registry) NewHistogram(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DurationBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("telemetry: histogram buckets for " + name + " not ascending")
+		}
+	}
+	f := &family{name: name, help: help, kind: kindHistogram,
+		labels: labelNames, buckets: buckets, series: make(map[string]renderable)}
+	r.register(f)
+	return &HistogramVec{fam: f}
+}
+
+// Counter is one monotonically increasing series.
+type Counter struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Add increments the counter; negative deltas are ignored (counters
+// are monotonic by contract).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) render(w *strings.Builder, fam *family, labelPairs string) {
+	sample(w, fam.name, labelPairs, c.Value())
+}
+
+// CounterVec is a counter family; resolve series with With.
+type CounterVec struct{ fam *family }
+
+// With returns the series for the label values (order matches the
+// registered label names). Resolving is a map lookup under the family
+// mutex; hot paths should resolve once and reuse the *Counter.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	s := v.fam.lookup(labelValues, func() renderable { return &Counter{} })
+	return s.(*Counter)
+}
+
+// Gauge is one series that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by v (negative allowed).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) render(w *strings.Builder, fam *family, labelPairs string) {
+	sample(w, fam.name, labelPairs, g.Value())
+}
+
+// GaugeVec is a gauge family.
+type GaugeVec struct{ fam *family }
+
+// With returns the series for the label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	s := v.fam.lookup(labelValues, func() renderable { return &Gauge{} })
+	return s.(*Gauge)
+}
+
+// Histogram is one cumulative-histogram series: per-bucket counts
+// (cumulative at render time), a sum, and a total count.
+type Histogram struct {
+	buckets []float64
+	counts  []atomic.Uint64 // per bucket, non-cumulative; +Inf at the end
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v) // first bucket with bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (h *Histogram) render(w *strings.Builder, fam *family, labelPairs string) {
+	var cum uint64
+	for i, le := range h.buckets {
+		cum += h.counts[i].Load()
+		bucketSample(w, fam.name, labelPairs, formatBound(le), cum)
+	}
+	cum += h.counts[len(h.buckets)].Load()
+	bucketSample(w, fam.name, labelPairs, "+Inf", cum)
+	sample(w, fam.name+"_sum", labelPairs, math.Float64frombits(h.sumBits.Load()))
+	sample(w, fam.name+"_count", labelPairs, float64(h.count.Load()))
+}
+
+// HistogramVec is a histogram family.
+type HistogramVec struct{ fam *family }
+
+// With returns the series for the label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	s := v.fam.lookup(labelValues, func() renderable {
+		return &Histogram{
+			buckets: v.fam.buckets,
+			counts:  make([]atomic.Uint64, len(v.fam.buckets)+1),
+		}
+	})
+	return s.(*Histogram)
+}
+
+// lookup resolves (creating on first use) the series for the label
+// values.
+func (f *family) lookup(labelValues []string, mk func() renderable) renderable {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: %s wants %d label values, got %d",
+			f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[key]
+	if s == nil {
+		s = mk()
+		f.series[key] = s
+	}
+	return s
+}
+
+// WriteTo renders the full exposition: every family's HELP and TYPE
+// lines followed by its series, sorted by label key within the family
+// so repeated scrapes diff cleanly.
+func (r *Registry) WriteTo(w *strings.Builder) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		if f.gauge != nil {
+			sample(w, f.name, "", f.gauge())
+			continue
+		}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		rows := make([]struct {
+			pairs string
+			s     renderable
+		}, len(keys))
+		for i, k := range keys {
+			rows[i].pairs = labelPairs(f.labels, strings.Split(k, "\xff"))
+			rows[i].s = f.series[k]
+		}
+		f.mu.Unlock()
+		for _, row := range rows {
+			row.s.render(w, f, row.pairs)
+		}
+	}
+}
+
+// Render returns the exposition as a string.
+func (r *Registry) Render() string {
+	var b strings.Builder
+	r.WriteTo(&b)
+	return b.String()
+}
+
+// Handler serves the registry as GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Render()))
+	})
+}
+
+// labelPairs renders {k="v",...} (or "" with no labels), escaping
+// label values per the exposition grammar.
+func labelPairs(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// bucketSample renders one _bucket line, merging the le label into
+// any existing pairs.
+func bucketSample(w *strings.Builder, name, pairs, le string, cum uint64) {
+	w.WriteString(name)
+	w.WriteString("_bucket")
+	if pairs == "" {
+		w.WriteString(`{le="` + le + `"}`)
+	} else {
+		w.WriteString(pairs[:len(pairs)-1] + `,le="` + le + `"}`)
+	}
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(cum, 10))
+	w.WriteByte('\n')
+}
+
+// sample renders one sample line.
+func sample(w *strings.Builder, name, pairs string, v float64) {
+	w.WriteString(name)
+	w.WriteString(pairs)
+	w.WriteByte(' ')
+	w.WriteString(formatValue(v))
+	w.WriteByte('\n')
+}
+
+// formatValue renders a sample value: integral values without an
+// exponent so counters read naturally, others in shortest float form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatBound renders a bucket bound (le label value).
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// validMetricName reports whether name matches
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*
+// and is not reserved (__ prefix, or the histogram's le).
+func validLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") || name == "le" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

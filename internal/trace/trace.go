@@ -70,6 +70,16 @@ const (
 	// kept (shared untouched), patched (spliced in place of a
 	// rebuild), dropped (stale multi-column sets).
 	KindPartitionPatch Kind = "partition_patch"
+	// KindRequestStart/KindRequestEnd bracket one HTTP request served
+	// by xfdd (internal/server's instrumentation middleware): trace_id
+	// and request_id (the W3C trace-context identifiers, see
+	// Traceparent), action = the HTTP method, detail = the route
+	// pattern; the end event carries status, bytes written, and ms.
+	// Requests are not runs — they carry no run id, and the discovery
+	// run a request admits is correlated through the shared trace_id
+	// instead of span nesting.
+	KindRequestStart Kind = "request_start"
+	KindRequestEnd   Kind = "request_end"
 )
 
 // Event is one typed trace event. Unused fields stay at their zero
@@ -88,6 +98,16 @@ type Event struct {
 	Stage    string `json:"stage,omitempty"`
 	Relation string `json:"relation,omitempty"`
 	Level    int    `json:"level,omitempty"`
+
+	// TraceID and RequestID are the W3C trace-context identifiers of
+	// the HTTP request this event belongs to (32 and 16 lowercase hex
+	// digits; see Traceparent). The serving layer stamps them via
+	// WithIDs, so every event of a request — the request span and all
+	// of its run's events — carries the same pair, linking a JSONL
+	// trace line back to the request (and to the caller's distributed
+	// trace). Library runs leave them empty.
+	TraceID   string `json:"trace_id,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 
 	Tuples    int `json:"tuples,omitempty"`
 	Attrs     int `json:"attrs,omitempty"`
@@ -111,6 +131,11 @@ type Event struct {
 	Kept    int `json:"kept,omitempty"`
 	Patched int `json:"patched,omitempty"`
 	Dropped int `json:"dropped,omitempty"`
+
+	// Request-span fields (request_end): the response status code and
+	// body bytes written.
+	Status int   `json:"status,omitempty"`
+	Bytes  int64 `json:"bytes,omitempty"`
 
 	// DurationMS closes a span (stage_end, relation_end, run_end).
 	DurationMS float64 `json:"ms,omitempty"`
@@ -153,6 +178,34 @@ func WithRun(t Tracer, run string) Tracer {
 		return nil
 	}
 	return runScoped{t: t, run: run}
+}
+
+// idScoped stamps every event with the request's trace-context
+// identifiers before forwarding.
+type idScoped struct {
+	t         Tracer
+	traceID   string
+	requestID string
+}
+
+func (s idScoped) Emit(ev *Event) {
+	ev.TraceID = s.traceID
+	ev.RequestID = s.requestID
+	s.t.Emit(ev)
+}
+
+// WithIDs returns a Tracer that stamps every event with the W3C
+// trace-context identifiers of the request it serves (trace_id and
+// request_id; see Traceparent). The serving layer wraps its backend
+// with WithIDs before handing it to a run's Options, so the run's
+// events — stamped with the run id by WithRun on the inside — also
+// carry the request correlation on the outside. A nil tracer stays
+// nil, preserving the disabled fast path.
+func WithIDs(t Tracer, traceID, requestID string) Tracer {
+	if t == nil {
+		return nil
+	}
+	return idScoped{t: t, traceID: traceID, requestID: requestID}
 }
 
 // multi fans one event out to several backends in order.

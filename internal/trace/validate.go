@@ -14,8 +14,9 @@ var Stages = []string{"plan", "traverse", "minimize", "verify", "assemble"}
 
 // Summary reports what a validated trace contained.
 type Summary struct {
-	Events int
-	Runs   int
+	Events   int
+	Runs     int
+	Requests int
 }
 
 // runState tracks per-run schema obligations while validating.
@@ -26,19 +27,37 @@ type runState struct {
 	openStages map[string]bool
 	openRels   map[string]bool
 	failed     bool
+	// traceID/requestID are the correlation ids the run_start carried
+	// (possibly empty — library runs have none); every later event of
+	// the run must carry the identical pair.
+	traceID   string
+	requestID string
+}
+
+// reqState tracks one HTTP request span (request_start/request_end,
+// keyed by request_id).
+type reqState struct {
+	started bool
+	ended   bool
 }
 
 // ValidateJSONL checks a JSONL trace (as written by the JSONL
 // backend) against the event schema: every line must decode strictly
 // into an Event of a known kind carrying that kind's required fields,
 // spans must nest (run brackets stages, stages bracket relations),
-// and every successfully ended run must have traced all five pipeline
-// stages. The first violation is returned with its line number.
+// every successfully ended run must have traced all five pipeline
+// stages, trace_id/request_id correlation fields must be well-formed
+// hex (32 and 16 lowercase digits, not all-zero) and constant within
+// a run, and every request span (request_start, emitted by xfdd's
+// instrumentation) must be closed by a request_end for the same
+// request_id. The first violation is returned with its line number.
 func ValidateJSONL(r io.Reader) (*Summary, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	runs := make(map[string]*runState)
+	reqs := make(map[string]*reqState)
 	var order []string
+	var reqOrder []string
 	sum := &Summary{}
 	line := 0
 	for sc.Scan() {
@@ -53,7 +72,7 @@ func ValidateJSONL(r io.Reader) (*Summary, error) {
 		if err := dec.Decode(&ev); err != nil {
 			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
-		if err := checkEvent(runs, &order, &ev); err != nil {
+		if err := checkEvent(runs, &order, reqs, &reqOrder, &ev); err != nil {
 			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		sum.Events++
@@ -67,7 +86,13 @@ func ValidateJSONL(r io.Reader) (*Summary, error) {
 			return nil, fmt.Errorf("trace: run %s has no run_end", id)
 		}
 	}
+	for _, id := range reqOrder {
+		if !reqs[id].ended {
+			return nil, fmt.Errorf("trace: request %s has no request_end", id)
+		}
+	}
 	sum.Runs = len(runs)
+	sum.Requests = len(reqs)
 	return sum, nil
 }
 
@@ -84,12 +109,26 @@ func stateFor(runs map[string]*runState, ev *Event) (*runState, error) {
 	if rs.ended {
 		return nil, fmt.Errorf("%s event for run %s after its run_end", ev.Kind, ev.Run)
 	}
+	if ev.TraceID != rs.traceID {
+		return nil, fmt.Errorf("%s event trace_id %q differs from run %s's %q (must be constant within a run)",
+			ev.Kind, ev.TraceID, ev.Run, rs.traceID)
+	}
+	if ev.RequestID != rs.requestID {
+		return nil, fmt.Errorf("%s event request_id %q differs from run %s's %q (must be constant within a run)",
+			ev.Kind, ev.RequestID, ev.Run, rs.requestID)
+	}
 	return rs, nil
 }
 
-func checkEvent(runs map[string]*runState, order *[]string, ev *Event) error {
+func checkEvent(runs map[string]*runState, order *[]string, reqs map[string]*reqState, reqOrder *[]string, ev *Event) error {
 	if ev.Time.IsZero() {
 		return fmt.Errorf("%s event without a timestamp", ev.Kind)
+	}
+	if ev.TraceID != "" && !IsTraceID(ev.TraceID) {
+		return fmt.Errorf("%s event with malformed trace_id %q (want 32 lowercase hex digits, not all zero)", ev.Kind, ev.TraceID)
+	}
+	if ev.RequestID != "" && !IsSpanID(ev.RequestID) {
+		return fmt.Errorf("%s event with malformed request_id %q (want 16 lowercase hex digits, not all zero)", ev.Kind, ev.RequestID)
 	}
 	switch ev.Kind {
 	case KindRunStart:
@@ -104,6 +143,8 @@ func checkEvent(runs map[string]*runState, order *[]string, ev *Event) error {
 			stagesSeen: make(map[string]bool),
 			openStages: make(map[string]bool),
 			openRels:   make(map[string]bool),
+			traceID:    ev.TraceID,
+			requestID:  ev.RequestID,
 		}
 		*order = append(*order, ev.Run)
 	case KindRunEnd:
@@ -209,6 +250,37 @@ func checkEvent(runs map[string]*runState, order *[]string, ev *Event) error {
 	case KindPartitionPatch:
 		if ev.Relation == "" {
 			return fmt.Errorf("partition_patch event without a relation")
+		}
+	case KindRequestStart, KindRequestEnd:
+		// Request spans are not runs: no run id, correlated by
+		// request_id instead of span nesting.
+		if ev.Run != "" {
+			return fmt.Errorf("%s event with a run id (%s)", ev.Kind, ev.Run)
+		}
+		if ev.TraceID == "" {
+			return fmt.Errorf("%s event without a trace_id", ev.Kind)
+		}
+		if ev.RequestID == "" {
+			return fmt.Errorf("%s event without a request_id", ev.Kind)
+		}
+		if ev.Kind == KindRequestStart {
+			if reqs[ev.RequestID] != nil {
+				return fmt.Errorf("duplicate request_start for request %s", ev.RequestID)
+			}
+			reqs[ev.RequestID] = &reqState{started: true}
+			*reqOrder = append(*reqOrder, ev.RequestID)
+		} else {
+			q := reqs[ev.RequestID]
+			if q == nil || !q.started {
+				return fmt.Errorf("request_end for request %s without a request_start", ev.RequestID)
+			}
+			if q.ended {
+				return fmt.Errorf("second request_end for request %s", ev.RequestID)
+			}
+			if ev.Status < 100 || ev.Status > 599 {
+				return fmt.Errorf("request_end with status %d", ev.Status)
+			}
+			q.ended = true
 		}
 	default:
 		return fmt.Errorf("unknown event kind %q", ev.Kind)

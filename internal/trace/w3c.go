@@ -1,0 +1,113 @@
+package trace
+
+// w3c.go implements the W3C Trace Context header (traceparent,
+// https://www.w3.org/TR/trace-context/) — the wire half of request
+// correlation. xfdd parses an inbound traceparent so the run joins
+// the caller's distributed trace, mints a fresh span id for the
+// request (which doubles as the X-Request-Id), and echoes the
+// resulting traceparent on the response. The identifiers land on
+// every trace Event via WithIDs, so one grep over a JSONL trace file
+// by trace_id yields the request span plus the complete run it
+// admitted.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Traceparent is a parsed W3C traceparent header: version 00,
+// `00-<trace-id>-<parent-id>-<flags>` with a 16-byte trace id and an
+// 8-byte parent (span) id, both lowercase hex and not all-zero.
+type Traceparent struct {
+	TraceID  string // 32 lowercase hex digits
+	ParentID string // 16 lowercase hex digits
+	Flags    string // 2 lowercase hex digits (01 = sampled)
+}
+
+// String renders the header value.
+func (tp Traceparent) String() string {
+	return "00-" + tp.TraceID + "-" + tp.ParentID + "-" + tp.Flags
+}
+
+// ParseTraceparent parses a traceparent header value. Per the spec a
+// higher version is accepted as long as the 00-version prefix shape
+// holds (forward compatibility); version ff and malformed or all-zero
+// identifiers are rejected.
+func ParseTraceparent(s string) (Traceparent, error) {
+	parts := strings.SplitN(strings.TrimSpace(s), "-", 5)
+	if len(parts) < 4 {
+		return Traceparent{}, fmt.Errorf("trace: malformed traceparent %q", s)
+	}
+	version, traceID, parentID, flags := parts[0], parts[1], parts[2], parts[3]
+	if !isHex(version, 2) || version == "ff" {
+		return Traceparent{}, fmt.Errorf("trace: bad traceparent version %q", version)
+	}
+	if version == "00" && len(parts) != 4 {
+		return Traceparent{}, fmt.Errorf("trace: version 00 traceparent with trailing fields")
+	}
+	if !IsTraceID(traceID) {
+		return Traceparent{}, fmt.Errorf("trace: bad trace-id %q", traceID)
+	}
+	if !IsSpanID(parentID) {
+		return Traceparent{}, fmt.Errorf("trace: bad parent-id %q", parentID)
+	}
+	if !isHex(flags, 2) {
+		return Traceparent{}, fmt.Errorf("trace: bad trace-flags %q", flags)
+	}
+	return Traceparent{TraceID: traceID, ParentID: parentID, Flags: flags}, nil
+}
+
+// NewTraceID mints a random 16-byte trace id.
+func NewTraceID() string { return randomHex(16) }
+
+// NewSpanID mints a random 8-byte span id — the per-request id xfdd
+// stamps into events and echoes as X-Request-Id.
+func NewSpanID() string { return randomHex(8) }
+
+// randomHex returns n random bytes as lowercase hex, never all-zero.
+func randomHex(n int) string {
+	b := make([]byte, n)
+	for {
+		// crypto/rand.Read never fails on supported platforms; if it
+		// somehow returns short, loop rather than hand out zeros.
+		if _, err := rand.Read(b); err != nil {
+			continue
+		}
+		for _, c := range b {
+			if c != 0 {
+				return hex.EncodeToString(b)
+			}
+		}
+	}
+}
+
+// IsTraceID reports whether s is a well-formed, non-zero 32-digit
+// lowercase-hex trace id.
+func IsTraceID(s string) bool { return isHex(s, 32) && !allZero(s) }
+
+// IsSpanID reports whether s is a well-formed, non-zero 16-digit
+// lowercase-hex span id (the request_id event field).
+func IsSpanID(s string) bool { return isHex(s, 16) && !allZero(s) }
+
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for _, c := range s {
+		if c != '0' {
+			return false
+		}
+	}
+	return true
+}

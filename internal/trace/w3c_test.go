@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentAccepts(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Traceparent
+	}{
+		{"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+			Traceparent{"0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331", "01"}},
+		{"  00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00  ",
+			Traceparent{"0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331", "00"}},
+		// Forward compatibility: a higher version may carry extra fields.
+		{"cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+			Traceparent{"0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331", "01"}},
+	}
+	for _, c := range cases {
+		got, err := ParseTraceparent(c.in)
+		if err != nil {
+			t.Errorf("ParseTraceparent(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseTraceparent(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"too few fields":   "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",
+		"version ff":       "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"version not hex":  "zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"v00 extra fields": "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-x",
+		"short trace id":   "00-0af7651916cd43dd8448eb211c8031-b7ad6b7169203331-01",
+		"zero trace id":    "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+		"uppercase hex":    "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",
+		"zero parent id":   "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+		"short parent id":  "00-0af7651916cd43dd8448eb211c80319c-b7ad6b71692033-01",
+		"bad flags":        "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0g",
+	}
+	for name, in := range cases {
+		if _, err := ParseTraceparent(in); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted", name, in)
+		}
+	}
+}
+
+func TestStringRoundTrips(t *testing.T) {
+	tp := Traceparent{TraceID: NewTraceID(), ParentID: NewSpanID(), Flags: "01"}
+	back, err := ParseTraceparent(tp.String())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back != tp {
+		t.Errorf("round trip = %+v, want %+v", back, tp)
+	}
+}
+
+func TestNewIDsWellFormed(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		if id := NewTraceID(); !IsTraceID(id) {
+			t.Fatalf("NewTraceID() = %q not well-formed", id)
+		}
+		if id := NewSpanID(); !IsSpanID(id) {
+			t.Fatalf("NewSpanID() = %q not well-formed", id)
+		}
+	}
+	if NewTraceID() == NewTraceID() {
+		t.Error("consecutive trace ids collide")
+	}
+}
+
+func TestWithIDsStampsEvents(t *testing.T) {
+	if WithIDs(nil, "a", "b") != nil {
+		t.Error("WithIDs(nil) should stay nil")
+	}
+	var buf bytes.Buffer
+	traceID, reqID := NewTraceID(), NewSpanID()
+	// Serving-layer layering: WithRun inside, WithIDs outside, so run
+	// events carry both the run id and the request correlation.
+	tr := WithRun(WithIDs(NewJSONL(&buf), traceID, reqID), "run-3")
+	tr.Emit(&Event{Kind: KindStageStart, Stage: "plan"})
+	var ev Event
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Run != "run-3" || ev.TraceID != traceID || ev.RequestID != reqID {
+		t.Errorf("stamped event = %+v", ev)
+	}
+}
+
+// correlatedTrace writes a request span plus the run it admitted, all
+// stamped with one trace_id/request_id pair — the shape xfdd's
+// instrumentation middleware produces.
+func correlatedTrace(traceID, reqID string) string {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	ids := WithIDs(j, traceID, reqID)
+	ids.Emit(&Event{Kind: KindRequestStart, Action: "POST", Detail: "/v1/discover"})
+	tr := WithRun(ids, "run-1")
+	tr.Emit(&Event{Kind: KindRunStart, Relations: 1, Tuples: 5})
+	for _, s := range Stages {
+		tr.Emit(&Event{Kind: KindStageStart, Stage: s})
+		tr.Emit(&Event{Kind: KindStageEnd, Stage: s, DurationMS: 1})
+	}
+	tr.Emit(&Event{Kind: KindRunEnd, DurationMS: 5})
+	ids.Emit(&Event{Kind: KindRequestEnd, Action: "POST", Detail: "/v1/discover",
+		Status: 200, Bytes: 128, DurationMS: 6})
+	return buf.String()
+}
+
+func TestValidateJSONLAcceptsCorrelatedTrace(t *testing.T) {
+	traceID, reqID := NewTraceID(), NewSpanID()
+	sum, err := ValidateJSONL(strings.NewReader(correlatedTrace(traceID, reqID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Runs != 1 || sum.Requests != 1 {
+		t.Errorf("summary = %+v, want 1 run and 1 request", sum)
+	}
+}
+
+func TestValidateJSONLRejectsIDViolations(t *testing.T) {
+	traceID, reqID := NewTraceID(), NewSpanID()
+	good := correlatedTrace(traceID, reqID)
+	otherTrace := NewTraceID()
+	stamp := `"t":"2026-01-01T00:00:00Z"`
+	ids := `"trace_id":"` + traceID + `","request_id":"` + reqID + `",`
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"malformed trace_id",
+			`{"event":"run_start","run":"r","trace_id":"xyz",` + stamp + `}` + "\n",
+			"malformed trace_id"},
+		{"malformed request_id",
+			`{"event":"run_start","run":"r","request_id":"123",` + stamp + `}` + "\n",
+			"malformed request_id"},
+		{"trace_id changes mid-run",
+			strings.Replace(good, traceID, otherTrace, 3),
+			"must be constant within a run"},
+		{"request span with run id",
+			`{"event":"request_start","run":"r",` + ids + `"action":"GET",` + stamp + `}` + "\n",
+			"with a run id"},
+		{"request_start without trace_id",
+			`{"event":"request_start","request_id":"` + reqID + `","action":"GET",` + stamp + `}` + "\n",
+			"without a trace_id"},
+		{"request_end without start",
+			`{"event":"request_end",` + ids + `"status":200,` + stamp + `}` + "\n",
+			"without a request_start"},
+		{"duplicate request_start",
+			`{"event":"request_start",` + ids + stamp + `}` + "\n" +
+				`{"event":"request_start",` + ids + stamp + `}` + "\n",
+			"duplicate request_start"},
+		{"unclosed request",
+			`{"event":"request_start",` + ids + stamp + `}` + "\n",
+			"no request_end"},
+		{"bad status",
+			`{"event":"request_start",` + ids + stamp + `}` + "\n" +
+				`{"event":"request_end",` + ids + `"status":99,` + stamp + `}` + "\n",
+			"request_end with status"},
+		{"second request_end",
+			`{"event":"request_start",` + ids + stamp + `}` + "\n" +
+				`{"event":"request_end",` + ids + `"status":200,` + stamp + `}` + "\n" +
+				`{"event":"request_end",` + ids + `"status":200,` + stamp + `}` + "\n",
+			"second request_end"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ValidateJSONL(strings.NewReader(c.in))
+			if err == nil {
+				t.Fatalf("validator accepted %s", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}

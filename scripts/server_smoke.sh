@@ -78,6 +78,17 @@ assert not r['stats'].get('truncated'), 'unexpected truncation'
 code 400 --data-binary 'not xml' "$BASE/v1/discover"
 code 400 --data-binary "@$WORK/corpus.xml" "$BASE/v1/discover?max_tuples=-1"
 
+note "stage 2b: trace propagation on the 200 path"
+TP_IN="00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+curl -sf -D "$WORK/hdr200" -o /dev/null -H "traceparent: $TP_IN" \
+  --data-binary "@$WORK/corpus.xml" "$BASE/v1/discover?timeout=60s" ||
+  fail "traced discover failed"
+grep -qi '^traceparent: 00-0af7651916cd43dd8448eb211c80319c-' "$WORK/hdr200" ||
+  fail "200 does not echo the inbound trace id"
+grep -qi "^traceparent: ${TP_IN}" "$WORK/hdr200" &&
+  fail "200 echoed the caller's span id instead of minting one"
+grep -qi '^x-request-id: ' "$WORK/hdr200" || fail "200 without X-Request-Id"
+
 note "stage 3: async job with SSE progress"
 JOB="$(curl -sf -X POST --data-binary "@$WORK/corpus.xml" "$BASE/v1/jobs" |
   python3 -c 'import sys,json; print(json.load(sys.stdin)["id"])')"
@@ -140,8 +151,25 @@ for i in $(seq 1 200); do
 done
 [ "$(stat_field running)" = "1" ] || fail "hog request never started running"
 code 429 --data-binary "@$WORK/corpus.xml" "$BASE/v1/discover"
-grep -qi '^retry-after:' < <(curl -si --data-binary "@$WORK/corpus.xml" "$BASE/v1/discover") ||
-  fail "429 without Retry-After"
+curl -si -H "traceparent: $TP_IN" --data-binary "@$WORK/corpus.xml" \
+  "$BASE/v1/discover" > "$WORK/hdr429"
+grep -qi '^retry-after:' "$WORK/hdr429" || fail "429 without Retry-After"
+grep -qi '^traceparent: 00-0af7651916cd43dd8448eb211c80319c-' "$WORK/hdr429" ||
+  fail "429 does not echo the inbound trace id"
+grep -qi '^x-request-id: ' "$WORK/hdr429" || fail "429 without X-Request-Id"
+
+note "stage 6b: metrics exposition is valid and carries the contract"
+curl -sf "$BASE/metrics" > "$WORK/metrics.prom" || fail "scraping /metrics"
+go run ./cmd/promcheck "$WORK/metrics.prom"
+for m in xfd_http_requests_total xfd_http_request_duration_seconds_bucket \
+         xfd_engine_runs_started_total xfd_engine_runs_finished_total \
+         xfd_requests_shed_total xfd_queue_depth xfd_running_runs \
+         xfd_tenant_running go_goroutines; do
+  grep -q "^$m" "$WORK/metrics.prom" || fail "exposition missing $m"
+done
+# The shed from this stage is attributed to its reason.
+grep -q 'xfd_requests_shed_total{reason="queue_full"' "$WORK/metrics.prom" ||
+  fail "shed counter missing the queue_full reason"
 
 note "stage 7: SIGTERM drain completes in-flight work"
 kill -TERM "$SERVER_PID"
